@@ -1,0 +1,115 @@
+// Ablation D: guard discipline vs premature wake (EF-T5, quantified).
+//
+// Table 1 says an EF-T5 failure — "thread is notified before it should be;
+// thread prematurely re-enters the critical section" — is detected by
+// completion-time checks.  The vulnerable coding pattern is `if (guard)
+// wait()` instead of `while (guard) wait()`.  This bench measures how the
+// vulnerability converts into actual failures as the environment becomes
+// hostile (spurious-wakeup probability per unlock), comparing the correct
+// while-guard against the if-guard mutant:
+//   * while-guard: failure rate must stay 0 at every probability;
+//   * if-guard: garbage values / corrupted state appear and grow with the
+//     spurious rate; the guard-discipline detector flags the pattern even
+//     in runs where no failure happened to manifest.
+#include <cstdio>
+#include <string>
+
+#include "confail/components/producer_consumer.hpp"
+#include "confail/detect/wait_notify.hpp"
+#include "confail/events/trace.hpp"
+#include "confail/monitor/runtime.hpp"
+#include "confail/sched/virtual_scheduler.hpp"
+
+namespace detect = confail::detect;
+namespace ev = confail::events;
+namespace sched = confail::sched;
+using confail::components::ProducerConsumer;
+using confail::monitor::Runtime;
+
+namespace {
+
+struct Outcomes {
+  int runs = 0;
+  int wrongValue = 0;       // premature re-entry materialized as bad data
+  int deadlocks = 0;        // premature consumption starved someone
+  int guardFindings = 0;    // discipline detector flagged the pattern
+};
+
+Outcomes measure(bool ifGuard, double spuriousProb, int seeds) {
+  Outcomes out;
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(seeds); ++seed) {
+    ev::Trace trace;
+    sched::RandomWalkStrategy strategy(seed);
+    sched::VirtualScheduler::Options so;
+    so.maxSteps = 50000;
+    sched::VirtualScheduler s(strategy, so);
+    Runtime rt(trace, s, seed);
+    ProducerConsumer::Faults f;
+    f.ifInsteadOfWhile = ifGuard;
+    f.spuriousWakeProbability = spuriousProb;
+    ProducerConsumer pc(rt, f);
+
+    // One consumer waiting on an empty buffer; a churner creating
+    // spurious-wake opportunities by cycling the monitor; a late producer.
+    std::string got;
+    rt.spawn("consumer", [&] { got.push_back(pc.receive()); });
+    rt.spawn("churn", [&] {
+      for (int i = 0; i < 15; ++i) {
+        confail::monitor::Synchronized sync(pc.mon());
+        rt.schedulePoint();
+      }
+    });
+    rt.spawn("producer", [&] {
+      for (int k = 0; k < 20; ++k) rt.schedulePoint();
+      pc.send("v");
+    });
+    auto r = s.run();
+    ++out.runs;
+    if (r.outcome == sched::Outcome::Deadlock) {
+      ++out.deadlocks;
+    } else if (got != "v") {
+      ++out.wrongValue;
+    }
+    detect::WaitNotifyAnalyzer wn;
+    for (const auto& finding : wn.analyze(trace)) {
+      if (finding.kind == detect::FindingKind::GuardNotRechecked) {
+        ++out.guardFindings;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation D: wait-guard discipline vs spurious wakeups ===\n");
+  std::printf("EF-T5 made quantitative: `if (guard) wait()` vs `while`.\n\n");
+  const int seeds = 60;
+  std::printf("%-10s %-8s %8s %12s %10s %14s\n", "guard", "p(spur)", "runs",
+              "bad-value", "deadlock", "guard-flagged");
+
+  int failures = 0;
+  for (double p : {0.0, 0.1, 0.3, 0.6}) {
+    Outcomes w = measure(/*ifGuard=*/false, p, seeds);
+    std::printf("%-10s %-8.1f %8d %12d %10d %14d\n", "while", p, w.runs,
+                w.wrongValue, w.deadlocks, w.guardFindings);
+    // The correct idiom must never fail, at any hostility level.
+    if (w.wrongValue != 0 || w.deadlocks != 0) ++failures;
+
+    Outcomes i = measure(/*ifGuard=*/true, p, seeds);
+    std::printf("%-10s %-8.1f %8d %12d %10d %14d\n", "if", p, i.runs,
+                i.wrongValue, i.deadlocks, i.guardFindings);
+    if (p >= 0.3 && i.wrongValue + i.deadlocks == 0) {
+      ++failures;  // hostility this high must expose the mutant
+    }
+  }
+
+  std::printf("\nreading: the while-guard absorbs arbitrary spurious wakeups\n"
+              "(zero failures in every row); the if-guard fails increasingly\n"
+              "often as wakeups get more spurious, and the guard-discipline\n"
+              "analysis flags the vulnerable pattern even in lucky runs.\n");
+  std::printf("\n%s\n", failures == 0 ? "ABLATION D: OK" : "ABLATION D: FAILURES");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,159 @@
+// Ablation A: scheduler strategies vs bug exposure.
+//
+// The paper's premise is that free-running execution is a poor way to find
+// concurrency failures and that controlled (deterministic) execution is
+// needed.  This bench quantifies that on the substrate: a schedule-
+// dependent FF-T5 bug (BoundedBuffer with notify() instead of notifyAll())
+// is hunted by four strategies under equal run budgets:
+//   round-robin      (the "fair JVM" — a single deterministic schedule)
+//   random walk      (stress testing with seeds; ConTest-style)
+//   PCT              (priority-based probabilistic concurrency testing)
+//   exhaustive DFS   (bounded model checking of the schedule tree)
+// Reported: exposure rate, runs-to-first-failure, and whether the failure
+// is *proved* reachable.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "confail/components/bounded_buffer.hpp"
+#include "confail/events/trace.hpp"
+#include "confail/monitor/runtime.hpp"
+#include "confail/sched/explorer.hpp"
+#include "confail/sched/virtual_scheduler.hpp"
+
+namespace comps = confail::components;
+namespace ev = confail::events;
+namespace sched = confail::sched;
+using confail::monitor::Runtime;
+
+namespace {
+
+// The scenario: capacity-1 buffer, 2 producers x 2 items, 2 consumers x 2
+// items, notify() instead of notifyAll().  Under many schedules the single
+// notify wakes a same-side waiter and the system deadlocks (FF-T5,
+// "a notify is called rather than a notifyAll").
+void buildScenario(sched::VirtualScheduler& s) {
+  // The State (and its trace) is kept alive by the spawned closures, which
+  // the scheduler owns until the run finishes.
+  struct State {
+    ev::Trace trace;
+    Runtime rt;
+    comps::BoundedBuffer<int> buf;
+    explicit State(sched::VirtualScheduler& sc)
+        : rt(trace, sc, 1), buf(rt, "buf", 1, [] {
+            comps::BoundedBuffer<int>::Faults f;
+            f.notifyOneOnly = true;
+            return f;
+          }()) {}
+  };
+  auto st = std::make_shared<State>(s);
+  for (int p = 0; p < 2; ++p) {
+    st->rt.spawn("p" + std::to_string(p), [st] {
+      for (int i = 0; i < 2; ++i) st->buf.put(i);
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    st->rt.spawn("c" + std::to_string(c), [st] {
+      for (int i = 0; i < 2; ++i) (void)st->buf.take();
+    });
+  }
+}
+
+bool runOnce(sched::Strategy& strategy) {
+  sched::VirtualScheduler::Options so;
+  so.maxSteps = 20000;
+  sched::VirtualScheduler s(strategy, so);
+  buildScenario(s);
+  return s.run().outcome == sched::Outcome::Deadlock;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A: scheduling strategy vs failure exposure ===\n");
+  std::printf("target bug: FF-T5 (notify() where notifyAll() is required)\n\n");
+  std::printf("%-16s %8s %10s %14s %s\n", "strategy", "runs", "exposed",
+              "first-failure", "notes");
+
+  const std::uint64_t budget = 200;
+  int strategiesThatExposed = 0;
+
+  {
+    sched::RoundRobinStrategy rr;
+    bool hit = runOnce(rr);
+    std::printf("%-16s %8d %10s %14s %s\n", "round-robin", 1,
+                hit ? "1" : "0", hit ? "1" : "-",
+                "single deterministic fair schedule");
+    strategiesThatExposed += hit ? 1 : 0;
+  }
+
+  {
+    std::uint64_t exposed = 0, first = 0;
+    for (std::uint64_t seed = 1; seed <= budget; ++seed) {
+      sched::RandomWalkStrategy rw(seed);
+      if (runOnce(rw)) {
+        ++exposed;
+        if (first == 0) first = seed;
+      }
+    }
+    std::printf("%-16s %8llu %10llu %14s %s\n", "random-walk",
+                static_cast<unsigned long long>(budget),
+                static_cast<unsigned long long>(exposed),
+                first ? std::to_string(first).c_str() : "-",
+                "seeded stress (ConTest-style noise)");
+    strategiesThatExposed += exposed > 0 ? 1 : 0;
+  }
+
+  {
+    std::uint64_t exposed = 0, first = 0;
+    for (std::uint64_t seed = 1; seed <= budget; ++seed) {
+      sched::PctStrategy pct(seed, /*depth=*/3, /*expectedSteps=*/300);
+      if (runOnce(pct)) {
+        ++exposed;
+        if (first == 0) first = seed;
+      }
+    }
+    std::printf("%-16s %8llu %10llu %14s %s\n", "pct(d=3)",
+                static_cast<unsigned long long>(budget),
+                static_cast<unsigned long long>(exposed),
+                first ? std::to_string(first).c_str() : "-",
+                "probabilistic, depth-bounded");
+    strategiesThatExposed += exposed > 0 ? 1 : 0;
+  }
+
+  std::uint64_t exhaustiveFirst = 0;
+  {
+    sched::ExhaustiveExplorer::Options eo;
+    eo.maxRuns = budget;
+    eo.maxSteps = 20000;
+    sched::ExhaustiveExplorer explorer(eo);
+    std::uint64_t runs = 0;
+    auto stats = explorer.explore(
+        [](sched::VirtualScheduler& s) { buildScenario(s); },
+        [&runs, &exhaustiveFirst](const std::vector<ev::ThreadId>&,
+                                  const sched::RunResult& r) {
+          ++runs;
+          if (r.outcome == sched::Outcome::Deadlock && exhaustiveFirst == 0) {
+            exhaustiveFirst = runs;
+          }
+          return true;
+        });
+    std::printf("%-16s %8llu %10llu %14s %s\n", "exhaustive",
+                static_cast<unsigned long long>(stats.runs),
+                static_cast<unsigned long long>(stats.deadlocks),
+                exhaustiveFirst ? std::to_string(exhaustiveFirst).c_str() : "-",
+                stats.exhausted ? "tree fully covered (proof)"
+                                : "budget-bounded");
+    strategiesThatExposed += stats.deadlocks > 0 ? 1 : 0;
+  }
+
+  std::printf("\nreading: the fair deterministic schedule alone usually\n"
+              "misses the bug; randomized strategies expose it with some\n"
+              "probability; the exhaustive explorer finds it reliably and\n"
+              "can prove reachability — the paper's argument for controlled\n"
+              "execution made quantitative.\n");
+
+  const bool ok = strategiesThatExposed >= 2 && exhaustiveFirst > 0;
+  std::printf("\n%s\n", ok ? "ABLATION A: OK" : "ABLATION A: FAILURES");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,5 @@
+# confail CMake package: import with find_package(confail CONFIG).
+# Provides the confail::confail_<module> static library targets.
+include(CMakeFindDependencyMacro)
+find_dependency(Threads)
+include("${CMAKE_CURRENT_LIST_DIR}/confailTargets.cmake")

@@ -1,0 +1,176 @@
+#include "confail/cofg/coverage.hpp"
+
+#include <sstream>
+
+#include "confail/support/assert.hpp"
+
+namespace confail::cofg {
+
+using events::Event;
+using events::EventKind;
+
+void CoverageTracker::onConcurrencyEvent(const Event& e, NodeKind kind) {
+  auto it = cursor_.find(e.thread);
+  if (it == cursor_.end() || it->second.empty()) return;  // outside method
+  Node& cur = it->second.back();
+
+  // Find an arc from the cursor to a node of the required kind.  Site
+  // ambiguity (several waits reachable from one node) is resolved by first
+  // match — adequate for component methods, which in practice have one
+  // concurrency statement per kind between guards.
+  for (std::size_t idx : graph_->arcsFrom(cur)) {
+    if (graph_->arcs()[idx].dst.kind == kind) {
+      ++hits_[idx];
+      cur = graph_->arcs()[idx].dst;
+      return;
+    }
+  }
+  anomalies_.push_back(CoverageAnomaly{
+      e.seq, e.thread,
+      "no CoFG arc from " + cur.label() + " to a " +
+          std::string(nodeKindName(kind)) + " node"});
+}
+
+void CoverageTracker::onEvent(const Event& e) {
+  switch (e.kind) {
+    case EventKind::MethodEnter:
+      if (static_cast<events::MethodId>(e.aux) == method_) {
+        cursor_[e.thread].push_back(Node{NodeKind::Start, 0});
+      }
+      break;
+    case EventKind::MethodExit:
+      if (static_cast<events::MethodId>(e.aux) == method_) {
+        auto it = cursor_.find(e.thread);
+        if (it != cursor_.end() && !it->second.empty()) {
+          onConcurrencyEvent(e, NodeKind::End);
+          it->second.pop_back();
+        }
+      }
+      break;
+    case EventKind::WaitBegin:
+      if (e.method == method_) onConcurrencyEvent(e, NodeKind::Wait);
+      break;
+    case EventKind::NotifyCall:
+      if (e.method == method_) onConcurrencyEvent(e, NodeKind::Notify);
+      break;
+    case EventKind::NotifyAllCall:
+      if (e.method == method_) onConcurrencyEvent(e, NodeKind::NotifyAll);
+      break;
+    default:
+      break;
+  }
+}
+
+void CoverageTracker::process(const std::vector<Event>& events) {
+  for (const Event& e : events) onEvent(e);
+}
+
+std::size_t CoverageTracker::coveredArcs() const {
+  std::size_t n = 0;
+  for (std::uint64_t h : hits_) n += h > 0 ? 1 : 0;
+  return n;
+}
+
+double CoverageTracker::coverageFraction() const {
+  if (hits_.empty()) return 1.0;
+  return static_cast<double>(coveredArcs()) / static_cast<double>(hits_.size());
+}
+
+std::vector<std::size_t> CoverageTracker::uncoveredArcs() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < hits_.size(); ++i) {
+    if (hits_[i] == 0) out.push_back(i);
+  }
+  return out;
+}
+
+std::string CoverageTracker::report(const events::Trace& trace) const {
+  std::ostringstream os;
+  os << "CoFG coverage for " << trace.methodName(method_) << ": "
+     << coveredArcs() << "/" << totalArcs() << " arcs ("
+     << static_cast<int>(coverageFraction() * 100.0) << "%)\n";
+  const auto& arcs = graph_->arcs();
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    os << "  [" << (hits_[i] > 0 ? "x" : " ") << "] " << arcs[i].label()
+       << "  (" << hits_[i] << " traversals)"
+       << "  fires: " << arcs[i].transitionString() << '\n';
+  }
+  if (!anomalies_.empty()) {
+    os << "  anomalies (" << anomalies_.size()
+       << " — executed code diverges from the declared model):\n";
+    for (const auto& a : anomalies_) {
+      os << "    seq=" << a.eventSeq << " thread=" << a.thread << ": "
+         << a.message << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string CoverageTracker::suggestSequences() const {
+  std::ostringstream os;
+  auto uncovered = uncoveredArcs();
+  if (uncovered.empty()) {
+    os << "all arcs covered; no additional sequences needed\n";
+    return os.str();
+  }
+  const auto& arcs = graph_->arcs();
+  for (std::size_t idx : uncovered) {
+    const CofgArc& a = arcs[idx];
+    os << "uncovered: " << a.label() << '\n';
+    // Build a path Start -> ... -> src (BFS over arcs), then the arc, then
+    // greedily to End.
+    std::vector<Node> path;
+    // BFS from Start to a.src.
+    struct Visit { Node node; std::vector<Node> path; };
+    std::vector<Visit> queue{Visit{Node{NodeKind::Start, 0}, {Node{NodeKind::Start, 0}}}};
+    std::vector<Node> seen{Node{NodeKind::Start, 0}};
+    bool found = a.src == Node{NodeKind::Start, 0};
+    if (found) path = queue.front().path;
+    for (std::size_t qi = 0; qi < queue.size() && !found; ++qi) {
+      for (std::size_t e : graph_->arcsFrom(queue[qi].node)) {
+        Node next = arcs[e].dst;
+        bool visited = false;
+        for (const Node& s : seen) visited = visited || s == next;
+        if (visited) continue;
+        seen.push_back(next);
+        auto p = queue[qi].path;
+        p.push_back(next);
+        if (next == a.src) {
+          path = p;
+          found = true;
+          break;
+        }
+        queue.push_back(Visit{next, std::move(p)});
+      }
+    }
+    if (!found) {
+      os << "  (source node unreachable from start — dead arc)\n";
+      continue;
+    }
+    path.push_back(a.dst);
+    // Greedy continuation to End.
+    Node cur = a.dst;
+    std::size_t guard = 0;
+    while (!(cur.kind == NodeKind::End) && guard++ < 16) {
+      auto outs = graph_->arcsFrom(cur);
+      if (outs.empty()) break;
+      // Prefer an arc that makes progress (not a self-loop).
+      std::size_t pick = outs[0];
+      for (std::size_t e : outs) {
+        if (!(arcs[e].dst == cur)) {
+          pick = e;
+          break;
+        }
+      }
+      cur = arcs[pick].dst;
+      path.push_back(cur);
+    }
+    os << "  drive the method through:";
+    for (const Node& n : path) os << ' ' << n.label();
+    os << "\n  requiring: " << (a.condition.empty() ? "(none)" : a.condition)
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace confail::cofg

@@ -1,0 +1,88 @@
+// Concurrency Flow Graph (CoFG) construction — paper Section 6.
+//
+// Nodes are the concurrency statements of one method (plus Start/End);
+// each arc is the code region between two consecutive concurrency
+// statements along some feasible path, annotated with
+//   * the Figure-1 transitions fired along that region, and
+//   * the guard condition required to traverse it.
+//
+// For the producer-consumer receive() method the construction yields
+// exactly the paper's five arcs:
+//   1. start -> wait        (guard true on entry)         T1 T2 T3
+//   2. wait -> wait         (guard true again after wake) T3 T5 T2 T3
+//   3. wait -> notifyAll    (guard false after wake)      T3 T5 T2 T5
+//   4. start -> notifyAll   (guard false on entry)        T1 T2 T5
+//   5. notifyAll -> end                                   T5 T4
+//
+// Note on arc 3: the paper prints "T3, T4, T5".  Deriving the annotation
+// from the model, a woken waiter fires T5 (woken) then T2 (re-acquire)
+// before reaching the notifyAll — there is no lock release (T4) between a
+// wait and a notifyAll in the same synchronized method.  We reproduce the
+// paper's printed list in the Figure-3 bench for fidelity but mark it as a
+// suspected erratum; the computed annotation is used everywhere else.
+// All four other arcs match the paper exactly under the same derivation
+// rule (source-node firings followed by destination-node firings).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "confail/cofg/method_model.hpp"
+
+namespace confail::cofg {
+
+enum class NodeKind : std::uint8_t { Start, Wait, Notify, NotifyAll, End };
+
+const char* nodeKindName(NodeKind k);
+
+struct Node {
+  NodeKind kind = NodeKind::Start;
+  /// Index of the generating item in the MethodModel sequence
+  /// (disambiguates methods with several waits or notifies); 0 for
+  /// Start/End.
+  std::uint32_t site = 0;
+
+  bool operator==(const Node&) const = default;
+  std::string label() const;
+};
+
+struct CofgArc {
+  Node src;
+  Node dst;
+  /// Figure-1 transition names fired traversing this arc, e.g. {"T1","T2","T3"}.
+  std::vector<std::string> transitions;
+  /// Guard requirement to traverse the arc, e.g. "guard (curPos == 0) true on entry".
+  std::string condition;
+
+  std::string label() const { return src.label() + " -> " + dst.label(); }
+  std::string transitionString() const;
+};
+
+class Cofg {
+ public:
+  /// Build the CoFG of a method model (see file comment for the rules).
+  static Cofg build(const MethodModel& model);
+
+  const std::string& methodName() const { return methodName_; }
+  const std::vector<CofgArc>& arcs() const { return arcs_; }
+
+  /// Index of the arc src->dst, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t findArc(const Node& src, const Node& dst) const;
+
+  /// Arcs leaving `src`, as indices.
+  std::vector<std::size_t> arcsFrom(const Node& src) const;
+
+  /// Graphviz DOT rendering.
+  std::string toDot() const;
+
+  /// Human-readable arc listing (one line per arc).
+  std::string describe() const;
+
+ private:
+  std::string methodName_;
+  std::vector<CofgArc> arcs_;
+};
+
+}  // namespace confail::cofg

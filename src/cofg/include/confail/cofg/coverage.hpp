@@ -1,0 +1,80 @@
+// CoFG arc-coverage measurement over execution traces.
+//
+// The tracker replays a trace and, for each invocation of the instrumented
+// method (bracketed by MethodEnter/MethodExit events), walks the CoFG:
+// every concurrency event (WaitBegin, NotifyCall, NotifyAllCall) advances
+// the cursor along the matching arc, and MethodExit closes the walk with
+// the arc into End.  The result is a per-arc traversal count — the
+// coverage measure the paper proposes as its test-selection criterion —
+// plus any anomalies (event sequences with no matching arc, which indicate
+// that the executed code does not conform to the declared MethodModel).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "confail/cofg/cofg.hpp"
+#include "confail/events/trace.hpp"
+
+namespace confail::cofg {
+
+struct CoverageAnomaly {
+  std::uint64_t eventSeq = 0;
+  events::ThreadId thread = events::kNoThread;
+  std::string message;
+};
+
+// The tracker works both offline (process a recorded trace) and online
+// (registered as an EventSink on the live Trace, it measures coverage
+// *while the test executes* — the paper's future-work item 3, "coverage
+// analysis during testing").
+class CoverageTracker : public events::EventSink {
+ public:
+  CoverageTracker(const Cofg& graph, events::MethodId method)
+      : graph_(&graph), method_(method), hits_(graph.arcs().size(), 0) {}
+
+  /// Replay a full trace (only events of the tracked method matter).
+  void process(const std::vector<events::Event>& events);
+
+  /// Online mode: feed one event as it happens.  Register with
+  /// Trace::addSink(&tracker) before spawning threads.
+  void onEvent(const events::Event& e) override;
+
+  /// Per-arc traversal counts, parallel to graph().arcs().
+  const std::vector<std::uint64_t>& hits() const { return hits_; }
+
+  std::size_t coveredArcs() const;
+  std::size_t totalArcs() const { return hits_.size(); }
+  double coverageFraction() const;
+
+  /// Indices of arcs never traversed.
+  std::vector<std::size_t> uncoveredArcs() const;
+
+  /// Sequences of events that did not match any arc (model mismatch).
+  const std::vector<CoverageAnomaly>& anomalies() const { return anomalies_; }
+
+  const Cofg& graph() const { return *graph_; }
+
+  /// Human-readable coverage report.
+  std::string report(const events::Trace& trace) const;
+
+  /// For each uncovered arc, a suggested node path from Start through the
+  /// arc to End (a scenario a tester must construct), with the arc
+  /// conditions that must be made true.
+  std::string suggestSequences() const;
+
+ private:
+  void onConcurrencyEvent(const events::Event& e, NodeKind kind);
+
+  const Cofg* graph_;
+  events::MethodId method_;
+  std::vector<std::uint64_t> hits_;
+  std::vector<CoverageAnomaly> anomalies_;
+
+  // Per-thread cursor stacks (stack: methods may be re-entered recursively).
+  std::map<events::ThreadId, std::vector<Node>> cursor_;
+};
+
+}  // namespace confail::cofg

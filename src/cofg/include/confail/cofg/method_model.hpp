@@ -1,0 +1,79 @@
+// MethodModel: the concurrency-statement skeleton of a component method,
+// from which its Concurrency Flow Graph is constructed (paper Section 6).
+//
+// Only concurrency-relevant statements matter for the CoFG; everything else
+// is an opaque code region on the arcs between them.  A method is modelled
+// as an ordered sequence of items:
+//   * WaitLoop  — `while (guard) wait();`  (the correct Java idiom)
+//   * WaitIf    — `if (guard) wait();`     (the classic EF-T5-vulnerable bug;
+//                  modelable so mutant CoFGs can be built and compared)
+//   * Notify    — `notify();`
+//   * NotifyAll — `notifyAll();`
+// plus the implicit Start (entering the synchronized method: T1,T2) and End
+// (leaving it: T4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace confail::cofg {
+
+enum class ItemKind : std::uint8_t { WaitLoop, WaitIf, Notify, NotifyAll };
+
+const char* itemKindName(ItemKind k);
+
+struct Item {
+  ItemKind kind;
+  std::string guardDescription;  ///< e.g. "curPos == 0" (wait items only)
+  /// Notify items only: the call sits under a condition (e.g. a barrier's
+  /// last arriver, a latch reaching zero) and control may bypass it.
+  bool optional = false;
+};
+
+class MethodModel {
+ public:
+  /// `isSynchronized` is true for `synchronized` methods (the normal case);
+  /// false models a method whose body is not a critical section, in which
+  /// case Start/End contribute no lock transitions to arc annotations.
+  explicit MethodModel(std::string name, bool isSynchronized = true)
+      : name_(std::move(name)), synchronized_(isSynchronized) {}
+
+  MethodModel& waitLoop(std::string guardDescription) {
+    items_.push_back(Item{ItemKind::WaitLoop, std::move(guardDescription)});
+    return *this;
+  }
+  MethodModel& waitIf(std::string guardDescription) {
+    items_.push_back(Item{ItemKind::WaitIf, std::move(guardDescription)});
+    return *this;
+  }
+  MethodModel& notifyOne() {
+    items_.push_back(Item{ItemKind::Notify, {}, false});
+    return *this;
+  }
+  MethodModel& notifyAll() {
+    items_.push_back(Item{ItemKind::NotifyAll, {}, false});
+    return *this;
+  }
+  /// A notify executed only under some condition — control may skip it
+  /// (e.g. `if (last) notifyAll();`).
+  MethodModel& notifyOneOptional(std::string condition) {
+    items_.push_back(Item{ItemKind::Notify, std::move(condition), true});
+    return *this;
+  }
+  MethodModel& notifyAllOptional(std::string condition) {
+    items_.push_back(Item{ItemKind::NotifyAll, std::move(condition), true});
+    return *this;
+  }
+
+  const std::string& name() const { return name_; }
+  bool isSynchronized() const { return synchronized_; }
+  const std::vector<Item>& items() const { return items_; }
+
+ private:
+  std::string name_;
+  bool synchronized_;
+  std::vector<Item> items_;
+};
+
+}  // namespace confail::cofg

@@ -1,0 +1,15 @@
+#include "confail/cofg/method_model.hpp"
+
+namespace confail::cofg {
+
+const char* itemKindName(ItemKind k) {
+  switch (k) {
+    case ItemKind::WaitLoop: return "wait-loop";
+    case ItemKind::WaitIf: return "wait-if";
+    case ItemKind::Notify: return "notify";
+    case ItemKind::NotifyAll: return "notifyAll";
+  }
+  return "?";
+}
+
+}  // namespace confail::cofg

@@ -1,0 +1,43 @@
+#include "confail/components/alarm_clock.hpp"
+
+namespace confail::components {
+
+using events::EventKind;
+using monitor::MethodScope;
+using monitor::Synchronized;
+
+AlarmClock::AlarmClock(monitor::Runtime& rt, const std::string& name,
+                       const Faults& f)
+    : rt_(rt),
+      f_(f),
+      mon_(rt, name),
+      time_(rt, name + ".time", 0),
+      mWakeMe_(rt.registerMethod(name + ".wakeMe")),
+      mTick_(rt.registerMethod(name + ".tick")) {}
+
+long AlarmClock::wakeMe(int ticks) {
+  MethodScope scope(rt_, mWakeMe_);
+  Synchronized sync(mon_);
+  const long deadline = time_.get() + ticks;
+  for (;;) {
+    bool early = time_.get() < deadline;
+    rt_.emit(EventKind::GuardEval, events::kNoMonitor, mWakeMe_, early);
+    if (!early) break;
+    mon_.wait();
+  }
+  return time_.get();
+}
+
+void AlarmClock::tick() {
+  MethodScope scope(rt_, mTick_);
+  Synchronized sync(mon_);
+  time_.set(time_.get() + 1);
+  if (f_.skipNotify) return;
+  if (f_.notifyOneOnly) {
+    mon_.notifyOne();
+  } else {
+    mon_.notifyAll();
+  }
+}
+
+}  // namespace confail::components

@@ -1,0 +1,54 @@
+#include "confail/components/barrier.hpp"
+
+#include "confail/support/assert.hpp"
+
+namespace confail::components {
+
+using events::EventKind;
+using monitor::MethodScope;
+using monitor::Synchronized;
+
+CyclicBarrier::CyclicBarrier(monitor::Runtime& rt, const std::string& name,
+                             int parties, const Faults& faults)
+    : rt_(rt),
+      f_(faults),
+      parties_(parties),
+      mon_(rt, name),
+      arrived_(rt, name + ".arrived", 0),
+      generation_(rt, name + ".generation", 0),
+      mAwait_(rt.registerMethod(name + ".await")) {
+  CONFAIL_CHECK(parties >= 1, UsageError, "barrier needs >= 1 parties");
+}
+
+int CyclicBarrier::await() {
+  MethodScope scope(rt_, mAwait_);
+  Synchronized sync(mon_);
+  const int myGen = generation_.get();
+  arrived_.set(arrived_.get() + 1);
+  if (arrived_.get() == parties_) {
+    // Last arriver: open the barrier for this generation.
+    arrived_.set(0);
+    generation_.set(myGen + 1);
+    if (f_.notifyOneOnly) {
+      mon_.notifyOne();
+    } else {
+      mon_.notifyAll();
+    }
+    return myGen;
+  }
+  if (f_.ifInsteadOfWhile) {
+    bool same = generation_.get() == myGen;
+    rt_.emit(EventKind::GuardEval, events::kNoMonitor, mAwait_, same);
+    if (same) mon_.wait();
+  } else {
+    for (;;) {
+      bool same = generation_.get() == myGen;
+      rt_.emit(EventKind::GuardEval, events::kNoMonitor, mAwait_, same);
+      if (!same) break;
+      mon_.wait();
+    }
+  }
+  return myGen;
+}
+
+}  // namespace confail::components

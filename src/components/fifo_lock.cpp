@@ -1,0 +1,47 @@
+#include "confail/components/fifo_lock.hpp"
+
+namespace confail::components {
+
+using events::EventKind;
+using monitor::MethodScope;
+using monitor::Synchronized;
+
+FifoLock::FifoLock(monitor::Runtime& rt, const std::string& name)
+    : rt_(rt),
+      mon_(rt, name,
+           [] {
+             // Deliberately use the *unfair* random policies underneath:
+             // the ticket protocol must deliver FIFO anyway.
+             monitor::Monitor::Options o;
+             o.grantPolicy = monitor::SelectPolicy::Random;
+             o.wakePolicy = monitor::SelectPolicy::Random;
+             return o;
+           }()),
+      nextTicket_(rt, name + ".nextTicket", 0),
+      nowServing_(rt, name + ".nowServing", 0),
+      mLock_(rt.registerMethod(name + ".lock")),
+      mUnlock_(rt.registerMethod(name + ".unlock")) {}
+
+void FifoLock::lock() {
+  MethodScope scope(rt_, mLock_);
+  Synchronized sync(mon_);
+  const int ticket = nextTicket_.get();
+  nextTicket_.set(ticket + 1);
+  for (;;) {
+    bool notMyTurn = nowServing_.get() != ticket;
+    rt_.emit(EventKind::GuardEval, events::kNoMonitor, mLock_, notMyTurn);
+    if (!notMyTurn) break;
+    mon_.wait();
+  }
+}
+
+void FifoLock::unlock() {
+  MethodScope scope(rt_, mUnlock_);
+  Synchronized sync(mon_);
+  nowServing_.set(nowServing_.get() + 1);
+  // notifyAll is required: with notify() the single wake could land on a
+  // ticket that is not next, which would then re-wait — losing the wake.
+  mon_.notifyAll();
+}
+
+}  // namespace confail::components

@@ -1,0 +1,64 @@
+// AlarmClock: the classic Concurrent Pascal monitor (Brinch Hansen), a
+// sibling of the paper's producer-consumer example.  Threads call
+// wakeMe(n) to sleep for n ticks of a logical clock; a driver thread calls
+// tick().  The canonical implementation wakes every sleeper on every tick
+// (notifyAll) and each re-checks its own deadline — the textbook
+// demonstration of why guarded wait loops are the correct idiom.
+#pragma once
+
+#include <string>
+
+#include "confail/cofg/method_model.hpp"
+#include "confail/monitor/monitor.hpp"
+#include "confail/monitor/runtime.hpp"
+#include "confail/monitor/shared_var.hpp"
+
+namespace confail::components {
+
+class AlarmClock {
+ public:
+  struct Faults {
+    /// FF-T5: tick() forgets to notify — sleepers never wake.
+    bool skipNotify = false;
+    /// FF-T5 (subtler): tick() uses notify() — only one sleeper re-checks
+    /// its deadline per tick; others oversleep or hang.
+    bool notifyOneOnly = false;
+  };
+
+  AlarmClock(monitor::Runtime& rt, const std::string& name, const Faults& f);
+  AlarmClock(monitor::Runtime& rt, const std::string& name)
+      : AlarmClock(rt, name, Faults()) {}
+
+  /// Sleep until `ticks` more ticks have elapsed.  Returns the clock time
+  /// at which the caller actually woke (== deadline when correct).
+  long wakeMe(int ticks);
+
+  /// Advance the clock by one tick, waking due sleepers.
+  void tick();
+
+  /// Concurrency skeletons for CoFG construction.
+  static cofg::MethodModel wakeMeModel() {
+    cofg::MethodModel m("AlarmClock.wakeMe");
+    m.waitLoop("time < deadline");
+    return m;
+  }
+  static cofg::MethodModel tickModel() {
+    cofg::MethodModel m("AlarmClock.tick");
+    m.notifyAll();
+    return m;
+  }
+
+  long now() const { return time_.peek(); }
+  monitor::Monitor& mon() { return mon_; }
+  events::MethodId wakeMeMethodId() const { return mWakeMe_; }
+  events::MethodId tickMethodId() const { return mTick_; }
+
+ private:
+  monitor::Runtime& rt_;
+  Faults f_;
+  monitor::Monitor mon_;
+  monitor::SharedVar<long> time_;
+  events::MethodId mWakeMe_, mTick_;
+};
+
+}  // namespace confail::components

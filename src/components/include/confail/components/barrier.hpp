@@ -1,0 +1,56 @@
+// CyclicBarrier: N parties rendezvous; generation counter prevents a fast
+// thread from lapping slow ones.  Faults demonstrate FF-T5 (notify instead
+// of notifyAll) and EF-T5 (missing generation re-check).
+#pragma once
+
+#include <string>
+
+#include "confail/cofg/method_model.hpp"
+#include "confail/monitor/monitor.hpp"
+#include "confail/monitor/runtime.hpp"
+#include "confail/monitor/shared_var.hpp"
+
+namespace confail::components {
+
+class CyclicBarrier {
+ public:
+  struct Faults {
+    /// FF-T5: the last arriver calls notify() — only one waiter wakes.
+    bool notifyOneOnly = false;
+    /// EF-T5 vulnerability: waiters do not re-check the generation.
+    bool ifInsteadOfWhile = false;
+  };
+
+  CyclicBarrier(monitor::Runtime& rt, const std::string& name, int parties,
+                const Faults& faults);
+  CyclicBarrier(monitor::Runtime& rt, const std::string& name, int parties)
+      : CyclicBarrier(rt, name, parties, Faults()) {}
+
+  /// Block until all parties have arrived; reusable across generations.
+  /// Returns the generation index that was completed.
+  int await();
+
+  /// Concurrency skeleton for CoFG construction.  await() is either the
+  /// last arriver (notifyAll, no wait) or a waiter (guarded wait loop, no
+  /// notify); the union skeleton has both statements with the wait first.
+  static cofg::MethodModel awaitModel() {
+    cofg::MethodModel m("CyclicBarrier.await");
+    m.waitLoop("generation == myGen")
+        .notifyAllOptional("last arriver opens the barrier");
+    return m;
+  }
+
+  monitor::Monitor& mon() { return mon_; }
+  events::MethodId awaitMethodId() const { return mAwait_; }
+
+ private:
+  monitor::Runtime& rt_;
+  Faults f_;
+  int parties_;
+  monitor::Monitor mon_;
+  monitor::SharedVar<int> arrived_;
+  monitor::SharedVar<int> generation_;
+  events::MethodId mAwait_;
+};
+
+}  // namespace confail::components

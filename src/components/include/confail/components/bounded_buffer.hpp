@@ -1,0 +1,136 @@
+// BoundedBuffer<T>: the classic symmetric producer-consumer monitor — a
+// fixed-capacity FIFO with blocking put/take.  The component the paper's
+// Section 3.2 sketch (put/get with wait/notify) describes.
+//
+// Header-only template built on the same substrate as ProducerConsumer.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "confail/cofg/method_model.hpp"
+#include "confail/monitor/monitor.hpp"
+#include "confail/monitor/runtime.hpp"
+#include "confail/monitor/shared_var.hpp"
+
+namespace confail::components {
+
+template <typename T>
+class BoundedBuffer {
+ public:
+  struct Faults {
+    /// FF-T5: use notify() instead of notifyAll() — with mixed producer and
+    /// consumer waiters the single wake can land on the wrong side.
+    bool notifyOneOnly = false;
+    /// EF-T5 vulnerability: if-guards instead of while-guards.
+    bool ifInsteadOfWhile = false;
+    /// FF-T5: take() never notifies (producers waiting on a full buffer hang).
+    bool skipNotifyOnTake = false;
+    /// FF-T3: put() does not wait when full — silently drops the oldest item.
+    bool dropWhenFull = false;
+  };
+
+  BoundedBuffer(monitor::Runtime& rt, const std::string& name,
+                std::size_t capacity, const Faults& faults)
+      : rt_(rt),
+        f_(faults),
+        capacity_(capacity),
+        mon_(rt, name),
+        size_(rt, name + ".size", 0),
+        mPut_(rt.registerMethod(name + ".put")),
+        mTake_(rt.registerMethod(name + ".take")) {}
+
+  BoundedBuffer(monitor::Runtime& rt, const std::string& name,
+                std::size_t capacity)
+      : BoundedBuffer(rt, name, capacity, Faults()) {}
+
+  /// Blocking insert (Java: synchronized put + wait while full + notifyAll).
+  void put(T item) {
+    monitor::MethodScope scope(rt_, mPut_);
+    monitor::Synchronized sync(mon_);
+    if (f_.dropWhenFull) {
+      if (size_.get() == static_cast<int>(capacity_)) {
+        items_.pop_front();
+        size_.set(size_.get() - 1);
+      }
+    } else if (f_.ifInsteadOfWhile) {
+      bool full = size_.get() == static_cast<int>(capacity_);
+      guardEval(mPut_, full);
+      if (full) mon_.wait();
+    } else {
+      for (;;) {
+        bool full = size_.get() == static_cast<int>(capacity_);
+        guardEval(mPut_, full);
+        if (!full) break;
+        mon_.wait();
+      }
+    }
+    items_.push_back(std::move(item));
+    size_.set(size_.get() + 1);
+    if (f_.notifyOneOnly) mon_.notifyOne(); else mon_.notifyAll();
+  }
+
+  /// Blocking remove.
+  T take() {
+    monitor::MethodScope scope(rt_, mTake_);
+    monitor::Synchronized sync(mon_);
+    if (f_.ifInsteadOfWhile) {
+      bool empty = size_.get() == 0;
+      guardEval(mTake_, empty);
+      if (empty) mon_.wait();
+    } else {
+      for (;;) {
+        bool empty = size_.get() == 0;
+        guardEval(mTake_, empty);
+        if (!empty) break;
+        mon_.wait();
+      }
+    }
+    // An if-guard mutant can reach this point with an empty deque after a
+    // premature wake; surface it as a typed error rather than UB.
+    CONFAIL_CHECK(!items_.empty(), confail::Error,
+                  "take() proceeded on an empty buffer (premature wake)");
+    T item = std::move(items_.front());
+    items_.pop_front();
+    size_.set(size_.get() - 1);
+    if (!f_.skipNotifyOnTake) {
+      if (f_.notifyOneOnly) mon_.notifyOne(); else mon_.notifyAll();
+    }
+    return item;
+  }
+
+  /// Concurrency skeletons for CoFG construction (paper Section 6
+  /// applied beyond the producer-consumer, the paper's future-work item 1).
+  static cofg::MethodModel putModel() {
+    cofg::MethodModel m("BoundedBuffer.put");
+    m.waitLoop("size == capacity").notifyAll();
+    return m;
+  }
+  static cofg::MethodModel takeModel() {
+    cofg::MethodModel m("BoundedBuffer.take");
+    m.waitLoop("size == 0").notifyAll();
+    return m;
+  }
+
+  int sizeNow() const { return size_.peek(); }
+  std::size_t capacity() const { return capacity_; }
+  monitor::Monitor& mon() { return mon_; }
+  events::MethodId putMethodId() const { return mPut_; }
+  events::MethodId takeMethodId() const { return mTake_; }
+
+ private:
+  void guardEval(events::MethodId m, bool value) {
+    rt_.emit(events::EventKind::GuardEval, events::kNoMonitor, m, value);
+  }
+
+  monitor::Runtime& rt_;
+  Faults f_;
+  std::size_t capacity_;
+  monitor::Monitor mon_;
+  std::deque<T> items_;  // guarded by mon_
+  monitor::SharedVar<int> size_;
+  events::MethodId mPut_;
+  events::MethodId mTake_;
+};
+
+}  // namespace confail::components

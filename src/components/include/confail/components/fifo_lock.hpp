@@ -1,0 +1,49 @@
+// FifoLock: a ticket lock built on a monitor — the classic *fix* for the
+// FF-T2 starvation failure.  Table 1 notes the JVM "is not required to be
+// fair"; a component that needs fairness must build it itself, and this is
+// how: tickets are granted strictly in request order regardless of the
+// underlying monitor's grant/wake policy.
+#pragma once
+
+#include <string>
+
+#include "confail/monitor/monitor.hpp"
+#include "confail/monitor/runtime.hpp"
+#include "confail/monitor/shared_var.hpp"
+
+namespace confail::components {
+
+class FifoLock {
+ public:
+  FifoLock(monitor::Runtime& rt, const std::string& name);
+
+  /// Take a ticket and wait until it is served (strict FIFO).
+  void lock();
+
+  /// Serve the next ticket.
+  void unlock();
+
+  /// RAII guard.
+  class Guard {
+   public:
+    explicit Guard(FifoLock& l) : l_(l) { l_.lock(); }
+    // noexcept(false) for the same teardown reason as monitor::Synchronized.
+    ~Guard() noexcept(false) { l_.unlock(); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    FifoLock& l_;
+  };
+
+  monitor::Monitor& mon() { return mon_; }
+
+ private:
+  monitor::Runtime& rt_;
+  monitor::Monitor mon_;
+  monitor::SharedVar<int> nextTicket_;
+  monitor::SharedVar<int> nowServing_;
+  events::MethodId mLock_, mUnlock_;
+};
+
+}  // namespace confail::components

@@ -1,0 +1,56 @@
+// CountDownLatch: one-shot gate; await() blocks until count reaches zero.
+#pragma once
+
+#include <string>
+
+#include "confail/cofg/method_model.hpp"
+#include "confail/monitor/monitor.hpp"
+#include "confail/monitor/runtime.hpp"
+#include "confail/monitor/shared_var.hpp"
+
+namespace confail::components {
+
+class CountDownLatch {
+ public:
+  struct Faults {
+    /// FF-T5: countDown reaching zero does not notify.
+    bool skipNotify = false;
+  };
+
+  CountDownLatch(monitor::Runtime& rt, const std::string& name, int count,
+                 const Faults& faults);
+  CountDownLatch(monitor::Runtime& rt, const std::string& name, int count)
+      : CountDownLatch(rt, name, count, Faults()) {}
+
+  /// Block until the count reaches zero.
+  void await();
+
+  /// Decrement the count (no-op below zero); wakes awaiters at zero.
+  void countDown();
+
+  /// Concurrency skeletons for CoFG construction.
+  static cofg::MethodModel awaitModel() {
+    cofg::MethodModel m("CountDownLatch.await");
+    m.waitLoop("count > 0");
+    return m;
+  }
+  static cofg::MethodModel countDownModel() {
+    cofg::MethodModel m("CountDownLatch.countDown");
+    m.notifyAllOptional("count reached zero");
+    return m;
+  }
+
+  int count() const { return count_.peek(); }
+  monitor::Monitor& mon() { return mon_; }
+  events::MethodId awaitMethodId() const { return mAwait_; }
+  events::MethodId countDownMethodId() const { return mCountDown_; }
+
+ private:
+  monitor::Runtime& rt_;
+  Faults f_;
+  monitor::Monitor mon_;
+  monitor::SharedVar<int> count_;
+  events::MethodId mAwait_, mCountDown_;
+};
+
+}  // namespace confail::components

@@ -1,0 +1,84 @@
+// ReadersWriters: a monitor granting shared read / exclusive write access.
+//
+// Readers-preference by default — the configuration in which writer
+// starvation (FF-T2: "one or more threads repeatedly acquire the lock being
+// requested by this thread") is reachable under a continuous stream of
+// readers.  A fair variant (writers block new readers) removes the
+// starvation, which the scheduler-ablation bench demonstrates.
+#pragma once
+
+#include <string>
+
+#include "confail/cofg/method_model.hpp"
+#include "confail/monitor/monitor.hpp"
+#include "confail/monitor/runtime.hpp"
+#include "confail/monitor/shared_var.hpp"
+
+namespace confail::components {
+
+class ReadersWriters {
+ public:
+  struct Faults {
+    /// FF-T5: endWrite forgets to notify — queued readers/writers hang.
+    bool skipNotifyOnEndWrite = false;
+    /// FF-T1: endRead decrements the reader count without the monitor lock.
+    bool unsyncedEndRead = false;
+  };
+
+  enum class Preference { Readers, Fair };
+
+  ReadersWriters(monitor::Runtime& rt, Preference pref, const Faults& faults);
+  ReadersWriters(monitor::Runtime& rt, Preference pref)
+      : ReadersWriters(rt, pref, Faults()) {}
+  explicit ReadersWriters(monitor::Runtime& rt)
+      : ReadersWriters(rt, Preference::Readers, Faults()) {}
+
+  void startRead();
+  void endRead();
+  void startWrite();
+  void endWrite();
+
+  /// Concurrency skeletons for CoFG construction.
+  static cofg::MethodModel startReadModel() {
+    cofg::MethodModel m("rw.startRead");
+    m.waitLoop("writer active (or fair-mode writers queued)");
+    return m;
+  }
+  static cofg::MethodModel endReadModel() {
+    cofg::MethodModel m("rw.endRead");
+    m.notifyAllOptional("last reader leaves");
+    return m;
+  }
+  static cofg::MethodModel startWriteModel() {
+    cofg::MethodModel m("rw.startWrite");
+    m.waitLoop("writer active or readers > 0");
+    return m;
+  }
+  static cofg::MethodModel endWriteModel() {
+    cofg::MethodModel m("rw.endWrite");
+    m.notifyAll();
+    return m;
+  }
+
+  int activeReaders() const { return readers_.peek(); }
+  bool writerActive() const { return writer_.peek() != 0; }
+  monitor::Monitor& mon() { return mon_; }
+  events::MethodId startReadMethodId() const { return mStartRead_; }
+  events::MethodId endReadMethodId() const { return mEndRead_; }
+  events::MethodId startWriteMethodId() const { return mStartWrite_; }
+  events::MethodId endWriteMethodId() const { return mEndWrite_; }
+
+ private:
+  void guardEval(events::MethodId m, bool value);
+
+  monitor::Runtime& rt_;
+  Preference pref_;
+  Faults f_;
+  monitor::Monitor mon_;
+  monitor::SharedVar<int> readers_;        ///< active readers
+  monitor::SharedVar<int> writer_;         ///< 1 while a writer is active
+  monitor::SharedVar<int> waitingWriters_; ///< writers queued (Fair mode)
+  events::MethodId mStartRead_, mEndRead_, mStartWrite_, mEndWrite_;
+};
+
+}  // namespace confail::components

@@ -1,0 +1,60 @@
+// CountingSemaphore: acquire/release built on a monitor, with the classic
+// seeded faults (release without notify, if-guarded acquire).
+#pragma once
+
+#include <string>
+
+#include "confail/cofg/method_model.hpp"
+#include "confail/monitor/monitor.hpp"
+#include "confail/monitor/runtime.hpp"
+#include "confail/monitor/shared_var.hpp"
+
+namespace confail::components {
+
+class CountingSemaphore {
+ public:
+  struct Faults {
+    /// FF-T5: release() increments the count but never notifies.
+    bool skipNotify = false;
+    /// EF-T5 vulnerability: acquire uses an if-guard.
+    bool ifInsteadOfWhile = false;
+  };
+
+  CountingSemaphore(monitor::Runtime& rt, const std::string& name,
+                    int initialPermits, const Faults& faults);
+  CountingSemaphore(monitor::Runtime& rt, const std::string& name,
+                    int initialPermits)
+      : CountingSemaphore(rt, name, initialPermits, Faults()) {}
+
+  /// Take one permit, blocking while none are available.
+  void acquire();
+
+  /// Return one permit, waking a blocked acquirer.
+  void release();
+
+  /// Concurrency skeletons for CoFG construction.
+  static cofg::MethodModel acquireModel() {
+    cofg::MethodModel m("CountingSemaphore.acquire");
+    m.waitLoop("permits == 0");
+    return m;
+  }
+  static cofg::MethodModel releaseModel() {
+    cofg::MethodModel m("CountingSemaphore.release");
+    m.notifyOne();
+    return m;
+  }
+
+  int permits() const { return permits_.peek(); }
+  monitor::Monitor& mon() { return mon_; }
+  events::MethodId acquireMethodId() const { return mAcquire_; }
+  events::MethodId releaseMethodId() const { return mRelease_; }
+
+ private:
+  monitor::Runtime& rt_;
+  Faults f_;
+  monitor::Monitor mon_;
+  monitor::SharedVar<int> permits_;
+  events::MethodId mAcquire_, mRelease_;
+};
+
+}  // namespace confail::components

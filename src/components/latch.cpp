@@ -1,0 +1,42 @@
+#include "confail/components/latch.hpp"
+
+#include "confail/support/assert.hpp"
+
+namespace confail::components {
+
+using events::EventKind;
+using monitor::MethodScope;
+using monitor::Synchronized;
+
+CountDownLatch::CountDownLatch(monitor::Runtime& rt, const std::string& name,
+                               int count, const Faults& faults)
+    : rt_(rt),
+      f_(faults),
+      mon_(rt, name),
+      count_(rt, name + ".count", count),
+      mAwait_(rt.registerMethod(name + ".await")),
+      mCountDown_(rt.registerMethod(name + ".countDown")) {
+  CONFAIL_CHECK(count >= 0, UsageError, "negative latch count");
+}
+
+void CountDownLatch::await() {
+  MethodScope scope(rt_, mAwait_);
+  Synchronized sync(mon_);
+  for (;;) {
+    bool open = count_.get() == 0;
+    rt_.emit(EventKind::GuardEval, events::kNoMonitor, mAwait_, !open);
+    if (open) break;
+    mon_.wait();
+  }
+}
+
+void CountDownLatch::countDown() {
+  MethodScope scope(rt_, mCountDown_);
+  Synchronized sync(mon_);
+  int c = count_.get();
+  if (c == 0) return;
+  count_.set(c - 1);
+  if (c - 1 == 0 && !f_.skipNotify) mon_.notifyAll();
+}
+
+}  // namespace confail::components

@@ -1,0 +1,225 @@
+#include "confail/components/producer_consumer.hpp"
+
+namespace confail::components {
+
+using events::EventKind;
+using monitor::MethodScope;
+using monitor::Synchronized;
+
+ProducerConsumer::ProducerConsumer(Runtime& rt, const Faults& faults)
+    : rt_(rt),
+      f_(faults),
+      mon_(rt, "ProducerConsumer",
+           [&faults] {
+             monitor::Monitor::Options o;
+             o.spuriousWakeProbability = faults.spuriousWakeProbability;
+             return o;
+           }()),
+      contents_(rt, "contents", ""),
+      totalLength_(rt, "totalLength", 0),
+      curPos_(rt, "curPos", 0),
+      mReceive_(rt.registerMethod("ProducerConsumer.receive")),
+      mSend_(rt.registerMethod("ProducerConsumer.send")) {}
+
+void ProducerConsumer::guardEval(events::MethodId m, bool value) {
+  rt_.emit(EventKind::GuardEval, events::kNoMonitor, m, value);
+}
+
+char ProducerConsumer::receive() {
+  MethodScope scope(rt_, mReceive_);
+
+  if (f_.skipSync) {
+    // FF-T1 mutant: no synchronized block — busy-wait on the guard and
+    // touch the shared state with no mutual exclusion.
+    for (;;) {
+      bool empty = curPos_.get() == 0;
+      guardEval(mReceive_, empty);
+      if (!empty) break;
+      rt_.schedulePoint();
+    }
+    std::string c = contents_.get();
+    int tl = totalLength_.get();
+    int cp = curPos_.get();
+    char y = (cp > 0 && tl - cp >= 0 && tl - cp < static_cast<int>(c.size()))
+                 ? c[static_cast<std::size_t>(tl - cp)]
+                 : '?';
+    curPos_.set(cp - 1);
+    return y;
+  }
+
+  Synchronized sync(mon_);
+
+  // wait if no character is available
+  if (f_.skipWaitReceive) {
+    // FF-T3 mutant: the required wait is never made; an empty buffer is
+    // read anyway, yielding garbage ('?') and a negative curPos.
+  } else if (f_.ifInsteadOfWhile) {
+    // EF-T5-vulnerable mutant: guard tested once, never re-checked after
+    // the wake — a premature or spurious wake proceeds on a false guard.
+    bool empty = curPos_.get() == 0;
+    guardEval(mReceive_, empty);
+    if (empty) mon_.wait();
+  } else {
+    for (;;) {
+      bool empty = curPos_.get() == 0;
+      guardEval(mReceive_, empty);
+      if (!empty) break;
+      mon_.wait();
+    }
+  }
+
+  if (f_.holdLockForever) {
+    // FF-T4 mutant: endless loop inside the critical section; the lock is
+    // never released and every other thread blocks at lock entry.
+    for (;;) rt_.schedulePoint();
+  }
+
+  // retrieve character:  y = contents.charAt(totalLength - curPos)
+  std::string c = contents_.get();
+  int tl = totalLength_.get();
+  int cp = curPos_.get();
+  char y = (cp > 0 && tl - cp >= 0 && tl - cp < static_cast<int>(c.size()))
+               ? c[static_cast<std::size_t>(tl - cp)]
+               : '?';
+  curPos_.set(cp - 1);
+
+  // notify blocked send/receive calls
+  if (!f_.skipNotify) {
+    if (f_.notifyOneOnly) {
+      mon_.notifyOne();
+    } else {
+      mon_.notifyAll();
+    }
+  }
+  return y;
+}
+
+void ProducerConsumer::send(const std::string& x) {
+  MethodScope scope(rt_, mSend_);
+
+  if (f_.skipSync) {
+    for (;;) {
+      bool busy = curPos_.get() > 0;
+      guardEval(mSend_, busy);
+      if (!busy) break;
+      rt_.schedulePoint();
+    }
+    contents_.set(x);
+    totalLength_.set(static_cast<int>(x.size()));
+    curPos_.set(static_cast<int>(x.size()));
+    return;
+  }
+
+  if (f_.earlyReleaseSend) {
+    // EF-T4 mutant: the lock is released after storing contents but before
+    // the length/position update; the tail of the update runs
+    // unsynchronized and a receiver can observe a half-written state.
+    {
+      Synchronized sync(mon_);
+      for (;;) {
+        bool busy = curPos_.get() > 0;
+        guardEval(mSend_, busy);
+        if (!busy) break;
+        mon_.wait();
+      }
+      contents_.set(x);
+    }  // lock released prematurely
+    totalLength_.set(static_cast<int>(x.size()));
+    curPos_.set(static_cast<int>(x.size()));
+    if (!f_.skipNotify) {
+      Synchronized sync(mon_);
+      if (f_.notifyOneOnly) mon_.notifyOne(); else mon_.notifyAll();
+    }
+    return;
+  }
+
+  Synchronized sync(mon_);
+
+  if (f_.erroneousWaitSend) {
+    // EF-T3 mutant: an erroneous wait that is not desired — send suspends
+    // once even when the buffer is empty and ready for new content.
+    guardEval(mSend_, true);
+    mon_.wait();
+  }
+
+  // wait if there are more characters
+  if (f_.ifInsteadOfWhile) {
+    bool busy = curPos_.get() > 0;
+    guardEval(mSend_, busy);
+    if (busy) mon_.wait();
+  } else {
+    for (;;) {
+      bool busy = curPos_.get() > 0;
+      guardEval(mSend_, busy);
+      if (!busy) break;
+      mon_.wait();
+    }
+  }
+
+  // store string
+  contents_.set(x);
+  totalLength_.set(static_cast<int>(x.size()));
+  curPos_.set(static_cast<int>(x.size()));
+
+  // notify blocked send/receive calls
+  if (!f_.skipNotify) {
+    if (f_.notifyOneOnly) {
+      mon_.notifyOne();
+    } else {
+      mon_.notifyAll();
+    }
+  }
+}
+
+cofg::MethodModel ProducerConsumer::receiveModel() {
+  cofg::MethodModel m("ProducerConsumer.receive");
+  m.waitLoop("curPos == 0").notifyAll();
+  return m;
+}
+
+cofg::MethodModel ProducerConsumer::sendModel() {
+  cofg::MethodModel m("ProducerConsumer.send");
+  m.waitLoop("curPos > 0").notifyAll();
+  return m;
+}
+
+cofg::MethodModel ProducerConsumer::receiveModelFor(const Faults& f) {
+  cofg::MethodModel m("ProducerConsumer.receive[mutant]",
+                      /*isSynchronized=*/!f.skipSync);
+  if (!f.skipWaitReceive) {
+    if (f.ifInsteadOfWhile) {
+      m.waitIf("curPos == 0");
+    } else {
+      m.waitLoop("curPos == 0");
+    }
+  }
+  if (!f.skipNotify) {
+    if (f.notifyOneOnly) {
+      m.notifyOne();
+    } else {
+      m.notifyAll();
+    }
+  }
+  return m;
+}
+
+cofg::MethodModel ProducerConsumer::sendModelFor(const Faults& f) {
+  cofg::MethodModel m("ProducerConsumer.send[mutant]",
+                      /*isSynchronized=*/!f.skipSync);
+  if (f.erroneousWaitSend) m.waitIf("(erroneous unconditional wait)");
+  if (f.ifInsteadOfWhile) {
+    m.waitIf("curPos > 0");
+  } else {
+    m.waitLoop("curPos > 0");
+  }
+  if (!f.skipNotify) {
+    if (f.notifyOneOnly) {
+      m.notifyOne();
+    } else {
+      m.notifyAll();
+    }
+  }
+  return m;
+}
+
+}  // namespace confail::components

@@ -1,0 +1,77 @@
+#include "confail/components/readers_writers.hpp"
+
+namespace confail::components {
+
+using events::EventKind;
+using monitor::MethodScope;
+using monitor::Synchronized;
+
+ReadersWriters::ReadersWriters(monitor::Runtime& rt, Preference pref,
+                               const Faults& faults)
+    : rt_(rt),
+      pref_(pref),
+      f_(faults),
+      mon_(rt, "ReadersWriters"),
+      readers_(rt, "rw.readers", 0),
+      writer_(rt, "rw.writer", 0),
+      waitingWriters_(rt, "rw.waitingWriters", 0),
+      mStartRead_(rt.registerMethod("rw.startRead")),
+      mEndRead_(rt.registerMethod("rw.endRead")),
+      mStartWrite_(rt.registerMethod("rw.startWrite")),
+      mEndWrite_(rt.registerMethod("rw.endWrite")) {}
+
+void ReadersWriters::guardEval(events::MethodId m, bool value) {
+  rt_.emit(EventKind::GuardEval, events::kNoMonitor, m, value);
+}
+
+void ReadersWriters::startRead() {
+  MethodScope scope(rt_, mStartRead_);
+  Synchronized sync(mon_);
+  for (;;) {
+    // Readers-preference admits readers whenever no writer is active;
+    // Fair mode also defers to queued writers.
+    bool blocked = writer_.get() != 0 ||
+                   (pref_ == Preference::Fair && waitingWriters_.get() > 0);
+    guardEval(mStartRead_, blocked);
+    if (!blocked) break;
+    mon_.wait();
+  }
+  readers_.set(readers_.get() + 1);
+}
+
+void ReadersWriters::endRead() {
+  MethodScope scope(rt_, mEndRead_);
+  if (f_.unsyncedEndRead) {
+    // FF-T1 mutant: decrement without the monitor lock; concurrent
+    // endRead calls interleave and lose updates, leaving phantom readers
+    // that block writers forever.
+    readers_.set(readers_.get() - 1);
+    return;
+  }
+  Synchronized sync(mon_);
+  readers_.set(readers_.get() - 1);
+  if (readers_.get() == 0) mon_.notifyAll();
+}
+
+void ReadersWriters::startWrite() {
+  MethodScope scope(rt_, mStartWrite_);
+  Synchronized sync(mon_);
+  waitingWriters_.set(waitingWriters_.get() + 1);
+  for (;;) {
+    bool blocked = writer_.get() != 0 || readers_.get() > 0;
+    guardEval(mStartWrite_, blocked);
+    if (!blocked) break;
+    mon_.wait();
+  }
+  waitingWriters_.set(waitingWriters_.get() - 1);
+  writer_.set(1);
+}
+
+void ReadersWriters::endWrite() {
+  MethodScope scope(rt_, mEndWrite_);
+  Synchronized sync(mon_);
+  writer_.set(0);
+  if (!f_.skipNotifyOnEndWrite) mon_.notifyAll();
+}
+
+}  // namespace confail::components

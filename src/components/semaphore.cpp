@@ -1,0 +1,48 @@
+#include "confail/components/semaphore.hpp"
+
+#include "confail/support/assert.hpp"
+
+namespace confail::components {
+
+using events::EventKind;
+using monitor::MethodScope;
+using monitor::Synchronized;
+
+CountingSemaphore::CountingSemaphore(monitor::Runtime& rt,
+                                     const std::string& name,
+                                     int initialPermits, const Faults& faults)
+    : rt_(rt),
+      f_(faults),
+      mon_(rt, name),
+      permits_(rt, name + ".permits", initialPermits),
+      mAcquire_(rt.registerMethod(name + ".acquire")),
+      mRelease_(rt.registerMethod(name + ".release")) {
+  CONFAIL_CHECK(initialPermits >= 0, UsageError, "negative initial permits");
+}
+
+void CountingSemaphore::acquire() {
+  MethodScope scope(rt_, mAcquire_);
+  Synchronized sync(mon_);
+  if (f_.ifInsteadOfWhile) {
+    bool none = permits_.get() == 0;
+    rt_.emit(EventKind::GuardEval, events::kNoMonitor, mAcquire_, none);
+    if (none) mon_.wait();
+  } else {
+    for (;;) {
+      bool none = permits_.get() == 0;
+      rt_.emit(EventKind::GuardEval, events::kNoMonitor, mAcquire_, none);
+      if (!none) break;
+      mon_.wait();
+    }
+  }
+  permits_.set(permits_.get() - 1);
+}
+
+void CountingSemaphore::release() {
+  MethodScope scope(rt_, mRelease_);
+  Synchronized sync(mon_);
+  permits_.set(permits_.get() + 1);
+  if (!f_.skipNotify) mon_.notifyOne();
+}
+
+}  // namespace confail::components

@@ -1,0 +1,53 @@
+#include "confail/components/thread_pool.hpp"
+
+#include "confail/support/assert.hpp"
+
+namespace confail::components {
+
+ThreadPool::ThreadPool(monitor::Runtime& rt, const std::string& name,
+                       int workers, std::size_t queueCapacity)
+    : rt_(rt),
+      workers_(workers),
+      queue_(rt, name + ".queue", queueCapacity),
+      stats_(rt, name + ".stats"),
+      completed_(rt, name + ".completed", 0),
+      failed_(rt, name + ".failed", 0),
+      exited_(rt, name + ".exited", workers) {
+  CONFAIL_CHECK(workers >= 1, UsageError, "pool needs at least one worker");
+  for (int w = 0; w < workers; ++w) {
+    rt_.spawn(name + ".worker" + std::to_string(w), [this] { workerLoop(); });
+  }
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    Slot slot = queue_.take();
+    if (!slot.task) break;  // poison pill: shut down
+    try {
+      slot.task();
+      monitor::Synchronized sync(stats_);
+      completed_.set(completed_.get() + 1);
+    } catch (const ExecutionAborted&) {
+      throw;  // scheduler teardown must unwind the worker
+    } catch (const std::exception&) {
+      monitor::Synchronized sync(stats_);
+      failed_.set(failed_.get() + 1);
+    }
+  }
+  exited_.countDown();
+}
+
+void ThreadPool::submit(Task task) {
+  CONFAIL_CHECK(static_cast<bool>(task), UsageError,
+                "submit of an empty task (reserved for shutdown)");
+  queue_.put(Slot{std::move(task)});
+}
+
+void ThreadPool::shutdown() {
+  for (int w = 0; w < workers_; ++w) {
+    queue_.put(Slot{});  // one pill per worker, behind all queued work
+  }
+  exited_.await();
+}
+
+}  // namespace confail::components

@@ -1,0 +1,51 @@
+#include "confail/detect/finding.hpp"
+
+#include <sstream>
+
+namespace confail::detect {
+
+const char* findingKindName(FindingKind k) {
+  switch (k) {
+    case FindingKind::DataRace: return "data-race";
+    case FindingKind::UnnecessarySync: return "unnecessary-sync";
+    case FindingKind::DeadlockCycle: return "deadlock-cycle";
+    case FindingKind::LockHeldForever: return "lock-held-forever";
+    case FindingKind::Starvation: return "starvation";
+    case FindingKind::WaitingForever: return "waiting-forever";
+    case FindingKind::LostNotify: return "lost-notify";
+    case FindingKind::NotifySingleInsufficient: return "notify-single-insufficient";
+    case FindingKind::GuardNotRechecked: return "guard-not-rechecked";
+    case FindingKind::EarlyRelease: return "early-release";
+  }
+  return "?";
+}
+
+std::string Finding::describe(const events::Trace& trace) const {
+  std::ostringstream os;
+  os << findingKindName(kind) << ": " << message;
+  bool first = true;
+  auto sep = [&] {
+    os << (first ? "  [" : ", ");
+    first = false;
+  };
+  if (thread != events::kNoThread) {
+    sep();
+    os << "thread " << trace.threadName(thread);
+  }
+  if (thread2 != events::kNoThread) {
+    sep();
+    os << "thread " << trace.threadName(thread2);
+  }
+  if (monitor != events::kNoMonitor) {
+    sep();
+    os << "monitor " << trace.monitorName(monitor);
+  }
+  if (var != events::kNoVar) {
+    sep();
+    os << "var " << trace.varName(var);
+  }
+  if (!first) os << "]";
+  return os.str();
+}
+
+}  // namespace confail::detect

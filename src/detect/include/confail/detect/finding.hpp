@@ -1,0 +1,53 @@
+// Findings: the common output type of all dynamic-analysis detectors.
+//
+// Each detector implements one of the detection techniques named in the
+// "Testing Notes" column of the paper's Table 1; the taxonomy::Classifier
+// then maps finding kinds onto the paper's ten failure classes
+// (FF-T1 ... EF-T5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "confail/events/event.hpp"
+#include "confail/events/trace.hpp"
+
+namespace confail::detect {
+
+enum class FindingKind : std::uint8_t {
+  DataRace,                 ///< lockset/HB: conflicting unordered accesses
+  UnnecessarySync,          ///< monitor never contended, never waited on
+  DeadlockCycle,            ///< lock-order graph contains a cycle
+  LockHeldForever,          ///< a lock never released while others request it
+  Starvation,               ///< a lock request starved by repeated grants
+  WaitingForever,           ///< a wait never followed by a wake
+  LostNotify,               ///< notify with no waiters, later wait never woken
+  NotifySingleInsufficient, ///< notify() woke one of several waiters; rest hung
+  GuardNotRechecked,        ///< woken thread proceeded without re-testing guard
+  EarlyRelease,             ///< shared data accessed after the lock was released
+};
+
+const char* findingKindName(FindingKind k);
+
+struct Finding {
+  FindingKind kind;
+  std::string message;
+  events::ThreadId thread = events::kNoThread;   ///< principal thread
+  events::ThreadId thread2 = events::kNoThread;  ///< other party, if any
+  events::MonitorId monitor = events::kNoMonitor;
+  events::VarId var = events::kNoVar;
+  std::uint64_t seq = 0;  ///< trace position of the decisive event
+
+  std::string describe(const events::Trace& trace) const;
+};
+
+/// Uniform detector interface: analyze a completed trace.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+  virtual const char* name() const = 0;
+  virtual std::vector<Finding> analyze(const events::Trace& trace) = 0;
+};
+
+}  // namespace confail::detect

@@ -1,0 +1,29 @@
+// HbDetector: a vector-clock happens-before race detector (FastTrack-style,
+// simplified to full vector clocks).
+//
+// Complements the lockset detector for FF-T1: lockset flags *policy*
+// violations (no consistent lock) and can false-positive on programs that
+// synchronize by other means; happens-before flags only accesses that are
+// truly unordered in the recorded execution.
+//
+// Synchronization edges extracted from the trace:
+//   * monitor release (LockRelease, WaitBegin) publishes the thread's clock
+//     into the monitor's clock;
+//   * monitor acquire (LockAcquire) joins the monitor's clock into the
+//     thread's clock — this covers wait/notify ordering too, because a
+//     woken waiter re-acquires the lock after the notifier released it;
+//   * ThreadSpawn orders the parent's prefix before the child.
+#pragma once
+
+#include "confail/detect/finding.hpp"
+#include "confail/detect/vector_clock.hpp"
+
+namespace confail::detect {
+
+class HbDetector final : public Detector {
+ public:
+  const char* name() const override { return "happens-before(vector-clock)"; }
+  std::vector<Finding> analyze(const events::Trace& trace) override;
+};
+
+}  // namespace confail::detect

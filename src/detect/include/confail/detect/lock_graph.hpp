@@ -1,0 +1,20 @@
+// LockOrderGraph: the LockTree/GoodLock-style deadlock-potential analysis
+// referenced by the paper (JPF's runtime analysis; Table 1 testing notes
+// for FF-T2: "static and dynamic analysis").
+//
+// An edge m1 -> m2 is recorded whenever a thread acquires m2 while holding
+// m1.  A cycle among distinct threads' orders means some interleaving can
+// deadlock — even if the recorded execution did not.
+#pragma once
+
+#include "confail/detect/finding.hpp"
+
+namespace confail::detect {
+
+class LockOrderGraph final : public Detector {
+ public:
+  const char* name() const override { return "lock-order-graph"; }
+  std::vector<Finding> analyze(const events::Trace& trace) override;
+};
+
+}  // namespace confail::detect

@@ -1,0 +1,30 @@
+// LocksetDetector: the Eraser algorithm (Savage et al. 1997, the paper's
+// reference [24]) over confail traces.
+//
+// Detects FF-T1 interference ("race condition or data race" in Table 1):
+// a shared variable written by multiple threads with no single lock held
+// consistently across all accesses.
+//
+// The classic state machine per variable:
+//   Virgin -> Exclusive(first thread) -> Shared (second thread reads)
+//                                     -> SharedModified (second thread writes)
+// The candidate lockset C(v) is initialized at the first access by a second
+// thread and refined (intersected with the accessor's held locks) on every
+// subsequent access.  An empty C(v) in SharedModified state is a race.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "confail/detect/finding.hpp"
+
+namespace confail::detect {
+
+class LocksetDetector final : public Detector {
+ public:
+  const char* name() const override { return "lockset(Eraser)"; }
+  std::vector<Finding> analyze(const events::Trace& trace) override;
+};
+
+}  // namespace confail::detect

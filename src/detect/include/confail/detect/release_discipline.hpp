@@ -1,0 +1,20 @@
+// ReleaseDisciplineDetector: EF-T4 — "thread releases the object lock
+// prematurely ... thread exits [the critical section] and subsequent
+// statements may access shared resources" (Table 1).
+//
+// Within each component-method invocation (MethodEnter..MethodExit) that
+// used a monitor, any shared-variable access performed after the thread's
+// last lock release — while holding no lock at all — is flagged.
+#pragma once
+
+#include "confail/detect/finding.hpp"
+
+namespace confail::detect {
+
+class ReleaseDisciplineDetector final : public Detector {
+ public:
+  const char* name() const override { return "release-discipline"; }
+  std::vector<Finding> analyze(const events::Trace& trace) override;
+};
+
+}  // namespace confail::detect

@@ -1,0 +1,28 @@
+// StarvationDetector: FF-T2's second failure mode — "one or more threads
+// repeatedly acquire the lock being requested by this thread" under an
+// unfair scheduler/JVM (Table 1: the JVM "is not required to be fair").
+//
+// A LockRequest that stays pending while other threads complete at least
+// `grantThreshold` acquire/release cycles on the same monitor is reported
+// as starvation.  A request still pending at the end of the trace with any
+// intervening grants is reported as LockHeldForever/Starvation depending on
+// whether the lock holder ever released.
+#pragma once
+
+#include "confail/detect/finding.hpp"
+
+namespace confail::detect {
+
+class StarvationDetector final : public Detector {
+ public:
+  explicit StarvationDetector(std::uint64_t grantThreshold = 50)
+      : grantThreshold_(grantThreshold) {}
+
+  const char* name() const override { return "starvation"; }
+  std::vector<Finding> analyze(const events::Trace& trace) override;
+
+ private:
+  std::uint64_t grantThreshold_;
+};
+
+}  // namespace confail::detect

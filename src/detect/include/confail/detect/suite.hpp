@@ -1,0 +1,43 @@
+// DetectorSuite: the full Table 1 detector battery behind one call.
+//
+// Owns one instance of every detector in the library and runs them all
+// over a trace, concatenating findings in a stable order (the order the
+// detectors appear in Table 1's testing-notes techniques).  Individual
+// detectors remain available for targeted analyses.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "confail/detect/finding.hpp"
+
+namespace confail::detect {
+
+class DetectorSuite {
+ public:
+  struct Options {
+    /// Grants-while-pending threshold for the starvation detector.
+    std::uint64_t starvationGrantThreshold = 50;
+    /// Skip the unnecessary-sync detector (it flags single-threaded use,
+    /// which is expected in some micro-tests).
+    bool includeUnnecessarySync = true;
+  };
+
+  DetectorSuite() : DetectorSuite(Options()) {}
+  explicit DetectorSuite(Options opts);
+  ~DetectorSuite();
+
+  DetectorSuite(const DetectorSuite&) = delete;
+  DetectorSuite& operator=(const DetectorSuite&) = delete;
+
+  /// Run every detector over the trace; findings in battery order.
+  std::vector<Finding> analyze(const events::Trace& trace);
+
+  /// Names of the detectors in the battery, in execution order.
+  std::vector<const char*> detectorNames() const;
+
+ private:
+  std::vector<std::unique_ptr<Detector>> detectors_;
+};
+
+}  // namespace confail::detect

@@ -1,0 +1,22 @@
+// UnnecessarySyncDetector: EF-T1 — "program logic accesses critical section"
+// when it does not need to (Table 1: "No more than one thread accesses
+// shared resources.  The thread is not required to wait or notify other
+// threads.  Consequence: unnecessary synchronization" — an inefficiency,
+// not a correctness failure).
+//
+// A monitor is flagged when, over the whole trace, (a) only one thread ever
+// acquired it, (b) it was never waited on or notified, and (c) every shared
+// variable accessed under it was only ever touched by that same thread.
+#pragma once
+
+#include "confail/detect/finding.hpp"
+
+namespace confail::detect {
+
+class UnnecessarySyncDetector final : public Detector {
+ public:
+  const char* name() const override { return "unnecessary-sync"; }
+  std::vector<Finding> analyze(const events::Trace& trace) override;
+};
+
+}  // namespace confail::detect

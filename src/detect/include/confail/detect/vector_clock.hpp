@@ -1,0 +1,55 @@
+// A dense vector clock over logical thread ids.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace confail::detect {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  std::uint64_t of(std::uint32_t tid) const {
+    return tid < c_.size() ? c_[tid] : 0;
+  }
+
+  void bump(std::uint32_t tid) {
+    grow(tid);
+    ++c_[tid];
+  }
+
+  void join(const VectorClock& other) {
+    if (other.c_.size() > c_.size()) c_.resize(other.c_.size(), 0);
+    for (std::size_t i = 0; i < other.c_.size(); ++i) {
+      c_[i] = std::max(c_[i], other.c_[i]);
+    }
+  }
+
+  /// True if this clock is <= other pointwise (this happens-before-or-equal).
+  bool leq(const VectorClock& other) const {
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (c_[i] > other.of(static_cast<std::uint32_t>(i))) return false;
+    }
+    return true;
+  }
+
+  std::string toString() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (i) s += ',';
+      s += std::to_string(c_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  void grow(std::uint32_t tid) {
+    if (tid >= c_.size()) c_.resize(tid + 1, 0);
+  }
+  std::vector<std::uint64_t> c_;
+};
+
+}  // namespace confail::detect

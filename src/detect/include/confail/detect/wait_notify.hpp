@@ -1,0 +1,32 @@
+// WaitNotifyAnalyzer: notification-protocol analyses for the T3/T5 rows of
+// Table 1.
+//
+// Findings produced:
+//   * WaitingForever       — a WaitBegin never followed by a wake for that
+//                            thread/monitor before the trace ends (FF-T5:
+//                            "no other thread calls notify whilst this
+//                            thread is in the wait state").
+//   * LostNotify           — a notify executed with an empty wait set on a
+//                            monitor where some thread later waited forever
+//                            (the notification preceded the wait and was
+//                            lost; monitors have no memory).
+//   * NotifySingleInsufficient — a notify() (not notifyAll) woke one of
+//                            several waiters and at least one remaining
+//                            waiter never woke (Table 1 FF-T5: "a notify is
+//                            called rather than a notifyAll").
+//   * GuardNotRechecked    — a woken thread proceeded without re-evaluating
+//                            its wait-loop guard (an `if` around wait():
+//                            vulnerable to premature wake, EF-T5).
+#pragma once
+
+#include "confail/detect/finding.hpp"
+
+namespace confail::detect {
+
+class WaitNotifyAnalyzer final : public Detector {
+ public:
+  const char* name() const override { return "wait-notify"; }
+  std::vector<Finding> analyze(const events::Trace& trace) override;
+};
+
+}  // namespace confail::detect

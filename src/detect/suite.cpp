@@ -1,0 +1,43 @@
+#include "confail/detect/suite.hpp"
+
+#include "confail/detect/hb_detector.hpp"
+#include "confail/detect/lock_graph.hpp"
+#include "confail/detect/lockset.hpp"
+#include "confail/detect/release_discipline.hpp"
+#include "confail/detect/starvation.hpp"
+#include "confail/detect/unnecessary_sync.hpp"
+#include "confail/detect/wait_notify.hpp"
+
+namespace confail::detect {
+
+DetectorSuite::DetectorSuite(Options opts) {
+  detectors_.push_back(std::make_unique<LocksetDetector>());
+  detectors_.push_back(std::make_unique<HbDetector>());
+  detectors_.push_back(std::make_unique<LockOrderGraph>());
+  detectors_.push_back(std::make_unique<WaitNotifyAnalyzer>());
+  detectors_.push_back(
+      std::make_unique<StarvationDetector>(opts.starvationGrantThreshold));
+  if (opts.includeUnnecessarySync) {
+    detectors_.push_back(std::make_unique<UnnecessarySyncDetector>());
+  }
+  detectors_.push_back(std::make_unique<ReleaseDisciplineDetector>());
+}
+
+DetectorSuite::~DetectorSuite() = default;
+
+std::vector<Finding> DetectorSuite::analyze(const events::Trace& trace) {
+  std::vector<Finding> all;
+  for (auto& d : detectors_) {
+    auto fs = d->analyze(trace);
+    all.insert(all.end(), fs.begin(), fs.end());
+  }
+  return all;
+}
+
+std::vector<const char*> DetectorSuite::detectorNames() const {
+  std::vector<const char*> names;
+  for (const auto& d : detectors_) names.push_back(d->name());
+  return names;
+}
+
+}  // namespace confail::detect

@@ -1,0 +1,89 @@
+#include "confail/detect/unnecessary_sync.hpp"
+
+#include <map>
+#include <set>
+
+namespace confail::detect {
+
+using events::Event;
+using events::EventKind;
+using events::MonitorId;
+using events::ThreadId;
+using events::VarId;
+
+std::vector<Finding> UnnecessarySyncDetector::analyze(const events::Trace& trace) {
+  std::vector<Finding> findings;
+
+  struct MonUse {
+    std::set<ThreadId> lockers;
+    bool waitedOrNotified = false;
+    std::uint64_t firstSeq = 0;
+    bool seen = false;
+    std::set<VarId> varsUnder;  // variables accessed while this lock was held
+  };
+  std::map<MonitorId, MonUse> mons;
+  std::map<ThreadId, std::vector<MonitorId>> held;
+  std::map<VarId, std::set<ThreadId>> varThreads;
+
+  for (const Event& e : trace.events()) {
+    switch (e.kind) {
+      case EventKind::LockAcquire: {
+        MonUse& mu = mons[e.monitor];
+        mu.lockers.insert(e.thread);
+        if (!mu.seen) {
+          mu.seen = true;
+          mu.firstSeq = e.seq;
+        }
+        held[e.thread].push_back(e.monitor);
+        break;
+      }
+      case EventKind::LockRelease: {
+        auto& stack = held[e.thread];
+        for (std::size_t i = stack.size(); i-- > 0;) {
+          if (stack[i] == e.monitor) {
+            stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
+            break;
+          }
+        }
+        break;
+      }
+      case EventKind::WaitBegin:
+      case EventKind::Notified:
+      case EventKind::NotifyCall:
+      case EventKind::NotifyAllCall:
+        mons[e.monitor].waitedOrNotified = true;
+        break;
+      case EventKind::Read:
+      case EventKind::Write: {
+        const VarId v = static_cast<VarId>(e.aux);
+        varThreads[v].insert(e.thread);
+        for (MonitorId m : held[e.thread]) mons[m].varsUnder.insert(v);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  for (const auto& [mon, mu] : mons) {
+    if (!mu.seen || mu.lockers.size() != 1 || mu.waitedOrNotified) continue;
+    bool varsSingleThreaded = true;
+    for (VarId v : mu.varsUnder) {
+      varsSingleThreaded = varsSingleThreaded && varThreads[v].size() <= 1;
+    }
+    if (!varsSingleThreaded) continue;
+    Finding f;
+    f.kind = FindingKind::UnnecessarySync;
+    f.message =
+        "monitor acquired by a single thread only, never waited on or "
+        "notified, guarding no multi-thread data: synchronization is "
+        "unnecessary overhead";
+    f.thread = *mu.lockers.begin();
+    f.monitor = mon;
+    f.seq = mu.firstSeq;
+    findings.push_back(std::move(f));
+  }
+  return findings;
+}
+
+}  // namespace confail::detect

@@ -1,0 +1,160 @@
+#include "confail/detect/wait_notify.hpp"
+
+#include <map>
+#include <set>
+
+namespace confail::detect {
+
+using events::Event;
+using events::EventKind;
+using events::MonitorId;
+using events::ThreadId;
+
+std::vector<Finding> WaitNotifyAnalyzer::analyze(const events::Trace& trace) {
+  std::vector<Finding> findings;
+  const std::vector<Event> events = trace.events();
+
+  // --- pass 1: per-(thread, monitor) open waits; wake bookkeeping ----------
+  struct OpenWait {
+    std::uint64_t seq;
+  };
+  std::map<std::pair<ThreadId, MonitorId>, OpenWait> open;
+  std::vector<Finding> waitingForever;
+
+  // notify-with-empty-waitset calls per monitor (seq positions)
+  std::map<MonitorId, std::vector<std::uint64_t>> emptyNotifies;
+  // notify() calls that left waiters behind: monitor -> (seq, waitersLeft)
+  struct PartialNotify {
+    std::uint64_t seq;
+    std::uint64_t waitersBefore;
+  };
+  std::map<MonitorId, std::vector<PartialNotify>> partialNotifies;
+
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::WaitBegin:
+        open[{e.thread, e.monitor}] = OpenWait{e.seq};
+        break;
+      case EventKind::Notified:
+      case EventKind::SpuriousWake:
+        open.erase({e.thread, e.monitor});
+        break;
+      case EventKind::NotifyCall:
+        if (e.aux == 0) {
+          emptyNotifies[e.monitor].push_back(e.seq);
+        } else if (e.aux > 1) {
+          partialNotifies[e.monitor].push_back(PartialNotify{e.seq, e.aux});
+        }
+        break;
+      case EventKind::NotifyAllCall:
+        if (e.aux == 0) emptyNotifies[e.monitor].push_back(e.seq);
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::set<MonitorId> monitorsWithHungWaiters;
+  for (const auto& [key, ow] : open) {
+    Finding f;
+    f.kind = FindingKind::WaitingForever;
+    f.message = "wait was never followed by a notification";
+    f.thread = key.first;
+    f.monitor = key.second;
+    f.seq = ow.seq;
+    monitorsWithHungWaiters.insert(key.second);
+    waitingForever.push_back(std::move(f));
+  }
+
+  // LostNotify: an empty-wait-set notify on a monitor that later had a
+  // hung waiter whose wait started after that notify.
+  for (const auto& [mon, seqs] : emptyNotifies) {
+    if (!monitorsWithHungWaiters.count(mon)) continue;
+    for (const auto& [key, ow] : open) {
+      if (key.second != mon) continue;
+      for (std::uint64_t nseq : seqs) {
+        if (nseq < ow.seq) {
+          Finding f;
+          f.kind = FindingKind::LostNotify;
+          f.message =
+              "notify executed before the wait began (empty wait set): the "
+              "notification was lost";
+          f.thread = key.first;
+          f.monitor = mon;
+          f.seq = nseq;
+          findings.push_back(std::move(f));
+          break;
+        }
+      }
+    }
+  }
+
+  // NotifySingleInsufficient: notify() with >1 waiters on a monitor where
+  // some waiter hung.
+  for (const auto& [mon, calls] : partialNotifies) {
+    if (!monitorsWithHungWaiters.count(mon)) continue;
+    for (const PartialNotify& pn : calls) {
+      Finding f;
+      f.kind = FindingKind::NotifySingleInsufficient;
+      f.message = "notify() woke one of " + std::to_string(pn.waitersBefore) +
+                  " waiters; notifyAll() was needed (a waiter hung)";
+      f.monitor = mon;
+      f.seq = pn.seq;
+      findings.push_back(std::move(f));
+      break;  // one finding per monitor suffices
+    }
+  }
+
+  findings.insert(findings.end(), waitingForever.begin(), waitingForever.end());
+
+  // --- pass 2: guard re-check discipline ------------------------------------
+  // After a Notified/SpuriousWake, the next *relevant* event of that thread
+  // inside the same method should be a GuardEval (the wait-loop condition).
+  // Seeing a different concurrency event or the method exit first means the
+  // component proceeded without re-testing its guard.
+  std::map<ThreadId, std::pair<std::uint64_t, events::MethodId>> pendingWake;
+  std::set<std::pair<ThreadId, events::MethodId>> reportedGuard;
+  for (const Event& e : events) {
+    auto it = pendingWake.find(e.thread);
+    if (it != pendingWake.end()) {
+      const auto [wakeSeq, method] = it->second;
+      switch (e.kind) {
+        case EventKind::GuardEval:
+          pendingWake.erase(it);  // disciplined: guard re-evaluated
+          break;
+        case EventKind::LockAcquire:
+        case EventKind::Notified:
+        case EventKind::SpuriousWake:
+          break;  // part of the wake-up protocol itself
+        case EventKind::Read:
+          // Evaluating the guard reads the shared state first; reads are
+          // not evidence of proceeding past the guard.  (A mutant that
+          // skips the re-check still trips on its first Write/wait/exit.)
+          break;
+        default: {
+          if (!reportedGuard.count({e.thread, method})) {
+            reportedGuard.insert({e.thread, method});
+            Finding f;
+            f.kind = FindingKind::GuardNotRechecked;
+            f.message =
+                "thread proceeded after a wake without re-evaluating its "
+                "wait guard (if-around-wait instead of while)";
+            f.thread = e.thread;
+            f.monitor = e.monitor;
+            f.seq = wakeSeq;
+            findings.push_back(std::move(f));
+          }
+          pendingWake.erase(it);
+          break;
+        }
+      }
+    }
+    if (e.kind == EventKind::Notified || e.kind == EventKind::SpuriousWake) {
+      pendingWake[e.thread] = {e.seq, e.method};
+    }
+  }
+
+  return findings;
+}
+
+}  // namespace confail::detect

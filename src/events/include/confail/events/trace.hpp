@@ -1,0 +1,103 @@
+// Trace capture: an append-only, thread-safe log of Events plus the name
+// tables needed to render it (thread, monitor, variable and method names).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "confail/events/event.hpp"
+
+namespace confail::events {
+
+/// Sink interface: online consumers (detectors running while the program
+/// executes) implement this and are registered on the Trace.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  /// Called for every recorded event, in global seq order.  Called with the
+  /// trace lock held in real mode; implementations must not re-enter Trace.
+  virtual void onEvent(const Event& e) = 0;
+};
+
+/// Append-only event log with registration of human-readable names.
+///
+/// In virtual execution mode, at most one logical thread runs at a time, so
+/// contention is nil; in real mode a mutex serializes appends and assigns
+/// the global sequence numbers.
+class Trace {
+ public:
+  Trace() = default;
+
+  // Not copyable (sinks hold references).  Movable so factory functions
+  // like deserialize() can return by value; must not be moved while other
+  // threads are recording.
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+  Trace(Trace&& other) noexcept;
+  Trace& operator=(Trace&&) = delete;
+
+  /// Record an event.  Assigns e.seq and forwards to registered sinks.
+  /// Returns the assigned sequence number.
+  std::uint64_t record(Event e);
+
+  /// Register an online sink.  Not thread-safe with concurrent record();
+  /// register sinks before starting threads.
+  void addSink(EventSink* sink);
+
+  /// Name registration.  Ids are expected to be small and dense.
+  void nameThread(ThreadId id, std::string name);
+  void nameMonitor(MonitorId id, std::string name);
+  void nameVar(VarId id, std::string name);
+  void nameMethod(MethodId id, std::string name);
+
+  std::string threadName(ThreadId id) const;
+  std::string monitorName(MonitorId id) const;
+  std::string varName(VarId id) const;
+  std::string methodName(MethodId id) const;
+
+  /// Snapshot of all events recorded so far (copy; safe to inspect while
+  /// execution continues, though normally read after the run completes).
+  std::vector<Event> events() const;
+
+  /// Number of events recorded.
+  std::size_t size() const;
+
+  /// Drop all recorded events (name tables are kept).
+  void clear();
+
+  /// Serialize to the line format of Event::toString, one event per line,
+  /// preceded by name-table lines.  Round-trips through deserialize().
+  std::string serialize() const;
+
+  /// Parse the output of serialize() into a fresh trace.
+  static Trace deserialize(const std::string& text);
+
+  /// Events of a single thread, in order.
+  std::vector<Event> threadProjection(ThreadId id) const;
+
+  /// Events touching a single monitor, in order.
+  std::vector<Event> monitorProjection(MonitorId id) const;
+
+  /// Pretty-print events (using names) through `emit`, one line at a time.
+  void render(const std::function<void(const std::string&)>& emit) const;
+
+ private:
+  static std::string lookup(const std::vector<std::string>& table,
+                            std::uint32_t id, const char* prefix);
+  static void store(std::vector<std::string>& table, std::uint32_t id,
+                    std::string name);
+
+  mutable std::mutex mu_;
+  std::uint64_t nextSeq_ = 0;
+  std::vector<Event> events_;
+  std::vector<EventSink*> sinks_;
+  std::vector<std::string> threadNames_;
+  std::vector<std::string> monitorNames_;
+  std::vector<std::string> varNames_;
+  std::vector<std::string> methodNames_;
+};
+
+}  // namespace confail::events

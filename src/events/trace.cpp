@@ -1,0 +1,196 @@
+#include "confail/events/trace.hpp"
+
+#include <sstream>
+
+#include "confail/support/assert.hpp"
+
+namespace confail::events {
+
+Trace::Trace(Trace&& other) noexcept
+    : nextSeq_(other.nextSeq_),
+      events_(std::move(other.events_)),
+      sinks_(std::move(other.sinks_)),
+      threadNames_(std::move(other.threadNames_)),
+      monitorNames_(std::move(other.monitorNames_)),
+      varNames_(std::move(other.varNames_)),
+      methodNames_(std::move(other.methodNames_)) {}
+
+std::uint64_t Trace::record(Event e) {
+  std::lock_guard<std::mutex> g(mu_);
+  e.seq = nextSeq_++;
+  events_.push_back(e);
+  for (EventSink* s : sinks_) {
+    s->onEvent(e);
+  }
+  return e.seq;
+}
+
+void Trace::addSink(EventSink* sink) {
+  CONFAIL_ASSERT(sink != nullptr, "null sink");
+  std::lock_guard<std::mutex> g(mu_);
+  sinks_.push_back(sink);
+}
+
+void Trace::store(std::vector<std::string>& table, std::uint32_t id,
+                  std::string name) {
+  if (table.size() <= id) table.resize(id + 1);
+  table[id] = std::move(name);
+}
+
+std::string Trace::lookup(const std::vector<std::string>& table,
+                          std::uint32_t id, const char* prefix) {
+  if (id < table.size() && !table[id].empty()) return table[id];
+  return std::string(prefix) + std::to_string(id);
+}
+
+void Trace::nameThread(ThreadId id, std::string name) {
+  std::lock_guard<std::mutex> g(mu_);
+  store(threadNames_, id, std::move(name));
+}
+void Trace::nameMonitor(MonitorId id, std::string name) {
+  std::lock_guard<std::mutex> g(mu_);
+  store(monitorNames_, id, std::move(name));
+}
+void Trace::nameVar(VarId id, std::string name) {
+  std::lock_guard<std::mutex> g(mu_);
+  store(varNames_, id, std::move(name));
+}
+void Trace::nameMethod(MethodId id, std::string name) {
+  std::lock_guard<std::mutex> g(mu_);
+  store(methodNames_, id, std::move(name));
+}
+
+std::string Trace::threadName(ThreadId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return lookup(threadNames_, id, "thread-");
+}
+std::string Trace::monitorName(MonitorId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return lookup(monitorNames_, id, "monitor-");
+}
+std::string Trace::varName(VarId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return lookup(varNames_, id, "var-");
+}
+std::string Trace::methodName(MethodId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return lookup(methodNames_, id, "method-");
+}
+
+std::vector<Event> Trace::events() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return events_;
+}
+
+std::size_t Trace::size() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return events_.size();
+}
+
+void Trace::clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  events_.clear();
+  nextSeq_ = 0;
+}
+
+std::string Trace::serialize() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::ostringstream os;
+  auto dumpTable = [&os](const char* tag, const std::vector<std::string>& t) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!t[i].empty()) os << '#' << tag << ' ' << i << ' ' << t[i] << '\n';
+    }
+  };
+  dumpTable("thread", threadNames_);
+  dumpTable("monitor", monitorNames_);
+  dumpTable("var", varNames_);
+  dumpTable("method", methodNames_);
+  for (const Event& e : events_) {
+    os << e.toString() << '\n';
+  }
+  return os.str();
+}
+
+Trace Trace::deserialize(const std::string& text) {
+  Trace t;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line.substr(1));
+      std::string tag, name;
+      std::uint32_t id = 0;
+      ls >> tag >> id;
+      std::getline(ls, name);
+      if (!name.empty() && name[0] == ' ') name.erase(0, 1);
+      if (tag == "thread") t.nameThread(id, name);
+      else if (tag == "monitor") t.nameMonitor(id, name);
+      else if (tag == "var") t.nameVar(id, name);
+      else if (tag == "method") t.nameMethod(id, name);
+      else throw UsageError("unknown trace table tag: " + tag);
+      continue;
+    }
+    Event e = Event::parse(line);
+    t.events_.push_back(e);
+    t.nextSeq_ = e.seq + 1;
+  }
+  return t;
+}
+
+std::vector<Event> Trace::threadProjection(ThreadId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.thread == id) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Event> Trace::monitorProjection(MonitorId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.monitor == id) out.push_back(e);
+  }
+  return out;
+}
+
+void Trace::render(const std::function<void(const std::string&)>& emit) const {
+  std::vector<Event> snapshot = events();
+  for (const Event& e : snapshot) {
+    std::ostringstream os;
+    os << e.seq << "  " << threadName(e.thread) << "  " << kindName(e.kind);
+    if (e.monitor != kNoMonitor) os << "  on " << monitorName(e.monitor);
+    switch (e.kind) {
+      case EventKind::Read:
+      case EventKind::Write:
+        os << "  var " << varName(static_cast<VarId>(e.aux));
+        break;
+      case EventKind::MethodEnter:
+      case EventKind::MethodExit:
+        os << "  " << methodName(static_cast<MethodId>(e.aux));
+        break;
+      case EventKind::GuardEval:
+        os << "  " << methodName(static_cast<MethodId>(e.aux))
+           << (e.flag ? "  guard=true" : "  guard=false");
+        break;
+      case EventKind::ThreadSpawn:
+        os << "  child " << threadName(static_cast<ThreadId>(e.aux));
+        break;
+      case EventKind::NotifyCall:
+      case EventKind::NotifyAllCall:
+        os << "  waiters=" << e.aux;
+        break;
+      case EventKind::ClockAwait:
+      case EventKind::ClockTick:
+        os << "  t=" << e.aux;
+        break;
+      default:
+        break;
+    }
+    emit(os.str());
+  }
+}
+
+}  // namespace confail::events

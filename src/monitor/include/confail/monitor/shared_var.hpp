@@ -1,0 +1,66 @@
+// SharedVar<T>: an instrumented shared variable.
+//
+// Every access emits a Read/Write event carrying the variable id, which is
+// what the lockset (Eraser) and happens-before detectors consume to find
+// FF-T1 interference (data races).  A schedule point precedes each access,
+// so in virtual mode the explorer can interleave threads *between* the read
+// and the write of an unsynchronized read-modify-write — making lost
+// updates actually manifest, not just be flagged.
+//
+// The underlying storage is guarded by a private mutex in real mode so that
+// an intentionally racy component (a mutant with synchronization removed)
+// exhibits the logical race — interference on the component state — without
+// committing C++ undefined behaviour on the raw memory.  The private mutex
+// is not a monitor and is invisible to the detectors.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "confail/monitor/runtime.hpp"
+
+namespace confail::monitor {
+
+template <typename T>
+class SharedVar {
+ public:
+  SharedVar(Runtime& rt, const std::string& name, T init)
+      : rt_(rt), id_(rt.registerVar(name)), value_(std::move(init)) {}
+
+  SharedVar(const SharedVar&) = delete;
+  SharedVar& operator=(const SharedVar&) = delete;
+
+  /// Instrumented read (emits a Read event; schedule point before access).
+  T get() {
+    rt_.schedulePoint();
+    rt_.emit(EventKind::Read, events::kNoMonitor, id_);
+    std::lock_guard<std::mutex> g(mu_);
+    return value_;
+  }
+
+  /// Instrumented write (emits a Write event; schedule point before access).
+  void set(T v) {
+    rt_.schedulePoint();
+    rt_.emit(EventKind::Write, events::kNoMonitor, id_);
+    std::lock_guard<std::mutex> g(mu_);
+    value_ = std::move(v);
+  }
+
+  /// Uninstrumented peek for assertions in tests and invariant checks;
+  /// emits nothing and takes no schedule point.
+  T peek() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return value_;
+  }
+
+  VarId id() const { return id_; }
+
+ private:
+  Runtime& rt_;
+  VarId id_;
+  mutable std::mutex mu_;
+  T value_;
+};
+
+}  // namespace confail::monitor

@@ -1,0 +1,331 @@
+#include "confail/monitor/monitor.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "confail/support/assert.hpp"
+
+namespace confail::monitor {
+
+using events::kNoMonitor;
+using events::kNoThread;
+
+const char* selectPolicyName(SelectPolicy p) {
+  switch (p) {
+    case SelectPolicy::Fifo: return "fifo";
+    case SelectPolicy::Lifo: return "lifo";
+    case SelectPolicy::Random: return "random";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-mode state: all blocking is VirtualScheduler state.
+// Invariant: owner == kNoThread implies the entry queue is empty, because
+// every release (unlock / wait) immediately hands the lock to a queued
+// thread if one exists.
+// ---------------------------------------------------------------------------
+struct Monitor::VirtualState {
+  ThreadId owner = kNoThread;
+  std::uint32_t depth = 0;
+  struct Entry {
+    ThreadId tid;
+    std::uint32_t restoreDepth;  // 1 for fresh lock, saved depth for wait
+  };
+  std::vector<Entry> entry;
+  struct Waiter {
+    ThreadId tid;
+    std::uint32_t savedDepth;
+  };
+  std::vector<Waiter> waiters;
+};
+
+// ---------------------------------------------------------------------------
+// Real-mode state: native mutex + two condition variables.
+//
+// The wait set is an explicit ticket list so that a notification can only
+// be consumed by a thread that was in the wait set when notify was called
+// (the JLS semantics).  A counting scheme is NOT sufficient: a thread that
+// starts waiting after the notify could steal the signal from the intended
+// waiter and both end up asleep — a lost-wakeup deadlock that manifests
+// readily in producer/consumer ping-pong.
+// ---------------------------------------------------------------------------
+struct Monitor::RealState {
+  std::mutex m;
+  std::condition_variable entryCv;  // lock handoff
+  std::condition_variable waitCv;   // wait set
+  ThreadId owner = kNoThread;
+  std::uint32_t depth = 0;
+  std::uint64_t nextTicket = 0;
+  std::deque<std::uint64_t> waitSet;     // outstanding waiter tickets, FIFO
+  std::set<std::uint64_t> signaled;      // tickets released by notify
+};
+
+Monitor::Monitor(Runtime& rt, std::string name, Options opts)
+    : rt_(rt), name_(std::move(name)), id_(rt.registerMonitor(name_)), opts_(opts) {
+  if (rt_.isVirtual()) {
+    v_ = std::make_unique<VirtualState>();
+  } else {
+    r_ = std::make_unique<RealState>();
+  }
+}
+
+Monitor::~Monitor() = default;
+
+void Monitor::lock() {
+  ThreadId self = rt_.currentThread();
+  if (v_) vLock(self); else rLock(self);
+}
+
+void Monitor::unlock() {
+  ThreadId self = rt_.currentThread();
+  if (v_) vUnlock(self); else rUnlock(self);
+}
+
+void Monitor::wait() {
+  ThreadId self = rt_.currentThread();
+  if (v_) vWait(self); else rWait(self);
+}
+
+void Monitor::notifyOne() {
+  ThreadId self = rt_.currentThread();
+  if (v_) vNotify(self, /*all=*/false); else rNotify(self, /*all=*/false);
+}
+
+void Monitor::notifyAll() {
+  ThreadId self = rt_.currentThread();
+  if (v_) vNotify(self, /*all=*/true); else rNotify(self, /*all=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Virtual mode
+// ---------------------------------------------------------------------------
+
+std::size_t Monitor::vSelect(std::size_t size, SelectPolicy policy) {
+  CONFAIL_ASSERT(size > 0, "selection from empty queue");
+  switch (policy) {
+    case SelectPolicy::Fifo: return 0;
+    case SelectPolicy::Lifo: return size - 1;
+    case SelectPolicy::Random: return static_cast<std::size_t>(rt_.rngBelow(size));
+  }
+  return 0;
+}
+
+void Monitor::vLock(ThreadId self) {
+  CONFAIL_CHECK(self != kNoThread, UsageError,
+                "monitor used from outside a logical thread in virtual mode");
+  VirtualState& v = *v_;
+  if (v.owner == self) {
+    // Reentrant entry: the object lock is already held; the Figure-1 model
+    // (single lock token) fires nothing.
+    ++v.depth;
+    return;
+  }
+  rt_.schedulePoint();  // allow preemption just before requesting the lock
+  rt_.emit(EventKind::LockRequest, id_, 0);  // T1
+  if (v.owner == kNoThread) {
+    CONFAIL_ASSERT(v.entry.empty(), "lock idle but entry queue non-empty");
+    v.owner = self;
+    v.depth = 1;
+    rt_.emit(EventKind::LockAcquire, id_, 0);  // T2 (uncontended)
+    return;
+  }
+  v.entry.push_back(VirtualState::Entry{self, 1});
+  rt_.scheduler().block(sched::BlockKind::LockAcquire, id_);
+  // vGrantNext() transferred ownership to us (and emitted T2) before the
+  // scheduler resumed this thread.
+  CONFAIL_ASSERT(v.owner == self && v.depth == 1, "lock handoff corrupted");
+}
+
+void Monitor::vUnlock(ThreadId self) {
+  VirtualState& v = *v_;
+  if (rt_.scheduler().aborting()) {
+    // Teardown: threads are being unwound one at a time and queued threads
+    // may already have finished, so no events are emitted and no handoff is
+    // attempted.  Just drop ownership if we held it.
+    if (v.owner == self) {
+      v.owner = kNoThread;
+      v.depth = 0;
+    }
+    return;
+  }
+  if (v.owner != self) {
+    throw IllegalMonitorState("unlock of monitor '" + name_ +
+                              "' by a thread that does not own it");
+  }
+  if (v.depth > 1) {
+    --v.depth;  // inner exit of a reentrant region: lock stays held
+    return;
+  }
+  rt_.emit(EventKind::LockRelease, id_, 0);  // T4
+  v.owner = kNoThread;
+  v.depth = 0;
+  vInjectSpuriousWakes();
+  vGrantNext();
+  rt_.schedulePoint();  // natural preemption point after releasing
+}
+
+void Monitor::vGrantNext() {
+  VirtualState& v = *v_;
+  if (v.entry.empty()) return;
+  CONFAIL_ASSERT(v.owner == kNoThread, "grant while lock held");
+  std::size_t idx = vSelect(v.entry.size(), opts_.grantPolicy);
+  VirtualState::Entry e = v.entry[idx];
+  v.entry.erase(v.entry.begin() + static_cast<std::ptrdiff_t>(idx));
+  v.owner = e.tid;
+  v.depth = e.restoreDepth;
+  rt_.emitFor(e.tid, EventKind::LockAcquire, id_, 0);  // T2 (handoff)
+  rt_.scheduler().unblock(e.tid);
+}
+
+void Monitor::vWait(ThreadId self) {
+  VirtualState& v = *v_;
+  CONFAIL_CHECK(v.owner == self, IllegalMonitorState,
+                "wait on monitor '" + name_ + "' without owning its lock");
+  const std::uint32_t saved = v.depth;
+  rt_.emit(EventKind::WaitBegin, id_, 0);  // T3 (releases the lock)
+  v.waiters.push_back(VirtualState::Waiter{self, saved});
+  v.owner = kNoThread;
+  v.depth = 0;
+  vGrantNext();
+  rt_.scheduler().block(sched::BlockKind::CondWait, id_);
+  // A notifier moved us to the entry queue (T5) and a subsequent release
+  // handed us the lock (T2) with our depth restored.
+  CONFAIL_ASSERT(v.owner == self && v.depth == saved, "wait resume corrupted");
+}
+
+void Monitor::vNotify(ThreadId self, bool all) {
+  VirtualState& v = *v_;
+  CONFAIL_CHECK(v.owner == self, IllegalMonitorState,
+                std::string(all ? "notifyAll" : "notify") + " on monitor '" +
+                    name_ + "' without owning its lock");
+  rt_.emit(all ? EventKind::NotifyAllCall : EventKind::NotifyCall, id_,
+           v.waiters.size());
+  std::size_t count = all ? v.waiters.size() : std::min<std::size_t>(1, v.waiters.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t idx = vSelect(v.waiters.size(), opts_.wakePolicy);
+    VirtualState::Waiter w = v.waiters[idx];
+    v.waiters.erase(v.waiters.begin() + static_cast<std::ptrdiff_t>(idx));
+    v.entry.push_back(VirtualState::Entry{w.tid, w.savedDepth});
+    rt_.emitFor(w.tid, EventKind::Notified, id_, self);  // T5: D -> B
+    rt_.scheduler().reblock(w.tid, sched::BlockKind::LockAcquire, id_);
+  }
+}
+
+void Monitor::vInjectSpuriousWakes() {
+  VirtualState& v = *v_;
+  if (opts_.spuriousWakeProbability <= 0.0 || v.waiters.empty()) return;
+  for (std::size_t i = v.waiters.size(); i-- > 0;) {
+    if (!rt_.rngChance(opts_.spuriousWakeProbability)) continue;
+    VirtualState::Waiter w = v.waiters[i];
+    v.waiters.erase(v.waiters.begin() + static_cast<std::ptrdiff_t>(i));
+    v.entry.push_back(VirtualState::Entry{w.tid, w.savedDepth});
+    rt_.emitFor(w.tid, EventKind::SpuriousWake, id_, 0);
+    rt_.scheduler().reblock(w.tid, sched::BlockKind::LockAcquire, id_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Real mode
+// ---------------------------------------------------------------------------
+
+void Monitor::rLock(ThreadId self) {
+  RealState& r = *r_;
+  std::unique_lock<std::mutex> g(r.m);
+  if (r.owner == self) {
+    ++r.depth;
+    return;
+  }
+  rt_.emit(EventKind::LockRequest, id_, 0);  // T1
+  r.entryCv.wait(g, [&] { return r.owner == kNoThread; });
+  r.owner = self;
+  r.depth = 1;
+  rt_.emit(EventKind::LockAcquire, id_, 0);  // T2
+}
+
+void Monitor::rUnlock(ThreadId self) {
+  RealState& r = *r_;
+  std::unique_lock<std::mutex> g(r.m);
+  CONFAIL_CHECK(r.owner == self, IllegalMonitorState,
+                "unlock of monitor '" + name_ + "' by a non-owner");
+  if (r.depth > 1) {
+    --r.depth;
+    return;
+  }
+  rt_.emit(EventKind::LockRelease, id_, 0);  // T4
+  r.owner = kNoThread;
+  r.depth = 0;
+  g.unlock();
+  r.entryCv.notify_one();
+}
+
+void Monitor::rWait(ThreadId self) {
+  RealState& r = *r_;
+  std::unique_lock<std::mutex> g(r.m);
+  CONFAIL_CHECK(r.owner == self, IllegalMonitorState,
+                "wait on monitor '" + name_ + "' without owning its lock");
+  const std::uint32_t saved = r.depth;
+  rt_.emit(EventKind::WaitBegin, id_, 0);  // T3
+  r.owner = kNoThread;
+  r.depth = 0;
+  const std::uint64_t ticket = r.nextTicket++;
+  r.waitSet.push_back(ticket);
+  r.entryCv.notify_one();  // the lock is free; admit an entry-queue thread
+  r.waitCv.wait(g, [&] { return r.signaled.count(ticket) > 0; });
+  r.signaled.erase(ticket);
+  rt_.emit(EventKind::Notified, id_, kNoThread);  // T5 (notifier unknown here)
+  r.entryCv.wait(g, [&] { return r.owner == kNoThread; });
+  r.owner = self;
+  r.depth = saved;
+  rt_.emit(EventKind::LockAcquire, id_, 0);  // T2 (re-acquire)
+}
+
+void Monitor::rNotify(ThreadId self, bool all) {
+  RealState& r = *r_;
+  std::unique_lock<std::mutex> g(r.m);
+  CONFAIL_CHECK(r.owner == self, IllegalMonitorState,
+                std::string(all ? "notifyAll" : "notify") + " on monitor '" +
+                    name_ + "' without owning its lock");
+  rt_.emit(all ? EventKind::NotifyAllCall : EventKind::NotifyCall, id_,
+           r.waitSet.size());
+  if (all) {
+    for (std::uint64_t t : r.waitSet) r.signaled.insert(t);
+    r.waitSet.clear();
+  } else if (!r.waitSet.empty()) {
+    r.signaled.insert(r.waitSet.front());  // oldest waiter (a legal choice)
+    r.waitSet.pop_front();
+  }
+  g.unlock();
+  r.waitCv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+bool Monitor::heldByCurrent() {
+  ThreadId self = rt_.currentThread();
+  if (v_) return v_->owner == self;
+  std::lock_guard<std::mutex> g(r_->m);
+  return r_->owner == self;
+}
+
+std::size_t Monitor::waitSetSize() {
+  if (v_) return v_->waiters.size();
+  std::lock_guard<std::mutex> g(r_->m);
+  return r_->waitSet.size();
+}
+
+std::size_t Monitor::entryQueueLength() {
+  if (v_) return v_->entry.size();
+  return 0;  // implicit in the condition variable in real mode
+}
+
+std::uint32_t Monitor::depth() {
+  if (v_) return v_->depth;
+  std::lock_guard<std::mutex> g(r_->m);
+  return r_->depth;
+}
+
+}  // namespace confail::monitor

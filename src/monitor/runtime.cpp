@@ -1,0 +1,202 @@
+#include "confail/monitor/runtime.hpp"
+
+#include "confail/support/assert.hpp"
+
+namespace confail::monitor {
+
+namespace {
+// Real-mode logical thread id of the current std::thread, per runtime.
+struct RealTls {
+  Runtime* rt = nullptr;
+  ThreadId id = events::kNoThread;
+};
+thread_local RealTls realTls;
+}  // namespace
+
+Runtime::Runtime(events::Trace& trace, sched::VirtualScheduler& sched,
+                 std::uint64_t seed)
+    : mode_(Mode::Virtual), trace_(trace), sched_(&sched), rng_(seed) {}
+
+Runtime::Runtime(events::Trace& trace, std::uint64_t seed)
+    : mode_(Mode::Real), trace_(trace), rng_(seed) {}
+
+Runtime::~Runtime() { joinAll(); }
+
+sched::VirtualScheduler& Runtime::scheduler() {
+  CONFAIL_CHECK(sched_ != nullptr, UsageError,
+                "scheduler() is only available in virtual mode");
+  return *sched_;
+}
+
+ThreadId Runtime::allocateThread(const std::string& name) {
+  // Called with mu_ held in real mode.
+  ThreadId id = nextThreadId_++;
+  if (methodStacks_.size() <= id) methodStacks_.resize(id + 1);
+  trace_.nameThread(id, name);
+  return id;
+}
+
+ThreadId Runtime::spawn(std::string name, std::function<void()> fn) {
+  if (mode_ == Mode::Virtual) {
+    ThreadId parent = sched_->currentThread();
+    // The scheduler allocates ids densely in spawn order, mirroring ours.
+    ThreadId id = sched_->spawn(name, [this, fn = std::move(fn)] {
+      emit(EventKind::ThreadStart, events::kNoMonitor, 0);
+      fn();
+      emit(EventKind::ThreadEnd, events::kNoMonitor, 0);
+    });
+    if (methodStacks_.size() <= id) methodStacks_.resize(id + 1);
+    trace_.nameThread(id, std::move(name));
+    if (parent != events::kNoThread) {
+      emitFor(parent, EventKind::ThreadSpawn, events::kNoMonitor, id);
+    }
+    return id;
+  }
+
+  ThreadId id;
+  ThreadId parent = currentThread();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    id = allocateThread(name);
+  }
+  if (parent != events::kNoThread) {
+    emitFor(parent, EventKind::ThreadSpawn, events::kNoMonitor, id);
+  }
+  std::thread real([this, id, fn = std::move(fn)] {
+    realTls = RealTls{this, id};
+    emit(EventKind::ThreadStart, events::kNoMonitor, 0);
+    fn();
+    emit(EventKind::ThreadEnd, events::kNoMonitor, 0);
+    realTls = RealTls{};
+  });
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    realThreads_.push_back(std::move(real));
+  }
+  return id;
+}
+
+void Runtime::joinAll() {
+  if (mode_ == Mode::Virtual) return;
+  std::vector<std::thread> pending;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    pending.swap(realThreads_);
+  }
+  for (std::thread& t : pending) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Runtime::join(ThreadId t) {
+  CONFAIL_CHECK(mode_ == Mode::Virtual, UsageError,
+                "join(tid) is only available in virtual mode");
+  sched_->joinThread(t);
+}
+
+ThreadId Runtime::currentThread() {
+  if (mode_ == Mode::Virtual) return sched_->currentThread();
+  if (realTls.rt == this) return realTls.id;
+  // Auto-register the calling (e.g. main) thread so examples can invoke
+  // component methods directly in real mode.
+  std::lock_guard<std::mutex> g(mu_);
+  ThreadId id = allocateThread("caller-" + std::to_string(nextThreadId_));
+  realTls = RealTls{this, id};
+  return id;
+}
+
+void Runtime::schedulePoint() {
+  if (mode_ == Mode::Virtual) {
+    if (sched_->onLogicalThread()) sched_->yield();
+    return;
+  }
+  if (noiseProb_ > 0.0 && rngChance(noiseProb_)) {
+    std::this_thread::yield();
+  }
+}
+
+MonitorId Runtime::registerMonitor(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  MonitorId id = nextMonitorId_++;
+  trace_.nameMonitor(id, name);
+  return id;
+}
+
+VarId Runtime::registerVar(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  VarId id = nextVarId_++;
+  trace_.nameVar(id, name);
+  return id;
+}
+
+MethodId Runtime::registerMethod(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  MethodId id = nextMethodId_++;
+  trace_.nameMethod(id, name);
+  return id;
+}
+
+std::uint64_t Runtime::emit(EventKind kind, MonitorId monitorId,
+                            std::uint64_t aux, bool flag) {
+  return emitFor(currentThread(), kind, monitorId, aux, flag);
+}
+
+std::uint64_t Runtime::emitFor(ThreadId thread, EventKind kind,
+                               MonitorId monitorId, std::uint64_t aux,
+                               bool flag) {
+  events::Event e;
+  e.thread = thread;
+  e.kind = kind;
+  e.monitor = monitorId;
+  e.aux = aux;
+  e.flag = flag;
+  e.method = currentMethodOf(thread);
+  return trace_.record(e);
+}
+
+void Runtime::pushMethod(MethodId m) {
+  ThreadId t = currentThread();
+  std::lock_guard<std::mutex> g(mu_);
+  CONFAIL_ASSERT(t < methodStacks_.size(), "method push on unknown thread");
+  methodStacks_[t].push_back(m);
+}
+
+void Runtime::popMethod() {
+  ThreadId t = currentThread();
+  std::lock_guard<std::mutex> g(mu_);
+  CONFAIL_ASSERT(t < methodStacks_.size() && !methodStacks_[t].empty(),
+                 "method pop without push");
+  methodStacks_[t].pop_back();
+}
+
+MethodId Runtime::currentMethodOf(ThreadId t) {
+  if (t == events::kNoThread) return events::kNoMethod;
+  std::lock_guard<std::mutex> g(mu_);
+  if (t >= methodStacks_.size() || methodStacks_[t].empty()) {
+    return events::kNoMethod;
+  }
+  return methodStacks_[t].back();
+}
+
+std::uint64_t Runtime::rngBelow(std::uint64_t bound) {
+  std::lock_guard<std::mutex> g(mu_);
+  return rng_.below(bound);
+}
+
+bool Runtime::rngChance(double p) {
+  std::lock_guard<std::mutex> g(mu_);
+  return rng_.chance(p);
+}
+
+MethodScope::MethodScope(Runtime& rt, MethodId method)
+    : rt_(rt), method_(method) {
+  rt_.pushMethod(method_);
+  rt_.emit(EventKind::MethodEnter, events::kNoMonitor, method_);
+}
+
+MethodScope::~MethodScope() {
+  rt_.emit(EventKind::MethodExit, events::kNoMonitor, method_);
+  rt_.popMethod();
+}
+
+}  // namespace confail::monitor

@@ -1,0 +1,38 @@
+// Automatic P-invariant computation.
+//
+// A P-invariant is an integer place-weighting y such that every transition
+// firing conserves the weighted token sum: y^T C = 0, where C is the
+// incidence matrix C[p][t] = outputs(t,p) - inputs(t,p).  The invariants of
+// the Figure 1 thread/lock net — mutual exclusion (E + sum C_i) and the
+// per-thread state conservation (A_i+B_i+C_i+D_i) — fall out of this
+// computation instead of being asserted by hand; the property tests verify
+// the computed basis against exhaustive reachability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "confail/petri/net.hpp"
+
+namespace confail::petri {
+
+/// An integer basis of the P-invariant space (each vector sized to
+/// net.placeCount(), content-normalized: gcd 1, first nonzero positive).
+/// Computed by fraction-free Gaussian elimination over the rationals.
+std::vector<std::vector<long long>> computePInvariants(const Net& net);
+
+/// True if `weights` is a P-invariant of the net (y^T C == 0) — a purely
+/// structural check, no reachability needed.
+bool isPInvariant(const Net& net, const std::vector<long long>& weights);
+
+/// T-invariants: integer transition-count vectors x with C x = 0 — firing
+/// every transition t exactly x[t] times (in some order) reproduces the
+/// starting marking.  For the Figure 1 net these are the cyclic thread
+/// behaviours: the plain critical section (T1,T2,T4) and the waiting pass
+/// (T1,T2,T3,T5,T2,T4 — note T2 twice: acquire and re-acquire).
+std::vector<std::vector<long long>> computeTInvariants(const Net& net);
+
+/// True if `counts` (sized transitionCount) is a T-invariant (C x == 0).
+bool isTInvariant(const Net& net, const std::vector<long long>& counts);
+
+}  // namespace confail::petri

@@ -1,0 +1,69 @@
+// A general place/transition Petri net, as used in Section 4 of the paper
+// ("Petri nets", Peterson 1977): places hold non-negative token counts,
+// a transition is enabled when every input place holds at least the arc
+// weight, and firing moves tokens from input places to output places.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace confail::petri {
+
+using PlaceId = std::uint32_t;
+using TransitionId = std::uint32_t;
+
+/// Token counts per place; index = PlaceId.
+using Marking = std::vector<std::uint32_t>;
+
+/// A weighted arc between a place and a transition.
+struct Arc {
+  PlaceId place;
+  std::uint32_t weight = 1;
+};
+
+class Net {
+ public:
+  PlaceId addPlace(std::string name);
+
+  /// Adds a transition consuming `inputs` and producing `outputs`.
+  TransitionId addTransition(std::string name, std::vector<Arc> inputs,
+                             std::vector<Arc> outputs);
+
+  std::size_t placeCount() const { return placeNames_.size(); }
+  std::size_t transitionCount() const { return transitions_.size(); }
+  const std::string& placeName(PlaceId p) const;
+  const std::string& transitionName(TransitionId t) const;
+  const std::vector<Arc>& inputsOf(TransitionId t) const;
+  const std::vector<Arc>& outputsOf(TransitionId t) const;
+
+  /// A marking sized to the net with all places empty.
+  Marking emptyMarking() const { return Marking(placeCount(), 0); }
+
+  /// True if `t` may fire in `m`.
+  bool enabled(TransitionId t, const Marking& m) const;
+
+  /// All transitions enabled in `m`, in id order.
+  std::vector<TransitionId> enabledSet(const Marking& m) const;
+
+  /// Fire `t` in `m` and return the successor marking.
+  /// Throws UsageError if `t` is not enabled.
+  Marking fire(TransitionId t, const Marking& m) const;
+
+  /// Render a marking as "{place:count, ...}" (non-empty places only).
+  std::string renderMarking(const Marking& m) const;
+
+  /// Textual description of the whole net (places, transitions, arcs).
+  std::string describe() const;
+
+ private:
+  struct Transition {
+    std::string name;
+    std::vector<Arc> inputs;
+    std::vector<Arc> outputs;
+  };
+  std::vector<std::string> placeNames_;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace confail::petri

@@ -1,0 +1,65 @@
+// Reachability analysis: BFS enumeration of the marking graph, dead-marking
+// (no transition enabled) detection, boundedness and invariant checking.
+//
+// This is what makes the paper's Figure-1 model *checkable*: for the
+// N-thread/one-lock net we enumerate every reachable state and verify the
+// mutual-exclusion invariant, and for the notify-gated variant we find the
+// dead markings that correspond exactly to the FF-T5 "all threads waiting,
+// nobody left to notify" failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "confail/petri/net.hpp"
+
+namespace confail::petri {
+
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const noexcept {
+    std::size_t h = 0xcbf29ce484222325ull;
+    for (std::uint32_t v : m) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+
+/// One edge of the reachability graph.
+struct ReachEdge {
+  TransitionId transition;
+  std::size_t target;  ///< state index
+};
+
+struct ReachabilityResult {
+  std::vector<Marking> states;                 ///< index = state id; [0] = initial
+  std::vector<std::vector<ReachEdge>> edges;   ///< per state
+  std::vector<std::size_t> deadStates;         ///< states with no enabled transition
+  bool complete = true;  ///< false if the state cap stopped enumeration
+
+  std::size_t stateCount() const { return states.size(); }
+  std::size_t edgeCount() const;
+};
+
+/// Enumerate markings reachable from `initial` (BFS), up to `maxStates`.
+ReachabilityResult reachable(const Net& net, const Marking& initial,
+                             std::size_t maxStates = 1u << 20);
+
+/// Check a P-invariant: the weighted token sum `sum_i weights[i]*m[i]` is
+/// identical in every enumerated state.  Returns true if it holds.
+bool holdsPInvariant(const ReachabilityResult& r, const std::vector<int>& weights);
+
+/// The maximum token count any single place attains across all states
+/// (a k-bounded net never exceeds k).
+std::uint32_t maxTokensPerPlace(const ReachabilityResult& r);
+
+/// Shortest firing sequence (transition ids) from the initial state to the
+/// given state index, via BFS parent tracking re-derivation.
+std::vector<TransitionId> shortestPathTo(const Net& net,
+                                         const ReachabilityResult& r,
+                                         std::size_t target);
+
+}  // namespace confail::petri

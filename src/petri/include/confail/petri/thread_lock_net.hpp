@@ -1,0 +1,66 @@
+// The paper's Figure 1 as a generated Petri net, for N threads sharing one
+// object lock.
+//
+// Per thread i the net has places
+//   A_i (executing outside),  B_i (requesting the lock),
+//   C_i (in the critical section),  D_i (waiting),
+// plus a single shared place E (lock available), and transitions
+//   T1_i: A_i -> B_i            (request)
+//   T2_i: B_i + E -> C_i        (acquire)
+//   T3_i: C_i -> D_i + E        (wait: releases the lock)
+//   T4_i: C_i -> A_i + E        (leave the synchronized block)
+//   T5  : D_i -> B_i            (woken)
+//
+// The paper draws T5's cause — another thread's notify — as a dashed arc
+// from outside the net.  Two variants make that precise:
+//   * free    — T5_i fires spontaneously (the dashed arc abstracted away;
+//               exactly Figure 1 as printed);
+//   * gated   — T5_{i,j}: C_j + D_i -> C_j + B_i for j != i, i.e. a waiter
+//               wakes only while some *other* thread is inside the monitor
+//               to notify it.  In this variant a marking with every thread
+//               in D is dead — precisely the FF-T5 "everybody waits, nobody
+//               notifies" failure of Table 1, now discoverable by
+//               reachability analysis.
+#pragma once
+
+#include <vector>
+
+#include "confail/petri/net.hpp"
+
+namespace confail::petri {
+
+enum class NotifyModel { Free, Gated };
+
+struct ThreadLockNet {
+  Net net;
+  Marking initial;  ///< all threads in A, one token in E
+  unsigned threads = 0;
+  NotifyModel model = NotifyModel::Free;
+
+  // Place ids per thread, plus the shared lock place.
+  std::vector<PlaceId> A, B, C, D;
+  PlaceId E = 0;
+
+  // Transition ids per thread.
+  std::vector<TransitionId> T1, T2, T3, T4;
+  std::vector<TransitionId> T5free;                  ///< Free model: one per thread
+  std::vector<std::vector<TransitionId>> T5gated;    ///< Gated: [waiter][notifier]
+
+  /// Weights of the per-thread conservation invariant
+  /// A_i + B_i + C_i + D_i == 1 for thread i.
+  std::vector<int> threadConservationWeights(unsigned i) const;
+
+  /// Weights of the lock invariant  E + sum_i C_i == 1
+  /// (the lock is either free or held by exactly one thread — the
+  /// mutual-exclusion property of the model).
+  std::vector<int> lockInvariantWeights() const;
+
+  /// True if marking `m` has every thread in the wait place D
+  /// (the lost-notification deadlock pattern).
+  bool allWaiting(const Marking& m) const;
+};
+
+/// Build the net for `threads` >= 1 threads.
+ThreadLockNet buildThreadLockNet(unsigned threads, NotifyModel model);
+
+}  // namespace confail::petri

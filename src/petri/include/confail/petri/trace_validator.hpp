@@ -1,0 +1,37 @@
+// Trace-against-model validation.
+//
+// Every monitor operation in confail emits the Figure-1 transition it
+// fires, so a recorded execution trace *is* a candidate firing sequence of
+// the thread/lock net.  The validator replays the trace through the net and
+// checks that each event was enabled — a machine-checked proof that the
+// monitor substrate implements the paper's model (and a property test that
+// runs over every component in the test suite).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "confail/events/trace.hpp"
+#include "confail/petri/thread_lock_net.hpp"
+
+namespace confail::petri {
+
+struct ValidationResult {
+  bool ok = true;
+  std::size_t eventsChecked = 0;
+  std::size_t firstBadIndex = 0;  ///< index into the filtered event list
+  std::string message;
+};
+
+/// Validate the projection of `trace` onto monitor `mon` against the
+/// free-notify thread/lock net.  Threads are mapped densely in order of
+/// first appearance; `maxThreads` caps the net size.
+///
+/// SpuriousWake events are treated as T5 firings (a wake without a notify
+/// is still the D->B move of the model).  Reentrant lock operations emit no
+/// events, so the trace is already in single-token form.
+ValidationResult validateTraceAgainstModel(const events::Trace& trace,
+                                           events::MonitorId mon,
+                                           unsigned maxThreads = 16);
+
+}  // namespace confail::petri

@@ -1,0 +1,182 @@
+#include "confail/petri/invariants.hpp"
+
+#include <numeric>
+
+#include "confail/support/assert.hpp"
+
+namespace confail::petri {
+
+namespace {
+
+using Row = std::vector<long long>;
+
+long long gcdAll(const Row& v) {
+  long long g = 0;
+  for (long long x : v) g = std::gcd(g, x < 0 ? -x : x);
+  return g;
+}
+
+void normalize(Row& v) {
+  long long g = gcdAll(v);
+  if (g > 1) {
+    for (long long& x : v) x /= g;
+  }
+  for (long long x : v) {
+    if (x != 0) {
+      if (x < 0) {
+        for (long long& y : v) y = -y;
+      }
+      break;
+    }
+  }
+}
+
+/// Integer basis of { x : A x = 0 } via fraction-free Gauss-Jordan
+/// elimination.  A has `rows` rows and `cols` columns.
+std::vector<Row> nullspaceBasis(std::vector<Row> a, std::size_t cols) {
+  const std::size_t rows = a.size();
+  std::vector<std::size_t> pivotCol;
+  std::size_t row = 0;
+  for (std::size_t col = 0; col < cols && row < rows; ++col) {
+    std::size_t pivot = row;
+    while (pivot < rows && a[pivot][col] == 0) ++pivot;
+    if (pivot == rows) continue;
+    std::swap(a[row], a[pivot]);
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == row || a[r][col] == 0) continue;
+      const long long f1 = a[row][col];
+      const long long f2 = a[r][col];
+      const long long g = std::gcd(f1 < 0 ? -f1 : f1, f2 < 0 ? -f2 : f2);
+      const long long m1 = f1 / g;
+      const long long m2 = f2 / g;
+      for (std::size_t c = 0; c < cols; ++c) {
+        a[r][c] = a[r][c] * m1 - a[row][c] * m2;
+      }
+      normalize(a[r]);
+    }
+    normalize(a[row]);
+    pivotCol.push_back(col);
+    ++row;
+  }
+
+  std::vector<bool> isPivot(cols, false);
+  for (std::size_t c : pivotCol) isPivot[c] = true;
+
+  std::vector<Row> basis;
+  for (std::size_t f = 0; f < cols; ++f) {
+    if (isPivot[f]) continue;
+    Row y(cols, 0);
+    y[f] = 1;
+    for (std::size_t r = pivotCol.size(); r-- > 0;) {
+      const std::size_t pc = pivotCol[r];
+      // Row r is Gauss-Jordan reduced: zero in every other pivot column,
+      // so  a[r][pc]*y[pc] + sum_{free c} a[r][c]*y[c] = 0.
+      long long rhs = 0;
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (c != pc) rhs += a[r][c] * y[c];
+      }
+      if (rhs == 0) {
+        y[pc] = 0;
+        continue;
+      }
+      const long long piv = a[r][pc];
+      if (rhs % piv == 0) {
+        y[pc] = -rhs / piv;
+      } else {
+        // Scale the whole vector so the division is exact (homogeneous
+        // system: a scaled solution is still a solution).
+        const long long g = std::gcd(rhs < 0 ? -rhs : rhs, piv < 0 ? -piv : piv);
+        const long long scale = (piv < 0 ? -piv : piv) / g;
+        for (long long& v : y) v *= scale;
+        rhs *= scale;
+        CONFAIL_ASSERT(rhs % piv == 0, "scaling failed");
+        y[pc] = -rhs / piv;
+      }
+    }
+    normalize(y);
+    basis.push_back(std::move(y));
+  }
+  return basis;
+}
+
+/// The system rows for P-invariants: A[t][p] = C[p][t].
+std::vector<Row> transitionRows(const Net& net) {
+  std::vector<Row> a(net.transitionCount(), Row(net.placeCount(), 0));
+  for (TransitionId t = 0; t < net.transitionCount(); ++t) {
+    for (const Arc& arc : net.inputsOf(t)) {
+      a[t][arc.place] -= static_cast<long long>(arc.weight);
+    }
+    for (const Arc& arc : net.outputsOf(t)) {
+      a[t][arc.place] += static_cast<long long>(arc.weight);
+    }
+  }
+  return a;
+}
+
+/// The system rows for T-invariants: A[p][t] = C[p][t].
+std::vector<Row> placeRows(const Net& net) {
+  std::vector<Row> a(net.placeCount(), Row(net.transitionCount(), 0));
+  for (TransitionId t = 0; t < net.transitionCount(); ++t) {
+    for (const Arc& arc : net.inputsOf(t)) {
+      a[arc.place][t] -= static_cast<long long>(arc.weight);
+    }
+    for (const Arc& arc : net.outputsOf(t)) {
+      a[arc.place][t] += static_cast<long long>(arc.weight);
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+bool isPInvariant(const Net& net, const std::vector<long long>& weights) {
+  CONFAIL_CHECK(weights.size() == net.placeCount(), UsageError,
+                "weight vector size mismatch");
+  for (TransitionId t = 0; t < net.transitionCount(); ++t) {
+    long long sum = 0;
+    for (const Arc& a : net.inputsOf(t)) {
+      sum -= weights[a.place] * static_cast<long long>(a.weight);
+    }
+    for (const Arc& a : net.outputsOf(t)) {
+      sum += weights[a.place] * static_cast<long long>(a.weight);
+    }
+    if (sum != 0) return false;
+  }
+  return true;
+}
+
+bool isTInvariant(const Net& net, const std::vector<long long>& counts) {
+  CONFAIL_CHECK(counts.size() == net.transitionCount(), UsageError,
+                "count vector size mismatch");
+  for (PlaceId p = 0; p < net.placeCount(); ++p) {
+    long long sum = 0;
+    for (TransitionId t = 0; t < net.transitionCount(); ++t) {
+      for (const Arc& a : net.inputsOf(t)) {
+        if (a.place == p) sum -= counts[t] * static_cast<long long>(a.weight);
+      }
+      for (const Arc& a : net.outputsOf(t)) {
+        if (a.place == p) sum += counts[t] * static_cast<long long>(a.weight);
+      }
+    }
+    if (sum != 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<long long>> computePInvariants(const Net& net) {
+  auto basis = nullspaceBasis(transitionRows(net), net.placeCount());
+  for (const Row& y : basis) {
+    CONFAIL_ASSERT(isPInvariant(net, y), "computed non-P-invariant");
+  }
+  return basis;
+}
+
+std::vector<std::vector<long long>> computeTInvariants(const Net& net) {
+  auto basis = nullspaceBasis(placeRows(net), net.transitionCount());
+  for (const Row& x : basis) {
+    CONFAIL_ASSERT(isTInvariant(net, x), "computed non-T-invariant");
+  }
+  return basis;
+}
+
+}  // namespace confail::petri

@@ -1,0 +1,112 @@
+#include "confail/petri/net.hpp"
+
+#include <sstream>
+
+#include "confail/support/assert.hpp"
+
+namespace confail::petri {
+
+PlaceId Net::addPlace(std::string name) {
+  placeNames_.push_back(std::move(name));
+  return static_cast<PlaceId>(placeNames_.size() - 1);
+}
+
+TransitionId Net::addTransition(std::string name, std::vector<Arc> inputs,
+                                std::vector<Arc> outputs) {
+  for (const Arc& a : inputs) {
+    CONFAIL_CHECK(a.place < placeCount(), UsageError, "arc to unknown place");
+    CONFAIL_CHECK(a.weight > 0, UsageError, "zero-weight arc");
+  }
+  for (const Arc& a : outputs) {
+    CONFAIL_CHECK(a.place < placeCount(), UsageError, "arc to unknown place");
+    CONFAIL_CHECK(a.weight > 0, UsageError, "zero-weight arc");
+  }
+  transitions_.push_back(Transition{std::move(name), std::move(inputs),
+                                    std::move(outputs)});
+  return static_cast<TransitionId>(transitions_.size() - 1);
+}
+
+const std::string& Net::placeName(PlaceId p) const {
+  CONFAIL_ASSERT(p < placeCount(), "bad place id");
+  return placeNames_[p];
+}
+
+const std::string& Net::transitionName(TransitionId t) const {
+  CONFAIL_ASSERT(t < transitionCount(), "bad transition id");
+  return transitions_[t].name;
+}
+
+const std::vector<Arc>& Net::inputsOf(TransitionId t) const {
+  CONFAIL_ASSERT(t < transitionCount(), "bad transition id");
+  return transitions_[t].inputs;
+}
+
+const std::vector<Arc>& Net::outputsOf(TransitionId t) const {
+  CONFAIL_ASSERT(t < transitionCount(), "bad transition id");
+  return transitions_[t].outputs;
+}
+
+bool Net::enabled(TransitionId t, const Marking& m) const {
+  CONFAIL_CHECK(m.size() == placeCount(), UsageError, "marking size mismatch");
+  CONFAIL_ASSERT(t < transitionCount(), "bad transition id");
+  for (const Arc& a : transitions_[t].inputs) {
+    if (m[a.place] < a.weight) return false;
+  }
+  return true;
+}
+
+std::vector<TransitionId> Net::enabledSet(const Marking& m) const {
+  std::vector<TransitionId> out;
+  for (TransitionId t = 0; t < transitionCount(); ++t) {
+    if (enabled(t, m)) out.push_back(t);
+  }
+  return out;
+}
+
+Marking Net::fire(TransitionId t, const Marking& m) const {
+  CONFAIL_CHECK(enabled(t, m), UsageError,
+                "firing disabled transition " + transitionName(t) + " in " +
+                    renderMarking(m));
+  Marking next = m;
+  for (const Arc& a : transitions_[t].inputs) next[a.place] -= a.weight;
+  for (const Arc& a : transitions_[t].outputs) next[a.place] += a.weight;
+  return next;
+}
+
+std::string Net::renderMarking(const Marking& m) const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (PlaceId p = 0; p < m.size() && p < placeCount(); ++p) {
+    if (m[p] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << placeNames_[p];
+    if (m[p] != 1) os << ':' << m[p];
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string Net::describe() const {
+  std::ostringstream os;
+  os << "places (" << placeCount() << "):";
+  for (const auto& p : placeNames_) os << ' ' << p;
+  os << "\ntransitions (" << transitionCount() << "):\n";
+  for (const auto& t : transitions_) {
+    os << "  " << t.name << ":";
+    for (const Arc& a : t.inputs) {
+      os << ' ' << placeNames_[a.place];
+      if (a.weight != 1) os << 'x' << a.weight;
+    }
+    os << " ->";
+    for (const Arc& a : t.outputs) {
+      os << ' ' << placeNames_[a.place];
+      if (a.weight != 1) os << 'x' << a.weight;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace confail::petri

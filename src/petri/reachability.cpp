@@ -1,0 +1,113 @@
+#include "confail/petri/reachability.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "confail/support/assert.hpp"
+
+namespace confail::petri {
+
+std::size_t ReachabilityResult::edgeCount() const {
+  std::size_t n = 0;
+  for (const auto& e : edges) n += e.size();
+  return n;
+}
+
+ReachabilityResult reachable(const Net& net, const Marking& initial,
+                             std::size_t maxStates) {
+  CONFAIL_CHECK(initial.size() == net.placeCount(), UsageError,
+                "initial marking size mismatch");
+  ReachabilityResult r;
+  std::unordered_map<Marking, std::size_t, MarkingHash> index;
+
+  r.states.push_back(initial);
+  r.edges.emplace_back();
+  index.emplace(initial, 0);
+
+  std::deque<std::size_t> frontier{0};
+  while (!frontier.empty()) {
+    std::size_t s = frontier.front();
+    frontier.pop_front();
+    // Copy: r.states may reallocate as successors are appended.
+    const Marking m = r.states[s];
+    std::vector<TransitionId> en = net.enabledSet(m);
+    if (en.empty()) r.deadStates.push_back(s);
+    for (TransitionId t : en) {
+      Marking next = net.fire(t, m);
+      auto [it, inserted] = index.emplace(std::move(next), r.states.size());
+      if (inserted) {
+        if (r.states.size() >= maxStates) {
+          r.complete = false;
+          index.erase(it);
+          continue;
+        }
+        r.states.push_back(it->first);
+        r.edges.emplace_back();
+        frontier.push_back(it->second);
+      }
+      r.edges[s].push_back(ReachEdge{t, it->second});
+    }
+  }
+  return r;
+}
+
+bool holdsPInvariant(const ReachabilityResult& r, const std::vector<int>& weights) {
+  CONFAIL_CHECK(!r.states.empty(), UsageError, "empty reachability result");
+  auto weighted = [&weights](const Marking& m) {
+    long long sum = 0;
+    for (std::size_t i = 0; i < m.size() && i < weights.size(); ++i) {
+      sum += static_cast<long long>(weights[i]) * static_cast<long long>(m[i]);
+    }
+    return sum;
+  };
+  const long long expected = weighted(r.states[0]);
+  for (const Marking& m : r.states) {
+    if (weighted(m) != expected) return false;
+  }
+  return true;
+}
+
+std::uint32_t maxTokensPerPlace(const ReachabilityResult& r) {
+  std::uint32_t best = 0;
+  for (const Marking& m : r.states) {
+    for (std::uint32_t v : m) best = std::max(best, v);
+  }
+  return best;
+}
+
+std::vector<TransitionId> shortestPathTo(const Net& net,
+                                         const ReachabilityResult& r,
+                                         std::size_t target) {
+  CONFAIL_CHECK(target < r.states.size(), UsageError, "bad target state");
+  // BFS over the recorded edges from state 0, tracking parents.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> parent(r.states.size(), kNone);
+  std::vector<TransitionId> via(r.states.size(), 0);
+  std::deque<std::size_t> q{0};
+  std::vector<bool> seen(r.states.size(), false);
+  seen[0] = true;
+  while (!q.empty()) {
+    std::size_t s = q.front();
+    q.pop_front();
+    if (s == target) break;
+    for (const ReachEdge& e : r.edges[s]) {
+      if (seen[e.target]) continue;
+      seen[e.target] = true;
+      parent[e.target] = s;
+      via[e.target] = e.transition;
+      q.push_back(e.target);
+    }
+  }
+  CONFAIL_CHECK(target == 0 || seen[target], UsageError,
+                "target state unreachable in recorded graph");
+  std::vector<TransitionId> path;
+  for (std::size_t s = target; s != 0; s = parent[s]) {
+    path.push_back(via[s]);
+    CONFAIL_ASSERT(parent[s] != kNone, "broken parent chain");
+  }
+  std::reverse(path.begin(), path.end());
+  (void)net;
+  return path;
+}
+
+}  // namespace confail::petri

@@ -1,0 +1,80 @@
+#include "confail/petri/thread_lock_net.hpp"
+
+#include <string>
+
+#include "confail/support/assert.hpp"
+
+namespace confail::petri {
+
+std::vector<int> ThreadLockNet::threadConservationWeights(unsigned i) const {
+  CONFAIL_CHECK(i < threads, UsageError, "bad thread index");
+  std::vector<int> w(net.placeCount(), 0);
+  w[A[i]] = w[B[i]] = w[C[i]] = w[D[i]] = 1;
+  return w;
+}
+
+std::vector<int> ThreadLockNet::lockInvariantWeights() const {
+  std::vector<int> w(net.placeCount(), 0);
+  w[E] = 1;
+  for (unsigned i = 0; i < threads; ++i) w[C[i]] = 1;
+  return w;
+}
+
+bool ThreadLockNet::allWaiting(const Marking& m) const {
+  for (unsigned i = 0; i < threads; ++i) {
+    if (m[D[i]] == 0) return false;
+  }
+  return true;
+}
+
+ThreadLockNet buildThreadLockNet(unsigned threads, NotifyModel model) {
+  CONFAIL_CHECK(threads >= 1, UsageError, "need at least one thread");
+  ThreadLockNet n;
+  n.threads = threads;
+  n.model = model;
+
+  for (unsigned i = 0; i < threads; ++i) {
+    const std::string s = std::to_string(i);
+    n.A.push_back(n.net.addPlace("A" + s));
+    n.B.push_back(n.net.addPlace("B" + s));
+    n.C.push_back(n.net.addPlace("C" + s));
+    n.D.push_back(n.net.addPlace("D" + s));
+  }
+  n.E = n.net.addPlace("E");
+
+  for (unsigned i = 0; i < threads; ++i) {
+    const std::string s = std::to_string(i);
+    n.T1.push_back(n.net.addTransition("T1_" + s, {{n.A[i], 1}}, {{n.B[i], 1}}));
+    n.T2.push_back(n.net.addTransition("T2_" + s, {{n.B[i], 1}, {n.E, 1}},
+                                       {{n.C[i], 1}}));
+    n.T3.push_back(n.net.addTransition("T3_" + s, {{n.C[i], 1}},
+                                       {{n.D[i], 1}, {n.E, 1}}));
+    n.T4.push_back(n.net.addTransition("T4_" + s, {{n.C[i], 1}},
+                                       {{n.A[i], 1}, {n.E, 1}}));
+  }
+
+  if (model == NotifyModel::Free) {
+    for (unsigned i = 0; i < threads; ++i) {
+      n.T5free.push_back(n.net.addTransition(
+          "T5_" + std::to_string(i), {{n.D[i], 1}}, {{n.B[i], 1}}));
+    }
+  } else {
+    n.T5gated.assign(threads, std::vector<TransitionId>(threads, 0));
+    for (unsigned i = 0; i < threads; ++i) {
+      for (unsigned j = 0; j < threads; ++j) {
+        if (i == j) continue;
+        // Waiter i is woken by notifier j, which must be inside the monitor.
+        n.T5gated[i][j] = n.net.addTransition(
+            "T5_" + std::to_string(i) + "by" + std::to_string(j),
+            {{n.D[i], 1}, {n.C[j], 1}}, {{n.B[i], 1}, {n.C[j], 1}});
+      }
+    }
+  }
+
+  n.initial = n.net.emptyMarking();
+  for (unsigned i = 0; i < threads; ++i) n.initial[n.A[i]] = 1;
+  n.initial[n.E] = 1;
+  return n;
+}
+
+}  // namespace confail::petri

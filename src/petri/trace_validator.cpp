@@ -1,0 +1,70 @@
+#include "confail/petri/trace_validator.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace confail::petri {
+
+using events::Event;
+using events::EventKind;
+
+ValidationResult validateTraceAgainstModel(const events::Trace& trace,
+                                           events::MonitorId mon,
+                                           unsigned maxThreads) {
+  ValidationResult result;
+  std::vector<Event> events = trace.monitorProjection(mon);
+
+  // Map trace thread ids to dense net thread indices by first appearance.
+  std::unordered_map<events::ThreadId, unsigned> threadIndex;
+  for (const Event& e : events) {
+    if (!events::isModelTransition(e.kind) && e.kind != EventKind::SpuriousWake) {
+      continue;
+    }
+    if (threadIndex.find(e.thread) == threadIndex.end()) {
+      if (threadIndex.size() >= maxThreads) {
+        result.ok = false;
+        result.message = "more threads than maxThreads";
+        return result;
+      }
+      unsigned idx = static_cast<unsigned>(threadIndex.size());
+      threadIndex.emplace(e.thread, idx);
+    }
+  }
+  if (threadIndex.empty()) return result;  // nothing to check
+
+  ThreadLockNet tl =
+      buildThreadLockNet(static_cast<unsigned>(threadIndex.size()),
+                         NotifyModel::Free);
+  Marking m = tl.initial;
+
+  std::size_t filteredIdx = 0;
+  for (const Event& e : events) {
+    TransitionId t;
+    switch (e.kind) {
+      case EventKind::LockRequest: t = tl.T1[threadIndex[e.thread]]; break;
+      case EventKind::LockAcquire: t = tl.T2[threadIndex[e.thread]]; break;
+      case EventKind::WaitBegin: t = tl.T3[threadIndex[e.thread]]; break;
+      case EventKind::LockRelease: t = tl.T4[threadIndex[e.thread]]; break;
+      case EventKind::Notified:
+      case EventKind::SpuriousWake: t = tl.T5free[threadIndex[e.thread]]; break;
+      default: continue;  // notify calls, accesses etc. are not transitions
+    }
+    if (!tl.net.enabled(t, m)) {
+      std::ostringstream os;
+      os << "event seq=" << e.seq << " (" << events::kindName(e.kind)
+         << " by thread " << e.thread << ") fires "
+         << tl.net.transitionName(t) << " which is not enabled in "
+         << tl.net.renderMarking(m);
+      result.ok = false;
+      result.firstBadIndex = filteredIdx;
+      result.message = os.str();
+      return result;
+    }
+    m = tl.net.fire(t, m);
+    ++filteredIdx;
+    ++result.eventsChecked;
+  }
+  return result;
+}
+
+}  // namespace confail::petri

@@ -1,0 +1,67 @@
+#include "confail/sched/explorer.hpp"
+
+namespace confail::sched {
+
+ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
+                                                      const RunCallback& cb) const {
+  Stats stats;
+  // DFS over schedule prefixes.  Each entry is a prefix that has not yet
+  // been executed.  Last-in-first-out gives depth-first order so related
+  // interleavings are explored together.
+  std::vector<std::vector<ThreadId>> pending;
+  pending.push_back({});
+
+  while (!pending.empty()) {
+    if (stats.runs >= opts_.maxRuns) {
+      return stats;  // budget exhausted; stats.exhausted stays false
+    }
+    std::vector<ThreadId> prefix = std::move(pending.back());
+    pending.pop_back();
+
+    PrefixReplayStrategy strategy(prefix);
+    VirtualScheduler::Options schedOpts;
+    schedOpts.maxSteps = opts_.maxSteps;
+    VirtualScheduler sched(strategy, schedOpts);
+    program(sched);
+    RunResult result = sched.run();
+    ++stats.runs;
+
+    switch (result.outcome) {
+      case Outcome::Completed: ++stats.completed; break;
+      case Outcome::Deadlock: ++stats.deadlocks; break;
+      case Outcome::StepLimit: ++stats.stepLimited; break;
+      case Outcome::Exception: ++stats.exceptions; break;
+    }
+    if (result.outcome != Outcome::Completed && stats.firstFailure.empty()) {
+      stats.firstFailure = result.schedule;
+      stats.firstFailureOutcome = result.outcome;
+    }
+
+    if (cb && !cb(result.schedule, result)) {
+      stats.stoppedByCallback = true;
+      return stats;
+    }
+
+    // Branch: for every decision point past the replayed prefix where more
+    // than one thread was runnable, queue the untried alternatives.
+    // Reverse order so the lowest-index branch is explored next (DFS).
+    const std::size_t branchLimit =
+        std::min(result.choiceSets.size(), opts_.maxBranchDepth);
+    for (std::size_t i = branchLimit; i-- > prefix.size();) {
+      const std::vector<ThreadId>& choices = result.choiceSets[i];
+      if (choices.size() <= 1) continue;
+      for (ThreadId alt : choices) {
+        if (alt == result.schedule[i]) continue;
+        std::vector<ThreadId> next(result.schedule.begin(),
+                                   result.schedule.begin() +
+                                       static_cast<std::ptrdiff_t>(i));
+        next.push_back(alt);
+        pending.push_back(std::move(next));
+      }
+    }
+  }
+  stats.exhausted = true;
+  return stats;
+}
+
+}  // namespace confail::sched

@@ -1,0 +1,68 @@
+// Bounded exhaustive schedule exploration (stateless DFS).
+//
+// The explorer repeatedly executes a *program* — a callback that spawns
+// logical threads on a fresh VirtualScheduler — replaying a schedule prefix
+// and then branching on every decision point where more than one thread was
+// runnable.  Because everything in confail is deterministic modulo the
+// schedule, identical prefixes reproduce identical states, so the set of
+// explored schedules forms a tree that covers every interleaving up to the
+// configured bounds.
+//
+// This is the mechanism that turns the paper's failure classes from
+// "things that may happen under some JVM scheduler" into properties that
+// can be *proved reachable* (a deadlock exists / a race manifests) or
+// exhaustively absent within bounds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "confail/sched/virtual_scheduler.hpp"
+
+namespace confail::sched {
+
+class ExhaustiveExplorer {
+ public:
+  struct Options {
+    std::uint64_t maxRuns = 10000;     ///< execution budget
+    std::uint64_t maxSteps = 100000;   ///< per-run step budget
+    std::size_t maxBranchDepth = static_cast<std::size_t>(-1);
+    ///< only branch on decision points below this index (iteration bounding)
+  };
+
+  /// A program spawns its logical threads on the given scheduler; the
+  /// explorer then drives the run.  The callback must build all state
+  /// afresh on each invocation (the explorer re-executes many times).
+  using Program = std::function<void(VirtualScheduler&)>;
+
+  /// Invoked after every run with the schedule that was executed and its
+  /// result.  Return false to stop exploring early (e.g. first bug found).
+  using RunCallback =
+      std::function<bool(const std::vector<ThreadId>& schedule, const RunResult&)>;
+
+  struct Stats {
+    std::uint64_t runs = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t deadlocks = 0;
+    std::uint64_t stepLimited = 0;
+    std::uint64_t exceptions = 0;
+    bool exhausted = false;   ///< true if the whole bounded tree was covered
+    bool stoppedByCallback = false;
+    /// First failing schedule (deadlock/exception), if any — replay it with
+    /// PrefixReplayStrategy to reproduce the failure deterministically.
+    std::vector<ThreadId> firstFailure;
+    Outcome firstFailureOutcome = Outcome::Completed;
+  };
+
+  ExhaustiveExplorer() : ExhaustiveExplorer(Options()) {}
+  explicit ExhaustiveExplorer(Options opts) : opts_(opts) {}
+
+  /// Explore the schedule tree of `program`.  `cb` may be null.
+  Stats explore(const Program& program, const RunCallback& cb = nullptr) const;
+
+ private:
+  Options opts_;
+};
+
+}  // namespace confail::sched

@@ -1,0 +1,203 @@
+// VirtualScheduler: deterministic cooperative execution of logical threads.
+//
+// Architecture (the standard model-checker / CHESS design):
+//   * Every logical thread is backed by a real std::thread, but all threads
+//     are gated on per-thread binary semaphores so that EXACTLY ONE logical
+//     thread executes at any moment.  The thread that calls run() acts as
+//     the controller.
+//   * At every instrumented operation (schedule point), the running thread
+//     hands control back to the controller, which consults the Strategy to
+//     pick the next runnable thread.
+//   * Blocking (monitor entry queues, wait sets, abstract-clock awaits) is
+//     scheduler state, never native blocking.  A global deadlock is
+//     therefore *observable* — the controller sees no runnable thread —
+//     instead of hanging the process.  This is what makes the paper's
+//     "check call completion time" technique and the failure classes FF-T2,
+//     FF-T4 and FF-T5 mechanically detectable.
+//
+// Because only one logical thread runs at a time and control transfer goes
+// through semaphore release/acquire pairs, all scheduler state is free of
+// data races by construction (strict alternation + synchronizes-with).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "confail/sched/strategy.hpp"
+#include "confail/support/assert.hpp"
+
+namespace confail::sched {
+
+/// Why a logical thread is not runnable.
+enum class BlockKind : std::uint8_t {
+  None,         ///< not blocked
+  LockAcquire,  ///< in a monitor entry queue (Figure 1 place B, no token in E)
+  CondWait,     ///< in a monitor wait set (Figure 1 place D)
+  ClockAwait,   ///< awaiting an abstract-clock time
+  Join,         ///< joining another logical thread
+  Custom,       ///< component-defined blocking
+};
+
+const char* blockKindName(BlockKind k);
+
+/// How a run ended.
+enum class Outcome : std::uint8_t {
+  Completed,  ///< all logical threads finished
+  Deadlock,   ///< unfinished threads exist but none is runnable
+  StepLimit,  ///< the step budget was exhausted (livelock / runaway loop)
+  Exception,  ///< a logical thread threw an uncaught exception
+};
+
+const char* outcomeName(Outcome o);
+
+/// A thread stuck at the end of a deadlocked run.
+struct BlockedThreadInfo {
+  ThreadId id = events::kNoThread;
+  std::string name;
+  BlockKind kind = BlockKind::None;
+  std::uint64_t resource = 0;  ///< monitor id / clock time / joined thread
+};
+
+/// Result of VirtualScheduler::run().
+struct RunResult {
+  Outcome outcome = Outcome::Completed;
+  std::uint64_t steps = 0;
+  /// The thread chosen at each decision point — a complete, replayable
+  /// schedule (feed to PrefixReplayStrategy).
+  std::vector<ThreadId> schedule;
+  /// The runnable set at each decision point (the explorer branches on
+  /// the points where this has more than one element).
+  std::vector<std::vector<ThreadId>> choiceSets;
+  /// Populated when outcome == Deadlock.
+  std::vector<BlockedThreadInfo> blocked;
+  /// Populated when outcome == Exception.
+  std::string errorMessage;
+
+  bool ok() const { return outcome == Outcome::Completed; }
+};
+
+/// Consulted by the controller when no thread is runnable, before declaring
+/// deadlock.  The abstract clock registers one of these to auto-advance
+/// logical time (discrete-event style).  Returns true if it made at least
+/// one thread runnable.
+class IdleHandler {
+ public:
+  virtual ~IdleHandler() = default;
+  virtual bool onIdle() = 0;
+};
+
+class VirtualScheduler {
+ public:
+  struct Options {
+    /// Abort the run after this many decision points (livelock guard).
+    std::uint64_t maxSteps = 200000;
+  };
+
+  explicit VirtualScheduler(Strategy& strategy) : VirtualScheduler(strategy, Options()) {}
+  VirtualScheduler(Strategy& strategy, Options opts);
+  ~VirtualScheduler();
+
+  VirtualScheduler(const VirtualScheduler&) = delete;
+  VirtualScheduler& operator=(const VirtualScheduler&) = delete;
+
+  /// Create a logical thread.  May be called before run() or from a running
+  /// logical thread; never after the run finished.
+  ThreadId spawn(std::string name, std::function<void()> fn);
+
+  /// Execute until completion, deadlock, step limit, or exception.
+  /// Must be called from the controller thread (the one that constructed
+  /// the scheduler); runs each logical thread in strict alternation.
+  RunResult run();
+
+  // ---- Called from the RUNNING logical thread -----------------------------
+
+  /// Voluntary schedule point: lets the strategy preempt here.
+  void yield();
+
+  /// Block the calling thread.  Returns when some other agent called
+  /// unblock() on it AND the strategy scheduled it again.
+  /// Throws ExecutionAborted if the run is being torn down.
+  void block(BlockKind kind, std::uint64_t resource);
+
+  /// Make a blocked thread runnable.  Called by the running thread (e.g. a
+  /// monitor handing over a lock) or by an IdleHandler on the controller.
+  void unblock(ThreadId t);
+
+  /// Block the calling logical thread until `t` finishes (Java
+  /// Thread.join).  Returns immediately if `t` already finished.
+  /// Self-join is a UsageError.
+  void joinThread(ThreadId t);
+
+  /// Update the recorded block reason of a thread that stays blocked
+  /// (e.g. a notified waiter that moved from the wait set to the lock
+  /// entry queue: CondWait -> LockAcquire).  Keeps deadlock reports honest.
+  void reblock(ThreadId t, BlockKind kind, std::uint64_t resource);
+
+  /// Logical id of the calling thread; kNoThread on the controller.
+  ThreadId currentThread() const;
+
+  /// Name of a logical thread.
+  const std::string& threadName(ThreadId t) const;
+
+  /// True while the calling context is a logical thread of this scheduler.
+  bool onLogicalThread() const;
+
+  /// Blocked/runnable introspection (used by deadlock reporting and tests).
+  BlockKind blockKindOf(ThreadId t) const;
+  std::size_t threadCount() const;
+
+  /// Register an idle handler (e.g. the abstract clock).  Handlers are
+  /// consulted in registration order.
+  void addIdleHandler(IdleHandler* h);
+
+  /// True while the run is being torn down (deadlock/step-limit/exception).
+  /// RAII cleanup code uses this to tolerate partially-unwound state.
+  bool aborting() const { return aborting_; }
+
+  /// The scheduler's own deterministic RNG, seeded from the strategy-level
+  /// seed by the caller; available to monitors for wake-policy choices.
+  // (kept out of here on purpose: policy randomness lives in the Runtime.)
+
+ private:
+  enum class ThreadState : std::uint8_t { Runnable, Running, Blocked, Finished };
+
+  struct ThreadRecord {
+    explicit ThreadRecord(ThreadId id_, std::string name_)
+        : id(id_), name(std::move(name_)) {}
+    ThreadId id;
+    std::string name;
+    ThreadState state = ThreadState::Runnable;
+    BlockKind blockKind = BlockKind::None;
+    std::uint64_t blockResource = 0;
+    std::binary_semaphore sem{0};
+    std::thread real;
+    std::exception_ptr error;
+    std::function<void()> fn;
+    std::vector<ThreadId> joiners;  // threads blocked joining on this one
+  };
+
+  void workerMain(ThreadRecord& rec);
+  void finishSelf(ThreadRecord& rec);
+  void switchToController(ThreadRecord& rec);
+  void checkAbort() const;
+  void abortRun();
+  std::vector<ThreadId> runnableSet() const;
+  ThreadRecord& recordOf(ThreadId t);
+  const ThreadRecord& recordOf(ThreadId t) const;
+
+  Strategy& strategy_;
+  Options opts_;
+  std::vector<std::unique_ptr<ThreadRecord>> threads_;
+  std::vector<IdleHandler*> idleHandlers_;
+  std::binary_semaphore controllerSem_{0};
+  bool aborting_ = false;
+  bool finished_ = false;
+  std::uint64_t liveCount_ = 0;  // spawned and not finished
+};
+
+}  // namespace confail::sched

@@ -1,0 +1,306 @@
+#include "confail/sched/virtual_scheduler.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace confail::sched {
+
+namespace {
+// The logical thread currently executing on this real thread (if any).
+struct TlsBinding {
+  VirtualScheduler* sched = nullptr;
+  void* record = nullptr;
+};
+thread_local TlsBinding tlsBinding;
+}  // namespace
+
+const char* blockKindName(BlockKind k) {
+  switch (k) {
+    case BlockKind::None: return "none";
+    case BlockKind::LockAcquire: return "lock-acquire";
+    case BlockKind::CondWait: return "cond-wait";
+    case BlockKind::ClockAwait: return "clock-await";
+    case BlockKind::Join: return "join";
+    case BlockKind::Custom: return "custom";
+  }
+  return "?";
+}
+
+const char* outcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::Completed: return "completed";
+    case Outcome::Deadlock: return "deadlock";
+    case Outcome::StepLimit: return "step-limit";
+    case Outcome::Exception: return "exception";
+  }
+  return "?";
+}
+
+VirtualScheduler::VirtualScheduler(Strategy& strategy, Options opts)
+    : strategy_(strategy), opts_(opts) {}
+
+VirtualScheduler::~VirtualScheduler() {
+  if (!finished_) {
+    // run() was never called (or aborted mid-construction of a test):
+    // tear down parked workers so their std::threads can be joined.
+    abortRun();
+  }
+  for (auto& rec : threads_) {
+    if (rec->real.joinable()) rec->real.join();
+  }
+}
+
+ThreadId VirtualScheduler::spawn(std::string name, std::function<void()> fn) {
+  CONFAIL_CHECK(!finished_ && !aborting_, UsageError,
+                "spawn after the run finished");
+  const ThreadId id = static_cast<ThreadId>(threads_.size());
+  auto rec = std::make_unique<ThreadRecord>(id, std::move(name));
+  rec->fn = std::move(fn);
+  ThreadRecord& r = *rec;
+  threads_.push_back(std::move(rec));
+  ++liveCount_;
+  strategy_.onSpawn(id);
+  r.real = std::thread([this, &r] { workerMain(r); });
+  return id;
+}
+
+void VirtualScheduler::workerMain(ThreadRecord& rec) {
+  rec.sem.acquire();  // wait until first scheduled
+  tlsBinding = TlsBinding{this, &rec};
+  if (!aborting_) {
+    try {
+      rec.fn();
+    } catch (const ExecutionAborted&) {
+      // Normal teardown path; nothing to record.
+    } catch (...) {
+      rec.error = std::current_exception();
+    }
+  }
+  finishSelf(rec);
+}
+
+void VirtualScheduler::finishSelf(ThreadRecord& rec) {
+  rec.state = ThreadState::Finished;
+  rec.blockKind = BlockKind::None;
+  --liveCount_;
+  // Wake any logical threads joined on us (only outside teardown; during
+  // teardown the controller wakes everyone itself).
+  if (!aborting_) {
+    for (ThreadId j : rec.joiners) {
+      if (recordOf(j).state == ThreadState::Blocked) unblock(j);
+    }
+  }
+  rec.joiners.clear();
+  tlsBinding = TlsBinding{};
+  controllerSem_.release();
+}
+
+std::vector<ThreadId> VirtualScheduler::runnableSet() const {
+  std::vector<ThreadId> out;
+  for (const auto& rec : threads_) {
+    if (rec->state == ThreadState::Runnable) out.push_back(rec->id);
+  }
+  return out;
+}
+
+VirtualScheduler::ThreadRecord& VirtualScheduler::recordOf(ThreadId t) {
+  CONFAIL_ASSERT(t < threads_.size(), "bad thread id");
+  return *threads_[t];
+}
+
+const VirtualScheduler::ThreadRecord& VirtualScheduler::recordOf(ThreadId t) const {
+  CONFAIL_ASSERT(t < threads_.size(), "bad thread id");
+  return *threads_[t];
+}
+
+RunResult VirtualScheduler::run() {
+  CONFAIL_CHECK(!finished_, UsageError, "run() called twice");
+  CONFAIL_CHECK(!onLogicalThread(), UsageError,
+                "run() called from a logical thread");
+  RunResult result;
+
+  for (;;) {
+    std::vector<ThreadId> runnable = runnableSet();
+    if (runnable.empty()) {
+      if (liveCount_ == 0) {
+        result.outcome = Outcome::Completed;
+        break;
+      }
+      // Give idle handlers (e.g. the abstract clock) a chance to advance
+      // logical time and unblock awaiters before declaring deadlock.
+      bool progressed = false;
+      for (IdleHandler* h : idleHandlers_) {
+        if (h->onIdle()) {
+          progressed = true;
+          break;
+        }
+      }
+      if (progressed) continue;
+      result.outcome = Outcome::Deadlock;
+      for (const auto& rec : threads_) {
+        if (rec->state == ThreadState::Blocked) {
+          result.blocked.push_back(BlockedThreadInfo{
+              rec->id, rec->name, rec->blockKind, rec->blockResource});
+        }
+      }
+      break;
+    }
+
+    if (result.steps >= opts_.maxSteps) {
+      result.outcome = Outcome::StepLimit;
+      break;
+    }
+
+    ThreadId pick;
+    try {
+      pick = strategy_.pick(runnable, result.steps);
+    } catch (const Error& e) {
+      result.outcome = Outcome::Exception;
+      result.errorMessage = e.what();
+      break;
+    }
+    CONFAIL_ASSERT(
+        std::binary_search(runnable.begin(), runnable.end(), pick),
+        "strategy picked a non-runnable thread");
+
+    result.schedule.push_back(pick);
+    result.choiceSets.push_back(std::move(runnable));
+    ++result.steps;
+
+    ThreadRecord& rec = recordOf(pick);
+    rec.state = ThreadState::Running;
+    rec.sem.release();
+    controllerSem_.acquire();
+
+    if (rec.state == ThreadState::Finished && rec.error) {
+      result.outcome = Outcome::Exception;
+      try {
+        std::rethrow_exception(rec.error);
+      } catch (const std::exception& e) {
+        result.errorMessage = e.what();
+      } catch (...) {
+        result.errorMessage = "unknown exception";
+      }
+      break;
+    }
+  }
+
+  abortRun();
+  finished_ = true;
+  for (auto& rec : threads_) {
+    if (rec->real.joinable()) rec->real.join();
+  }
+  return result;
+}
+
+void VirtualScheduler::abortRun() {
+  aborting_ = true;
+  for (auto& rec : threads_) {
+    if (rec->state != ThreadState::Finished) {
+      // Wake it; it will observe aborting_, throw ExecutionAborted through
+      // the user stack (RAII releases any held resources) and finish.
+      // Strictly sequential: wait for each to finish before waking the next
+      // so that at most one logical thread ever executes at a time.
+      rec->sem.release();
+      controllerSem_.acquire();
+      CONFAIL_ASSERT(rec->state == ThreadState::Finished,
+                     "aborted thread did not finish");
+    }
+  }
+}
+
+void VirtualScheduler::checkAbort() const {
+  if (aborting_) {
+    throw ExecutionAborted("virtual scheduler run aborted");
+  }
+}
+
+void VirtualScheduler::yield() {
+  CONFAIL_ASSERT(onLogicalThread(), "yield off a logical thread");
+  // During teardown a thread may pass a schedule point while unwinding
+  // (e.g. a Synchronized destructor releasing a lock).  Yielding is
+  // optional, so make it a no-op instead of throwing mid-unwind.
+  if (aborting_) return;
+  // Never park while an exception is propagating on this thread: if the
+  // run were aborted while parked, the abort exception would collide with
+  // the in-flight one and std::terminate.  Skipping the schedule point is
+  // always safe.
+  if (std::uncaught_exceptions() > 0) return;
+  auto& rec = *static_cast<ThreadRecord*>(tlsBinding.record);
+  rec.state = ThreadState::Runnable;
+  switchToController(rec);
+}
+
+void VirtualScheduler::block(BlockKind kind, std::uint64_t resource) {
+  CONFAIL_ASSERT(onLogicalThread(), "block off a logical thread");
+  checkAbort();
+  auto& rec = *static_cast<ThreadRecord*>(tlsBinding.record);
+  rec.state = ThreadState::Blocked;
+  rec.blockKind = kind;
+  rec.blockResource = resource;
+  switchToController(rec);
+}
+
+void VirtualScheduler::switchToController(ThreadRecord& rec) {
+  controllerSem_.release();
+  rec.sem.acquire();
+  checkAbort();
+  CONFAIL_ASSERT(rec.state == ThreadState::Running,
+                 "scheduled thread not marked running");
+}
+
+void VirtualScheduler::unblock(ThreadId t) {
+  ThreadRecord& rec = recordOf(t);
+  CONFAIL_ASSERT(rec.state == ThreadState::Blocked,
+                 "unblock of a thread that is not blocked");
+  rec.state = ThreadState::Runnable;
+  rec.blockKind = BlockKind::None;
+  rec.blockResource = 0;
+}
+
+void VirtualScheduler::joinThread(ThreadId t) {
+  CONFAIL_ASSERT(onLogicalThread(), "joinThread off a logical thread");
+  ThreadId self = currentThread();
+  CONFAIL_CHECK(t != self, UsageError, "a thread cannot join itself");
+  ThreadRecord& target = recordOf(t);
+  if (target.state == ThreadState::Finished) return;
+  target.joiners.push_back(self);
+  block(BlockKind::Join, t);
+}
+
+void VirtualScheduler::reblock(ThreadId t, BlockKind kind,
+                               std::uint64_t resource) {
+  ThreadRecord& rec = recordOf(t);
+  CONFAIL_ASSERT(rec.state == ThreadState::Blocked,
+                 "reblock of a thread that is not blocked");
+  rec.blockKind = kind;
+  rec.blockResource = resource;
+}
+
+ThreadId VirtualScheduler::currentThread() const {
+  if (tlsBinding.sched != this || tlsBinding.record == nullptr) {
+    return events::kNoThread;
+  }
+  return static_cast<const ThreadRecord*>(tlsBinding.record)->id;
+}
+
+bool VirtualScheduler::onLogicalThread() const {
+  return tlsBinding.sched == this && tlsBinding.record != nullptr;
+}
+
+const std::string& VirtualScheduler::threadName(ThreadId t) const {
+  return recordOf(t).name;
+}
+
+BlockKind VirtualScheduler::blockKindOf(ThreadId t) const {
+  return recordOf(t).blockKind;
+}
+
+std::size_t VirtualScheduler::threadCount() const { return threads_.size(); }
+
+void VirtualScheduler::addIdleHandler(IdleHandler* h) {
+  CONFAIL_ASSERT(h != nullptr, "null idle handler");
+  idleHandlers_.push_back(h);
+}
+
+}  // namespace confail::sched

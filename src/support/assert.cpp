@@ -1,0 +1,16 @@
+#include "confail/support/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace confail::detail {
+
+void assertFail(const char* expr, const char* file, int line,
+                const std::string& msg) {
+  std::fprintf(stderr, "confail: internal invariant violated: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace confail::detail

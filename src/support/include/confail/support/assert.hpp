@@ -1,0 +1,66 @@
+// Assertion and error-handling primitives for the confail library.
+//
+// Two distinct mechanisms, per the C++ Core Guidelines (I.10, E.x):
+//   * CONFAIL_ASSERT(cond, msg): internal invariant.  A violation is a bug in
+//     the library itself; it aborts the process with a diagnostic.  Never use
+//     it to validate caller input.
+//   * CONFAIL_CHECK(cond, ExceptionType, msg): recoverable caller error
+//     (e.g. calling Monitor::wait without holding the lock).  Throws a typed
+//     exception derived from confail::Error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace confail {
+
+/// Base class for all recoverable errors thrown by the confail library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when wait/notify/unlock is invoked by a thread that does not own
+/// the monitor — the C++ analogue of Java's IllegalMonitorStateException.
+class IllegalMonitorState : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an API is used outside its contract (bad arguments,
+/// wrong execution mode, calls after shutdown, ...).
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown inside a logical thread when the virtual scheduler aborts the
+/// run (deadlock detected, step limit exceeded, or another thread threw).
+/// User code should let it propagate; RAII guards perform cleanup.
+class ExecutionAborted : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void assertFail(const char* expr, const char* file, int line,
+                             const std::string& msg);
+}  // namespace detail
+
+}  // namespace confail
+
+/// Internal invariant check: aborts on violation.
+#define CONFAIL_ASSERT(cond, msg)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::confail::detail::assertFail(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                    \
+  } while (false)
+
+/// Recoverable precondition check: throws `extype` on violation.
+#define CONFAIL_CHECK(cond, extype, msg) \
+  do {                                   \
+    if (!(cond)) {                       \
+      throw extype(msg);                 \
+    }                                    \
+  } while (false)

@@ -1,0 +1,48 @@
+#include "confail/support/rng.hpp"
+
+namespace confail {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) {
+    s = sm.next();
+  }
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  // Rejection-free for our purposes: modulo bias is negligible for the
+  // small bounds used in scheduling, but we use Lemire's method anyway.
+  unsigned __int128 m =
+      static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(bound);
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+}  // namespace confail

@@ -1,0 +1,293 @@
+#include "confail/taxonomy/classifier.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace confail::taxonomy {
+
+using events::Event;
+using events::EventKind;
+using events::ThreadId;
+
+bool FailureReport::has(FailureClass c) const {
+  for (const auto& f : failures) {
+    if (f.cls == c) return true;
+  }
+  return false;
+}
+
+std::vector<FailureClass> FailureReport::classes() const {
+  std::vector<FailureClass> out;
+  for (FailureClass c : allFailureClasses()) {
+    if (has(c)) out.push_back(c);
+  }
+  return out;
+}
+
+std::string FailureReport::describe() const {
+  std::ostringstream os;
+  if (failures.empty()) {
+    os << "no concurrency failures classified\n";
+    return os.str();
+  }
+  for (const auto& f : failures) {
+    os << failureClassName(f.cls) << " ("
+       << deviationName(deviationOf(f.cls)) << " of "
+       << transitionName(transitionOf(f.cls)) << ")  via " << f.source
+       << ": " << f.evidence << '\n';
+  }
+  return os.str();
+}
+
+std::vector<FailureClass> Classifier::classesOf(detect::FindingKind kind) {
+  using detect::FindingKind;
+  switch (kind) {
+    case FindingKind::DataRace:
+      return {FailureClass::FF_T1};
+    case FindingKind::UnnecessarySync:
+      return {FailureClass::EF_T1};
+    case FindingKind::DeadlockCycle:
+      // Circular lock acquisition: requesters are permanently suspended
+      // (FF-T2) because holders never release (FF-T4, "acquiring an
+      // additional lock which is locked by another thread").
+      return {FailureClass::FF_T2, FailureClass::FF_T4};
+    case FindingKind::LockHeldForever:
+      return {FailureClass::FF_T4, FailureClass::FF_T2};
+    case FindingKind::Starvation:
+      return {FailureClass::FF_T2};
+    case FindingKind::WaitingForever:
+    case FindingKind::LostNotify:
+    case FindingKind::NotifySingleInsufficient:
+      return {FailureClass::FF_T5};
+    case FindingKind::GuardNotRechecked:
+      return {FailureClass::EF_T5};
+    case FindingKind::EarlyRelease:
+      return {FailureClass::EF_T4};
+  }
+  return {};
+}
+
+void Classifier::addFindings(FailureReport& report,
+                             const std::vector<detect::Finding>& findings,
+                             const events::Trace& trace) {
+  for (const detect::Finding& f : findings) {
+    for (FailureClass c : classesOf(f.kind)) {
+      report.failures.push_back(ClassifiedFailure{
+          c, f.describe(trace),
+          std::string("detector:") + detect::findingKindName(f.kind)});
+    }
+  }
+}
+
+void Classifier::addRunOutcome(FailureReport& report, const sched::RunResult& run,
+                               const events::Trace& trace) {
+  switch (run.outcome) {
+    case sched::Outcome::Deadlock:
+      for (const sched::BlockedThreadInfo& b : run.blocked) {
+        std::ostringstream os;
+        os << "thread '" << b.name << "' permanently blocked ("
+           << sched::blockKindName(b.kind) << ")";
+        switch (b.kind) {
+          case sched::BlockKind::CondWait:
+            report.failures.push_back(ClassifiedFailure{
+                FailureClass::FF_T5, os.str(), "run-outcome:deadlock"});
+            break;
+          case sched::BlockKind::LockAcquire:
+            report.failures.push_back(ClassifiedFailure{
+                FailureClass::FF_T2, os.str(), "run-outcome:deadlock"});
+            break;
+          default:
+            // Clock/join/custom blocking is test-harness state, not a
+            // monitor failure; leave it to the completion-time reports.
+            break;
+        }
+      }
+      break;
+    case sched::Outcome::StepLimit: {
+      // A runaway loop.  If the spinning happened while holding a lock the
+      // trace shows an acquire without release; classify as FF-T4.
+      std::map<ThreadId, int> heldCount;
+      for (const Event& e : trace.events()) {
+        if (e.kind == EventKind::LockAcquire) ++heldCount[e.thread];
+        if (e.kind == EventKind::LockRelease || e.kind == EventKind::WaitBegin) {
+          --heldCount[e.thread];
+        }
+      }
+      bool anyHeld = false;
+      for (const auto& [t, n] : heldCount) anyHeld = anyHeld || n > 0;
+      report.failures.push_back(ClassifiedFailure{
+          FailureClass::FF_T4,
+          anyHeld ? "step limit exhausted with a lock still held (endless "
+                    "loop in a critical section)"
+                  : "step limit exhausted (endless loop; no lock held)",
+          "run-outcome:step-limit"});
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+namespace {
+
+/// Activity of one thread between two trace positions.
+struct WindowActivity {
+  std::size_t waits = 0;
+  std::size_t notified = 0;
+  std::size_t spurious = 0;
+};
+
+WindowActivity activityIn(const std::vector<Event>& events, ThreadId tid,
+                          std::uint64_t fromSeq, std::uint64_t toSeq) {
+  WindowActivity a;
+  for (const Event& e : events) {
+    if (e.thread != tid || e.seq < fromSeq || e.seq > toSeq) continue;
+    if (e.kind == EventKind::WaitBegin) ++a.waits;
+    if (e.kind == EventKind::Notified) ++a.notified;
+    if (e.kind == EventKind::SpuriousWake) ++a.spurious;
+  }
+  return a;
+}
+
+/// Find the logical thread id carrying `name` in the trace.
+ThreadId threadByName(const events::Trace& trace,
+                      const std::vector<Event>& events,
+                      const std::string& name) {
+  ThreadId maxTid = 0;
+  for (const Event& e : events) {
+    if (e.thread != events::kNoThread) maxTid = std::max(maxTid, e.thread);
+  }
+  for (ThreadId t = 0; t <= maxTid; ++t) {
+    if (trace.threadName(t) == name) return t;
+  }
+  return events::kNoThread;
+}
+
+}  // namespace
+
+void Classifier::addCallReports(FailureReport& report,
+                                const conan::Results& results,
+                                const events::Trace& trace) {
+  const std::vector<Event> events = trace.events();
+
+  // Map blocked threads (by name) from the run result, for hung calls.
+  std::map<std::string, sched::BlockKind> blockedByName;
+  for (const auto& b : results.run.blocked) blockedByName[b.name] = b.kind;
+
+  for (const conan::CallReport& r : results.reports) {
+    if (r.passed()) continue;
+
+    const ThreadId tid = threadByName(trace, events, r.thread);
+
+    // Bracket the call: from this thread's ClockAwait with aux==startTick
+    // to its next ClockAwait (or the end of the trace).
+    std::uint64_t fromSeq = 0;
+    std::uint64_t toSeq = events.empty() ? 0 : events.back().seq;
+    bool foundStart = false;
+    for (const Event& e : events) {
+      if (e.thread != tid || e.kind != EventKind::ClockAwait) continue;
+      if (!foundStart) {
+        if (e.aux == r.startTick) {
+          fromSeq = e.seq;
+          foundStart = true;
+        }
+      } else {
+        toSeq = e.seq;
+        break;
+      }
+    }
+    const WindowActivity act =
+        foundStart ? activityIn(events, tid, fromSeq, toSeq) : WindowActivity{};
+
+    std::ostringstream ev;
+    ev << "call " << r.label << " on thread '" << r.thread << "' ";
+
+    if (!r.completed && !r.hangOk) {
+      // Hung call: use the block kind at deadlock to pick the class.
+      auto it = blockedByName.find(r.thread);
+      sched::BlockKind bk = it != blockedByName.end() ? it->second
+                                                      : sched::BlockKind::None;
+      if (bk == sched::BlockKind::CondWait) {
+        if (r.expectWait.has_value() && !*r.expectWait) {
+          ev << "suspended on an unexpected wait and was never notified";
+          report.failures.push_back(ClassifiedFailure{
+              FailureClass::EF_T3, ev.str(), "completion-time"});
+        } else {
+          ev << "waited but was never notified";
+          report.failures.push_back(ClassifiedFailure{
+              FailureClass::FF_T5, ev.str(), "completion-time"});
+        }
+      } else if (bk == sched::BlockKind::LockAcquire) {
+        ev << "blocked forever acquiring the monitor lock";
+        report.failures.push_back(ClassifiedFailure{
+            FailureClass::FF_T2, ev.str(), "completion-time"});
+      } else {
+        ev << "never completed";
+        report.failures.push_back(ClassifiedFailure{
+            FailureClass::FF_T2, ev.str(), "completion-time"});
+      }
+      continue;
+    }
+
+    if (r.completed && !r.timeOk) {
+      // Early-vs-late is inferred from the tester's expectWait hint and the
+      // thread's observed wait/wake activity during the call.
+      if (act.waits == 0 && r.expectWait.value_or(false)) {
+        ev << "completed without ever waiting (expected to suspend)";
+        report.failures.push_back(ClassifiedFailure{
+            FailureClass::FF_T3,
+            ev.str() + " — overlaps EF-T4: the lock was released by "
+                       "completing instead of by waiting",
+            "completion-time"});
+      } else if (act.waits > 0 && (act.notified > 0 || act.spurious > 0)) {
+        ev << "completed at the wrong time after a wake (premature or "
+              "mistimed notification)";
+        report.failures.push_back(ClassifiedFailure{
+            FailureClass::EF_T5, ev.str(), "completion-time"});
+      } else if (act.waits > 0 && !r.expectWait.value_or(true)) {
+        ev << "suspended on an unexpected wait before completing late";
+        report.failures.push_back(ClassifiedFailure{
+            FailureClass::EF_T3, ev.str(), "completion-time"});
+      } else {
+        ev << "completed outside its expected tick window";
+        report.failures.push_back(ClassifiedFailure{
+            FailureClass::FF_T3, ev.str(), "completion-time"});
+      }
+      continue;
+    }
+
+    if (r.completed && !r.hangOk) {
+      // Expected to hang but completed: the thread skipped its suspension.
+      if (act.waits == 0) {
+        ev << "completed although it was expected to stay suspended (no "
+              "wait performed)";
+        report.failures.push_back(ClassifiedFailure{
+            FailureClass::FF_T3, ev.str(), "completion-time"});
+      } else {
+        ev << "woke and completed although it was expected to stay suspended";
+        report.failures.push_back(ClassifiedFailure{
+            FailureClass::EF_T5, ev.str(), "completion-time"});
+      }
+      continue;
+    }
+
+    if (!r.valueOk) {
+      ev << "returned the wrong value (state corrupted — interference)";
+      report.failures.push_back(
+          ClassifiedFailure{FailureClass::FF_T1, ev.str(), "completion-time"});
+    }
+  }
+}
+
+FailureReport Classifier::classifyAll(
+    const std::vector<detect::Finding>& findings, const sched::RunResult& run,
+    const conan::Results& results, const events::Trace& trace) {
+  FailureReport report;
+  addFindings(report, findings, trace);
+  addRunOutcome(report, run, trace);
+  addCallReports(report, results, trace);
+  return report;
+}
+
+}  // namespace confail::taxonomy

@@ -1,0 +1,63 @@
+// Classifier: maps raw observations — detector findings, scheduler run
+// outcomes, ConAn completion-time reports — onto the ten failure classes of
+// Table 1.  This is the operational half of the paper's contribution: the
+// classification is not just a table, it tells you *which observation
+// technique reveals which class*, and the classifier encodes exactly those
+// connections.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "confail/conan/test_driver.hpp"
+#include "confail/detect/finding.hpp"
+#include "confail/sched/virtual_scheduler.hpp"
+#include "confail/taxonomy/taxonomy.hpp"
+
+namespace confail::taxonomy {
+
+/// One classified failure with the evidence that produced it.
+struct ClassifiedFailure {
+  FailureClass cls;
+  std::string evidence;
+  std::string source;  ///< detector / run-outcome / completion-time
+};
+
+/// The aggregate verdict for one test execution.
+struct FailureReport {
+  std::vector<ClassifiedFailure> failures;
+
+  bool has(FailureClass c) const;
+  /// Distinct classes present, in Table 1 order.
+  std::vector<FailureClass> classes() const;
+  std::string describe() const;
+};
+
+class Classifier {
+ public:
+  /// Table 1 testing-notes mapping: which classes a finding kind indicates.
+  static std::vector<FailureClass> classesOf(detect::FindingKind kind);
+
+  /// Classify detector findings.
+  static void addFindings(FailureReport& report,
+                          const std::vector<detect::Finding>& findings,
+                          const events::Trace& trace);
+
+  /// Classify a virtual-scheduler outcome (deadlock / step limit).
+  static void addRunOutcome(FailureReport& report, const sched::RunResult& run,
+                            const events::Trace& trace);
+
+  /// Classify ConAn completion-time violations, cross-referencing the trace
+  /// (per-call activity is bracketed by the ClockAwait events the driver's
+  /// threads emit).
+  static void addCallReports(FailureReport& report, const conan::Results& results,
+                             const events::Trace& trace);
+
+  /// Convenience: run the standard detector battery plus the above.
+  static FailureReport classifyAll(const std::vector<detect::Finding>& findings,
+                                   const sched::RunResult& run,
+                                   const conan::Results& results,
+                                   const events::Trace& trace);
+};
+
+}  // namespace confail::taxonomy

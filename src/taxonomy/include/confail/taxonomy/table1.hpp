@@ -1,0 +1,22 @@
+// Table 1 rendering: regenerates the paper's classification table from the
+// taxonomy data, optionally extended with a "Detected by / Reproduced by"
+// column filled in by the fault-injection harness (bench/table1).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "confail/taxonomy/taxonomy.hpp"
+
+namespace confail::taxonomy {
+
+/// The paper's Table 1 (Transition / Failure / Cause / Conditions /
+/// Consequences / Testing Notes) as ASCII.
+std::string renderTable1();
+
+/// Table 1 extended with one extra column per-class, e.g. the detection
+/// result of the fault-injection experiment.
+std::string renderTable1With(const std::string& extraHeader,
+                             const std::map<FailureClass, std::string>& extra);
+
+}  // namespace confail::taxonomy

@@ -1,0 +1,71 @@
+// The paper's primary contribution as a machine-usable artifact:
+//   * the five Figure-1 transitions with their model semantics, and
+//   * the ten-way classification of concurrency failures of Table 1 —
+//     {failure to fire, erroneous firing} x {T1..T5} — with the cause,
+//     conditions, consequences and testing-notes text of each class.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace confail::taxonomy {
+
+/// The transitions of the paper's Figure 1 Petri-net model.
+enum class Transition : std::uint8_t {
+  T1,  ///< requesting an object lock (A -> B)
+  T2,  ///< locking an object (B + E -> C)
+  T3,  ///< waiting on an object (C -> D + E)
+  T4,  ///< releasing an object lock (C -> A + E)
+  T5,  ///< thread notification (D -> B, caused by another thread)
+};
+
+const char* transitionName(Transition t);
+const char* transitionDescription(Transition t);
+
+/// The two HAZOP deviations applied to each transition (Section 5).
+enum class Deviation : std::uint8_t {
+  FailureToFire,    ///< the transition should have fired but did not
+  ErroneousFiring,  ///< the transition fired when it should not have
+};
+
+const char* deviationName(Deviation d);
+
+/// The ten failure classes of Table 1.
+enum class FailureClass : std::uint8_t {
+  FF_T1,  ///< interference / data race
+  EF_T1,  ///< unnecessary synchronization
+  FF_T2,  ///< thread permanently suspended (lock never granted)
+  EF_T2,  ///< not applicable (JVM assumed correct)
+  FF_T3,  ///< required wait never made
+  EF_T3,  ///< erroneous call to wait
+  FF_T4,  ///< lock never released
+  EF_T4,  ///< lock released prematurely
+  FF_T5,  ///< thread never notified
+  EF_T5,  ///< thread notified before it should be
+};
+
+inline constexpr std::size_t kFailureClassCount = 10;
+
+/// All classes in Table 1 row order.
+const std::array<FailureClass, kFailureClassCount>& allFailureClasses();
+
+const char* failureClassName(FailureClass c);  ///< e.g. "FF-T1"
+Transition transitionOf(FailureClass c);
+Deviation deviationOf(FailureClass c);
+
+/// One row of Table 1.
+struct FailureClassInfo {
+  FailureClass cls;
+  std::string cause;         ///< Table 1 "Cause"
+  std::string conditions;    ///< Table 1 "Conditions"
+  std::string consequences;  ///< Table 1 "Consequences"
+  std::string testingNotes;  ///< Table 1 "Testing Notes"
+  bool applicable = true;    ///< false only for EF-T2
+};
+
+/// The full Table 1 contents (text follows the paper).
+const FailureClassInfo& info(FailureClass c);
+
+}  // namespace confail::taxonomy

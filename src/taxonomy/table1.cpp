@@ -1,0 +1,58 @@
+#include "confail/taxonomy/table1.hpp"
+
+#include <vector>
+
+#include "confail/support/text.hpp"
+
+namespace confail::taxonomy {
+
+namespace {
+
+std::vector<std::vector<std::string>> tableRows(
+    const std::string& extraHeader,
+    const std::map<FailureClass, std::string>* extra) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header = {"Transition", "Failure", "Cause",
+                                     "Conditions", "Consequences",
+                                     "Testing Notes"};
+  if (extra) header.push_back(extraHeader);
+  rows.push_back(std::move(header));
+
+  for (FailureClass c : allFailureClasses()) {
+    const FailureClassInfo& fi = info(c);
+    std::vector<std::string> row;
+    row.push_back(transitionName(transitionOf(c)));
+    row.push_back(std::string(deviationName(deviationOf(c))) + " (" +
+                  failureClassName(c) + ")");
+    if (fi.applicable) {
+      row.push_back(fi.cause);
+      row.push_back(fi.conditions);
+      row.push_back(fi.consequences);
+      row.push_back(fi.testingNotes);
+    } else {
+      row.push_back("Not applicable");
+      row.push_back("");
+      row.push_back("");
+      row.push_back("");
+    }
+    if (extra) {
+      auto it = extra->find(c);
+      row.push_back(it != extra->end() ? it->second : "");
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::string renderTable1() {
+  return renderTable(tableRows("", nullptr), 26);
+}
+
+std::string renderTable1With(const std::string& extraHeader,
+                             const std::map<FailureClass, std::string>& extra) {
+  return renderTable(tableRows(extraHeader, &extra), 22);
+}
+
+}  // namespace confail::taxonomy

@@ -1,0 +1,189 @@
+#include "confail/taxonomy/taxonomy.hpp"
+
+#include "confail/support/assert.hpp"
+
+namespace confail::taxonomy {
+
+const char* transitionName(Transition t) {
+  switch (t) {
+    case Transition::T1: return "T1";
+    case Transition::T2: return "T2";
+    case Transition::T3: return "T3";
+    case Transition::T4: return "T4";
+    case Transition::T5: return "T5";
+  }
+  return "?";
+}
+
+const char* transitionDescription(Transition t) {
+  switch (t) {
+    case Transition::T1:
+      return "requesting an object lock: fired by a thread entering a "
+             "synchronized block (A -> B)";
+    case Transition::T2:
+      return "locking an object: fired by the runtime serving the requesting "
+             "thread an object lock; blocked in B if no lock is available "
+             "(B + E -> C)";
+    case Transition::T3:
+      return "waiting on an object: the code calls wait, which also releases "
+             "the object lock (C -> D + E)";
+    case Transition::T4:
+      return "releasing an object lock: the thread leaves the synchronized "
+             "block (C -> A + E)";
+    case Transition::T5:
+      return "thread notification: a waiting thread wakes and moves to B to "
+             "re-acquire the lock; caused by another thread's notify (the "
+             "dashed arc) — a thread in the wait state cannot wake itself "
+             "(D -> B)";
+  }
+  return "?";
+}
+
+const char* deviationName(Deviation d) {
+  switch (d) {
+    case Deviation::FailureToFire: return "failure to fire";
+    case Deviation::ErroneousFiring: return "erroneous firing";
+  }
+  return "?";
+}
+
+const std::array<FailureClass, kFailureClassCount>& allFailureClasses() {
+  static const std::array<FailureClass, kFailureClassCount> all = {
+      FailureClass::FF_T1, FailureClass::EF_T1, FailureClass::FF_T2,
+      FailureClass::EF_T2, FailureClass::FF_T3, FailureClass::EF_T3,
+      FailureClass::FF_T4, FailureClass::EF_T4, FailureClass::FF_T5,
+      FailureClass::EF_T5,
+  };
+  return all;
+}
+
+const char* failureClassName(FailureClass c) {
+  switch (c) {
+    case FailureClass::FF_T1: return "FF-T1";
+    case FailureClass::EF_T1: return "EF-T1";
+    case FailureClass::FF_T2: return "FF-T2";
+    case FailureClass::EF_T2: return "EF-T2";
+    case FailureClass::FF_T3: return "FF-T3";
+    case FailureClass::EF_T3: return "EF-T3";
+    case FailureClass::FF_T4: return "FF-T4";
+    case FailureClass::EF_T4: return "EF-T4";
+    case FailureClass::FF_T5: return "FF-T5";
+    case FailureClass::EF_T5: return "EF-T5";
+  }
+  return "?";
+}
+
+Transition transitionOf(FailureClass c) {
+  switch (c) {
+    case FailureClass::FF_T1:
+    case FailureClass::EF_T1: return Transition::T1;
+    case FailureClass::FF_T2:
+    case FailureClass::EF_T2: return Transition::T2;
+    case FailureClass::FF_T3:
+    case FailureClass::EF_T3: return Transition::T3;
+    case FailureClass::FF_T4:
+    case FailureClass::EF_T4: return Transition::T4;
+    case FailureClass::FF_T5:
+    case FailureClass::EF_T5: return Transition::T5;
+  }
+  return Transition::T1;
+}
+
+Deviation deviationOf(FailureClass c) {
+  switch (c) {
+    case FailureClass::FF_T1:
+    case FailureClass::FF_T2:
+    case FailureClass::FF_T3:
+    case FailureClass::FF_T4:
+    case FailureClass::FF_T5: return Deviation::FailureToFire;
+    default: return Deviation::ErroneousFiring;
+  }
+}
+
+const FailureClassInfo& info(FailureClass c) {
+  // Text follows the paper's Table 1 (lightly condensed where the original
+  // wraps across cells).
+  static const std::array<FailureClassInfo, kFailureClassCount> rows = {{
+      {FailureClass::FF_T1,
+       "Thread does not access a synchronized block when required",
+       "Two or more threads access a shared resource",
+       "Interference (also known as a race condition or data race)",
+       "Static analysis / model checking (often combined with dynamic "
+       "analysis)",
+       true},
+      {FailureClass::EF_T1,
+       "Program logic accesses critical section",
+       "No more than one thread accesses shared resources; the thread is not "
+       "required to wait or notify other threads",
+       "Unnecessary synchronization",
+       "Static analysis / model checking (often combined with dynamic "
+       "analysis)",
+       true},
+      {FailureClass::FF_T2,
+       "The object lock to be acquired has been acquired by another thread",
+       "Another thread has acquired the lock being acquired by this thread; "
+       "either one thread continuously holds the lock, or one or more "
+       "threads repeatedly acquire the lock being requested",
+       "The thread is permanently suspended",
+       "Static and dynamic analysis",
+       true},
+      {FailureClass::EF_T2,
+       "Not applicable (the JVM is assumed to be implemented correctly)",
+       "",
+       "",
+       "",
+       false},
+      {FailureClass::FF_T3,
+       "No call to wait is made",
+       "Thread is required to make a call to wait",
+       "Program code may erroneously execute in a critical section, or leave "
+       "a critical section prematurely",
+       "Check completion time of call",
+       true},
+      {FailureClass::EF_T3,
+       "Program logic makes an erroneous call to wait",
+       "A call to wait is not desired",
+       "A thread may suspend indefinitely if no other thread exists to "
+       "notify it; the object lock is released",
+       "Check completion time of call",
+       true},
+      {FailureClass::FF_T4,
+       "The thread never releases the object lock, or fires T3 (waits) "
+       "instead",
+       "Thread is in an endless loop, waiting for blocking input that never "
+       "arrives, or acquiring an additional lock held by another thread",
+       "Thread never completes; other threads may be blocked waiting for "
+       "the lock",
+       "Check completion time of call",
+       true},
+      {FailureClass::EF_T4,
+       "Thread releases the object lock prematurely (leaves the block too "
+       "early, reassigns the variable holding the lock, or fires T4 instead "
+       "of T3)",
+       "None",
+       "Thread exits and subsequent statements may access shared resources",
+       "Static analysis and completion time of call",
+       true},
+      {FailureClass::FF_T5,
+       "Thread is not notified",
+       "No other thread calls notify whilst this thread is in the wait "
+       "state; includes notify instead of notifyAll with unfair selection, "
+       "and the single-thread case",
+       "Thread is permanently suspended",
+       "Check completion time of call",
+       true},
+      {FailureClass::EF_T5,
+       "Thread is notified before it should be",
+       "None",
+       "Thread prematurely re-enters the critical section",
+       "Check completion time of call",
+       true},
+  }};
+  for (const auto& r : rows) {
+    if (r.cls == c) return r;
+  }
+  CONFAIL_ASSERT(false, "unknown failure class");
+  return rows[0];
+}
+
+}  // namespace confail::taxonomy

@@ -1,0 +1,141 @@
+// AlarmClock monitor: correct sleep/wake timing, multi-sleeper fan-out,
+// mutant behaviour (skipNotify, notifyOne), and trace cleanliness.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "confail/components/alarm_clock.hpp"
+#include "confail/detect/suite.hpp"
+#include "confail/events/trace.hpp"
+#include "confail/monitor/runtime.hpp"
+#include "confail/petri/trace_validator.hpp"
+#include "confail/sched/virtual_scheduler.hpp"
+
+namespace comps = confail::components;
+namespace ev = confail::events;
+namespace sched = confail::sched;
+using confail::monitor::Runtime;
+
+namespace {
+struct Harness {
+  explicit Harness(std::uint64_t seed = 1)
+      : strategy(seed), sched(strategy), rt(trace, sched, seed) {}
+  ev::Trace trace;
+  sched::RandomWalkStrategy strategy;
+  sched::VirtualScheduler sched;
+  Runtime rt;
+};
+}  // namespace
+
+TEST(AlarmClock, SleeperWakesExactlyAtDeadline) {
+  Harness h;
+  comps::AlarmClock clock(h.rt, "alarm");
+  long wokeAt = -1;
+  h.rt.spawn("sleeper", [&] { wokeAt = clock.wakeMe(3); });
+  h.rt.spawn("ticker", [&] {
+    for (int i = 0; i < 5; ++i) {
+      for (int k = 0; k < 3; ++k) h.rt.schedulePoint();
+      clock.tick();
+    }
+  });
+  ASSERT_EQ(h.sched.run().outcome, sched::Outcome::Completed);
+  EXPECT_EQ(wokeAt, 3);
+  EXPECT_EQ(clock.now(), 5);
+}
+
+TEST(AlarmClock, MultipleSleepersDistinctDeadlines) {
+  for (std::uint64_t seed : {1ull, 5ull, 9ull}) {
+    Harness h(seed);
+    comps::AlarmClock clock(h.rt, "alarm");
+    std::vector<long> wokeAt(3, -1);
+    for (int i = 0; i < 3; ++i) {
+      h.rt.spawn("sleeper" + std::to_string(i),
+                 [&, i] { wokeAt[static_cast<std::size_t>(i)] = clock.wakeMe(i + 1); });
+    }
+    h.rt.spawn("ticker", [&] {
+      for (int i = 0; i < 4; ++i) {
+        for (int k = 0; k < 5; ++k) h.rt.schedulePoint();
+        clock.tick();
+      }
+    });
+    ASSERT_EQ(h.sched.run().outcome, sched::Outcome::Completed) << "seed " << seed;
+    // A sleeper may be scheduled late relative to ticks already elapsed,
+    // but can never wake before its deadline.
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_GE(wokeAt[static_cast<std::size_t>(i)], i + 1) << "seed " << seed;
+    }
+  }
+}
+
+TEST(AlarmClock, ZeroTicksReturnsImmediately) {
+  Harness h;
+  comps::AlarmClock clock(h.rt, "alarm");
+  long wokeAt = -1;
+  h.rt.spawn("sleeper", [&] { wokeAt = clock.wakeMe(0); });
+  ASSERT_EQ(h.sched.run().outcome, sched::Outcome::Completed);
+  EXPECT_EQ(wokeAt, 0);
+}
+
+TEST(AlarmClock, SkipNotifyMutantHangsSleepers) {
+  Harness h;
+  comps::AlarmClock::Faults f;
+  f.skipNotify = true;
+  comps::AlarmClock clock(h.rt, "alarm", f);
+  h.rt.spawn("sleeper", [&] { (void)clock.wakeMe(1); });
+  h.rt.spawn("ticker", [&] {
+    for (int i = 0; i < 3; ++i) {
+      for (int k = 0; k < 3; ++k) h.rt.schedulePoint();
+      clock.tick();
+    }
+  });
+  auto r = h.sched.run();
+  ASSERT_EQ(r.outcome, sched::Outcome::Deadlock);
+  ASSERT_EQ(r.blocked.size(), 1u);
+  EXPECT_EQ(r.blocked[0].kind, sched::BlockKind::CondWait);
+}
+
+TEST(AlarmClock, NotifyOneMutantCanStrandASleeperPastItsDeadline) {
+  // With two sleepers due at the same tick, notify() wakes only one; the
+  // woken one's guard is satisfied and it leaves WITHOUT renotifying, so
+  // the other sleeps past its deadline (woken only by a later tick, or
+  // never if ticks stop).
+  Harness h;
+  comps::AlarmClock::Faults f;
+  f.notifyOneOnly = true;
+  comps::AlarmClock clock(h.rt, "alarm", f);
+  long woke0 = -1, woke1 = -1;
+  h.rt.spawn("s0", [&] { woke0 = clock.wakeMe(1); });
+  h.rt.spawn("s1", [&] { woke1 = clock.wakeMe(1); });
+  h.rt.spawn("ticker", [&] {
+    for (int k = 0; k < 6; ++k) h.rt.schedulePoint();
+    clock.tick();  // both due; only one is notified
+  });
+  auto r = h.sched.run();
+  // One sleeper wakes at 1; the other is never notified again: deadlock.
+  ASSERT_EQ(r.outcome, sched::Outcome::Deadlock);
+  EXPECT_TRUE((woke0 == 1) != (woke1 == 1))
+      << "exactly one sleeper should have woken, got " << woke0 << "/"
+      << woke1;
+}
+
+TEST(AlarmClock, TraceIsModelConformantAndClean) {
+  Harness h(4);
+  comps::AlarmClock clock(h.rt, "alarm");
+  for (int i = 0; i < 2; ++i) {
+    h.rt.spawn("sleeper" + std::to_string(i),
+               [&, i] { (void)clock.wakeMe(i + 1); });
+  }
+  h.rt.spawn("ticker", [&] {
+    for (int i = 0; i < 3; ++i) {
+      for (int k = 0; k < 4; ++k) h.rt.schedulePoint();
+      clock.tick();
+    }
+  });
+  ASSERT_EQ(h.sched.run().outcome, sched::Outcome::Completed);
+  auto v = confail::petri::validateTraceAgainstModel(h.trace, clock.mon().id());
+  EXPECT_TRUE(v.ok) << v.message;
+  confail::detect::DetectorSuite suite;
+  auto findings = suite.analyze(h.trace);
+  EXPECT_TRUE(findings.empty());
+}

@@ -1,0 +1,378 @@
+// Unit tests for Concurrency Flow Graphs: Figure-3 construction (exact arc
+// set and transition annotations), DOT export, coverage tracking over real
+// traces, anomaly detection, and sequence suggestion.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "confail/cofg/cofg.hpp"
+#include "confail/cofg/coverage.hpp"
+#include "confail/components/producer_consumer.hpp"
+#include "confail/conan/test_driver.hpp"
+#include "confail/clock/abstract_clock.hpp"
+#include "confail/events/trace.hpp"
+#include "confail/monitor/runtime.hpp"
+#include "confail/sched/virtual_scheduler.hpp"
+
+namespace cofg = confail::cofg;
+namespace ev = confail::events;
+namespace sched = confail::sched;
+using cofg::Cofg;
+using cofg::MethodModel;
+using cofg::Node;
+using cofg::NodeKind;
+using confail::clock::AbstractClock;
+using confail::components::ProducerConsumer;
+using confail::monitor::Runtime;
+
+namespace {
+Node start() { return Node{NodeKind::Start, 0}; }
+Node end() { return Node{NodeKind::End, 0}; }
+}  // namespace
+
+TEST(Cofg, ReceiveGraphHasExactlyThePapersFiveArcs) {
+  Cofg g = Cofg::build(ProducerConsumer::receiveModel());
+  ASSERT_EQ(g.arcs().size(), 5u);
+
+  Node wait{NodeKind::Wait, 0};
+  Node notifyAll{NodeKind::NotifyAll, 1};
+
+  auto arc = [&](Node s, Node d) {
+    std::size_t i = g.findArc(s, d);
+    EXPECT_NE(i, Cofg::npos) << s.label() << " -> " << d.label();
+    return i;
+  };
+
+  // Arc 1: start -> wait, fires T1, T2, T3 (paper item 1).
+  EXPECT_EQ(g.arcs()[arc(start(), wait)].transitionString(), "T1, T2, T3");
+  // Arc 2: wait -> wait, fires T3, T5, T2, T3 (paper item 2).
+  EXPECT_EQ(g.arcs()[arc(wait, wait)].transitionString(), "T3, T5, T2, T3");
+  // Arc 3: wait -> notifyAll.  The paper prints "T3, T4, T5"; the derived
+  // annotation is T3, T5, T2, T5 (wake + re-acquire; no release happens
+  // between a wait and a notifyAll in the same synchronized method).
+  // See the erratum note in cofg.hpp.
+  EXPECT_EQ(g.arcs()[arc(wait, notifyAll)].transitionString(), "T3, T5, T2, T5");
+  // Arc 4: start -> notifyAll, fires T1, T2, T5 (paper item 4).
+  EXPECT_EQ(g.arcs()[arc(start(), notifyAll)].transitionString(), "T1, T2, T5");
+  // Arc 5: notifyAll -> end, fires T5, T4 (paper item 5).
+  EXPECT_EQ(g.arcs()[arc(notifyAll, end())].transitionString(), "T5, T4");
+}
+
+TEST(Cofg, SendGraphIsIdenticalInShapeToReceive) {
+  // "The CoFG for send is identical to that for receive in this case."
+  Cofg r = Cofg::build(ProducerConsumer::receiveModel());
+  Cofg s = Cofg::build(ProducerConsumer::sendModel());
+  ASSERT_EQ(r.arcs().size(), s.arcs().size());
+  for (std::size_t i = 0; i < r.arcs().size(); ++i) {
+    EXPECT_EQ(r.arcs()[i].src, s.arcs()[i].src);
+    EXPECT_EQ(r.arcs()[i].dst, s.arcs()[i].dst);
+    EXPECT_EQ(r.arcs()[i].transitions, s.arcs()[i].transitions);
+  }
+}
+
+TEST(Cofg, ArcConditionsNameTheGuard) {
+  Cofg g = Cofg::build(ProducerConsumer::receiveModel());
+  Node wait{NodeKind::Wait, 0};
+  const auto& a = g.arcs()[g.findArc(start(), wait)];
+  EXPECT_NE(a.condition.find("curPos == 0"), std::string::npos);
+  EXPECT_NE(a.condition.find("true on entry"), std::string::npos);
+}
+
+TEST(Cofg, UnsynchronizedMethodHasNoLockTransitions) {
+  MethodModel m("plain", /*isSynchronized=*/false);
+  m.notifyAll();
+  Cofg g = Cofg::build(m);
+  ASSERT_EQ(g.arcs().size(), 2u);
+  EXPECT_EQ(g.arcs()[0].transitionString(), "T5");      // start -> notifyAll
+  EXPECT_EQ(g.arcs()[1].transitionString(), "T5");      // notifyAll -> end
+}
+
+TEST(Cofg, WaitIfHasNoSelfLoop) {
+  MethodModel m("ifGuard");
+  m.waitIf("g").notifyAll();
+  Cofg g = Cofg::build(m);
+  Node wait{NodeKind::Wait, 0};
+  EXPECT_EQ(g.findArc(wait, wait), Cofg::npos);
+  EXPECT_EQ(g.arcs().size(), 4u);
+}
+
+TEST(Cofg, TwoWaitLoopsProduceDistinctSites) {
+  MethodModel m("double");
+  m.waitLoop("g1").waitLoop("g2").notifyOne();
+  Cofg g = Cofg::build(m);
+  Node w0{NodeKind::Wait, 0}, w1{NodeKind::Wait, 1};
+  EXPECT_NE(g.findArc(start(), w0), Cofg::npos);
+  EXPECT_NE(g.findArc(w0, w1), Cofg::npos);
+  EXPECT_NE(g.findArc(start(), w1), Cofg::npos);
+  EXPECT_NE(g.findArc(w0, w0), Cofg::npos);
+  EXPECT_NE(g.findArc(w1, w1), Cofg::npos);
+  Node n{NodeKind::Notify, 2};
+  EXPECT_NE(g.findArc(w1, n), Cofg::npos);
+  EXPECT_NE(g.findArc(n, end()), Cofg::npos);
+}
+
+TEST(Cofg, MethodWithNoConcurrencyStatements) {
+  MethodModel m("trivial");
+  Cofg g = Cofg::build(m);
+  ASSERT_EQ(g.arcs().size(), 1u);
+  EXPECT_EQ(g.arcs()[0].label(), "start -> end");
+  EXPECT_EQ(g.arcs()[0].transitionString(), "T1, T2, T4");
+}
+
+TEST(Cofg, DotExportIsWellFormed) {
+  Cofg g = Cofg::build(ProducerConsumer::receiveModel());
+  std::string dot = g.toDot();
+  EXPECT_EQ(dot.find("digraph"), 0u);
+  EXPECT_NE(dot.find("\"start\" -> \"wait#0\""), std::string::npos);
+  EXPECT_NE(dot.find("T1, T2, T3"), std::string::npos);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '}'), 1);
+}
+
+namespace {
+
+// Run the Section 6 deterministic sequence against the producer-consumer
+// and return (trace, receive coverage tracker, method id).
+struct CoverageRun {
+  ev::Trace trace;
+  sched::RoundRobinStrategy strategy;
+  sched::VirtualScheduler sched{strategy};
+  Runtime rt{trace, sched, 1};
+  AbstractClock clk{rt};
+};
+
+}  // namespace
+
+TEST(Coverage, FullSequenceCoversAllFiveArcsOfReceive) {
+  CoverageRun h;
+  ProducerConsumer pc(h.rt);
+  confail::conan::TestDriver driver(h.rt, h.clk);
+
+  // Consumer 1 arrives early (start->wait, then wait->notifyAll on wake).
+  // Consumers 2 and 3 both wait; producer sends one char, so after one
+  // receive completes the other consumer re-waits (wait->wait).
+  // A final receive on a non-empty buffer covers start->notifyAll.
+  driver.addVoid("c1", 1, "receive", [&pc] { pc.receive(); });
+  driver.addVoid("c2", 2, "receive", [&pc] { pc.receive(); });
+  driver.addVoid("p", 3, "send(a)", [&pc] { pc.send("a"); });
+  driver.addVoid("p", 4, "send(b)", [&pc] { pc.send("b"); });
+  driver.addVoid("p", 6, "send(cd)", [&pc] { pc.send("cd"); });
+  driver.addVoid("c1", 7, "receive", [&pc] { pc.receive(); });
+  driver.addVoid("c1", 8, "receive", [&pc] { pc.receive(); });
+  auto res = driver.execute();
+  ASSERT_EQ(res.run.outcome, sched::Outcome::Completed) << res.describe();
+
+  Cofg g = Cofg::build(ProducerConsumer::receiveModel());
+  cofg::CoverageTracker cov(g, pc.receiveMethodId());
+  cov.process(h.trace.events());
+  EXPECT_TRUE(cov.anomalies().empty());
+  EXPECT_EQ(cov.coveredArcs(), 5u) << cov.report(h.trace);
+  EXPECT_DOUBLE_EQ(cov.coverageFraction(), 1.0);
+}
+
+TEST(Coverage, HappyPathOnlyLeavesWaitArcsUncovered) {
+  CoverageRun h;
+  ProducerConsumer pc(h.rt);
+  confail::conan::TestDriver driver(h.rt, h.clk);
+  // Send first, then receive: the receive never waits.
+  driver.addVoid("p", 1, "send(x)", [&pc] { pc.send("x"); });
+  driver.addVoid("c", 2, "receive", [&pc] { pc.receive(); });
+  auto res = driver.execute();
+  ASSERT_EQ(res.run.outcome, sched::Outcome::Completed);
+
+  Cofg g = Cofg::build(ProducerConsumer::receiveModel());
+  cofg::CoverageTracker cov(g, pc.receiveMethodId());
+  cov.process(h.trace.events());
+  EXPECT_EQ(cov.coveredArcs(), 2u);  // start->notifyAll, notifyAll->end
+  auto unc = cov.uncoveredArcs();
+  EXPECT_EQ(unc.size(), 3u);
+  for (std::size_t i : unc) {
+    EXPECT_EQ(g.arcs()[i].src.kind == NodeKind::Wait ||
+                  g.arcs()[i].dst.kind == NodeKind::Wait,
+              true);
+  }
+}
+
+TEST(Coverage, TraversalCountsAccumulate) {
+  CoverageRun h;
+  ProducerConsumer pc(h.rt);
+  confail::conan::TestDriver driver(h.rt, h.clk);
+  for (int i = 0; i < 3; ++i) {
+    driver.addVoid("p", static_cast<std::uint64_t>(2 * i + 1), "send",
+                   [&pc] { pc.send("x"); });
+    driver.addVoid("c", static_cast<std::uint64_t>(2 * i + 2), "receive",
+                   [&pc] { pc.receive(); });
+  }
+  auto res = driver.execute();
+  ASSERT_EQ(res.run.outcome, sched::Outcome::Completed);
+
+  Cofg g = Cofg::build(ProducerConsumer::receiveModel());
+  cofg::CoverageTracker cov(g, pc.receiveMethodId());
+  cov.process(h.trace.events());
+  Node notifyAll{NodeKind::NotifyAll, 1};
+  std::size_t arcStartNotify = g.findArc(start(), notifyAll);
+  EXPECT_EQ(cov.hits()[arcStartNotify], 3u);
+}
+
+TEST(Coverage, SuggestionsNameUncoveredArcsAndConditions) {
+  Cofg g = Cofg::build(ProducerConsumer::receiveModel());
+  cofg::CoverageTracker cov(g, 0);
+  // Nothing processed: everything uncovered.
+  std::string s = cov.suggestSequences();
+  EXPECT_NE(s.find("start -> wait#0"), std::string::npos);
+  EXPECT_NE(s.find("curPos == 0"), std::string::npos);
+  EXPECT_NE(s.find("drive the method through:"), std::string::npos);
+}
+
+TEST(Coverage, SuggestionsEmptyWhenFullyCovered) {
+  CoverageRun h;
+  ProducerConsumer pc(h.rt);
+  confail::conan::TestDriver driver(h.rt, h.clk);
+  driver.addVoid("c1", 1, "receive", [&pc] { pc.receive(); });
+  driver.addVoid("c2", 2, "receive", [&pc] { pc.receive(); });
+  driver.addVoid("p", 3, "send(a)", [&pc] { pc.send("a"); });
+  driver.addVoid("p", 4, "send(b)", [&pc] { pc.send("b"); });
+  driver.addVoid("p", 6, "send(cd)", [&pc] { pc.send("cd"); });
+  driver.addVoid("c1", 7, "receive", [&pc] { pc.receive(); });
+  driver.addVoid("c1", 8, "receive", [&pc] { pc.receive(); });
+  auto res = driver.execute();
+  ASSERT_EQ(res.run.outcome, sched::Outcome::Completed);
+  Cofg g = Cofg::build(ProducerConsumer::receiveModel());
+  cofg::CoverageTracker cov(g, pc.receiveMethodId());
+  cov.process(h.trace.events());
+  EXPECT_NE(cov.suggestSequences().find("all arcs covered"), std::string::npos);
+}
+
+TEST(Coverage, ReportListsArcsWithMarks) {
+  CoverageRun h;
+  ProducerConsumer pc(h.rt);
+  confail::conan::TestDriver driver(h.rt, h.clk);
+  driver.addVoid("p", 1, "send", [&pc] { pc.send("x"); });
+  driver.addVoid("c", 2, "receive", [&pc] { pc.receive(); });
+  auto res = driver.execute();
+  ASSERT_EQ(res.run.outcome, sched::Outcome::Completed);
+  Cofg g = Cofg::build(ProducerConsumer::receiveModel());
+  cofg::CoverageTracker cov(g, pc.receiveMethodId());
+  cov.process(h.trace.events());
+  std::string rep = cov.report(h.trace);
+  EXPECT_NE(rep.find("2/5"), std::string::npos);
+  EXPECT_NE(rep.find("[x] start -> notifyAll#1"), std::string::npos);
+  EXPECT_NE(rep.find("[ ] start -> wait#0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Mutant CoFGs: the graph of what a fault plan actually implements differs
+// structurally from the correct Figure-3 graph.
+// ---------------------------------------------------------------------------
+
+TEST(MutantCofg, IfGuardLosesTheWaitSelfLoop) {
+  ProducerConsumer::Faults f;
+  f.ifInsteadOfWhile = true;
+  Cofg mutant = Cofg::build(ProducerConsumer::receiveModelFor(f));
+  Cofg correct = Cofg::build(ProducerConsumer::receiveModel());
+  Node wait{NodeKind::Wait, 0};
+  EXPECT_NE(correct.findArc(wait, wait), Cofg::npos);
+  EXPECT_EQ(mutant.findArc(wait, wait), Cofg::npos);
+  EXPECT_EQ(mutant.arcs().size(), correct.arcs().size() - 1);
+}
+
+TEST(MutantCofg, SkipWaitLosesTheWaitNodeEntirely) {
+  ProducerConsumer::Faults f;
+  f.skipWaitReceive = true;
+  Cofg mutant = Cofg::build(ProducerConsumer::receiveModelFor(f));
+  for (const auto& arc : mutant.arcs()) {
+    EXPECT_NE(arc.src.kind, NodeKind::Wait);
+    EXPECT_NE(arc.dst.kind, NodeKind::Wait);
+  }
+  EXPECT_EQ(mutant.arcs().size(), 2u);  // start->notifyAll, notifyAll->end
+}
+
+TEST(MutantCofg, SkipNotifyLosesTheNotifyNode) {
+  ProducerConsumer::Faults f;
+  f.skipNotify = true;
+  Cofg mutant = Cofg::build(ProducerConsumer::receiveModelFor(f));
+  for (const auto& arc : mutant.arcs()) {
+    EXPECT_NE(arc.src.kind, NodeKind::NotifyAll);
+    EXPECT_NE(arc.dst.kind, NodeKind::NotifyAll);
+  }
+}
+
+TEST(MutantCofg, NotifyOneMutantUsesNotifyNode) {
+  ProducerConsumer::Faults f;
+  f.notifyOneOnly = true;
+  Cofg mutant = Cofg::build(ProducerConsumer::receiveModelFor(f));
+  bool hasNotifyOne = false;
+  for (const auto& arc : mutant.arcs()) {
+    hasNotifyOne = hasNotifyOne || arc.dst.kind == NodeKind::Notify;
+  }
+  EXPECT_TRUE(hasNotifyOne);
+}
+
+TEST(MutantCofg, MutantTraceCoversMutantGraphCleanly) {
+  // The if-mutant's execution, tracked against the MUTANT's own CoFG,
+  // produces no anomalies — confirming the mutant model describes the
+  // mutant code (and the divergence shows only against the correct model).
+  CoverageRun h;
+  ProducerConsumer::Faults f;
+  f.ifInsteadOfWhile = true;
+  ProducerConsumer pc(h.rt, f);
+  confail::conan::TestDriver driver(h.rt, h.clk);
+  driver.addVoid("c", 1, "receive", [&pc] { (void)pc.receive(); });
+  driver.addVoid("p", 3, "send(x)", [&pc] { pc.send("x"); });
+  auto res = driver.execute();
+  ASSERT_EQ(res.run.outcome, sched::Outcome::Completed);
+
+  Cofg mutantGraph = Cofg::build(ProducerConsumer::receiveModelFor(f));
+  cofg::CoverageTracker cov(mutantGraph, pc.receiveMethodId());
+  cov.process(h.trace.events());
+  EXPECT_TRUE(cov.anomalies().empty());
+  EXPECT_GE(cov.coveredArcs(), 3u);
+}
+
+TEST(Coverage, OnlineSinkMeasuresDuringExecution) {
+  // Future-work item 3: coverage analysis *during* testing — the tracker
+  // registered as a live sink sees arcs as they are traversed.
+  CoverageRun h;
+  ProducerConsumer pc(h.rt);
+  Cofg g = Cofg::build(ProducerConsumer::receiveModel());
+  cofg::CoverageTracker live(g, pc.receiveMethodId());
+  h.trace.addSink(&live);
+
+  confail::conan::TestDriver driver(h.rt, h.clk);
+  driver.addVoid("p", 1, "send", [&pc] { pc.send("x"); });
+  driver.addVoid("c", 2, "receive", [&pc] { (void)pc.receive(); });
+  auto res = driver.execute();
+  ASSERT_EQ(res.run.outcome, sched::Outcome::Completed);
+
+  // Live tracker agrees exactly with an offline replay of the same trace.
+  cofg::CoverageTracker offline(g, pc.receiveMethodId());
+  offline.process(h.trace.events());
+  EXPECT_EQ(live.hits(), offline.hits());
+  EXPECT_EQ(live.coveredArcs(), 2u);
+}
+
+TEST(Cofg, OptionalNotifyKeepsBypassArcs) {
+  MethodModel m("conditional");
+  m.waitLoop("g").notifyAllOptional("cond");
+  Cofg g = Cofg::build(m);
+  Node wait{NodeKind::Wait, 0};
+  Node notifyAll{NodeKind::NotifyAll, 1};
+  // Both the notify path and the bypass path must exist.
+  EXPECT_NE(g.findArc(start(), notifyAll), Cofg::npos);
+  EXPECT_NE(g.findArc(notifyAll, end()), Cofg::npos);
+  EXPECT_NE(g.findArc(start(), end()), Cofg::npos);
+  EXPECT_NE(g.findArc(wait, end()), Cofg::npos);
+  EXPECT_NE(g.findArc(wait, notifyAll), Cofg::npos);
+  EXPECT_EQ(g.arcs().size(), 7u);
+  // The bypass condition names the notify's guard.
+  const auto& bypass = g.arcs()[g.findArc(start(), end())];
+  EXPECT_NE(bypass.condition.find("not (cond)"), std::string::npos);
+}
+
+TEST(Cofg, MandatoryNotifyHasNoBypass) {
+  MethodModel m("unconditional");
+  m.waitLoop("g").notifyAll();
+  Cofg g = Cofg::build(m);
+  EXPECT_EQ(g.findArc(start(), end()), Cofg::npos);
+  Node wait{NodeKind::Wait, 0};
+  EXPECT_EQ(g.findArc(wait, end()), Cofg::npos);
+}

@@ -1,0 +1,200 @@
+// Unit tests for the event/trace layer: kind tables, serialization
+// round-trips, projections, sinks, naming.
+#include <gtest/gtest.h>
+
+#include "confail/events/event.hpp"
+#include "confail/events/trace.hpp"
+#include "confail/support/assert.hpp"
+
+namespace ev = confail::events;
+using ev::Event;
+using ev::EventKind;
+using ev::Trace;
+
+TEST(Event, KindNamesRoundTrip) {
+  for (int k = 0; k <= static_cast<int>(EventKind::ClockTick); ++k) {
+    auto kind = static_cast<EventKind>(k);
+    EXPECT_EQ(ev::kindFromName(ev::kindName(kind)), kind);
+  }
+  EXPECT_THROW(ev::kindFromName("NoSuchKind"), confail::UsageError);
+}
+
+TEST(Event, ModelTransitionSubset) {
+  EXPECT_TRUE(ev::isModelTransition(EventKind::LockRequest));
+  EXPECT_TRUE(ev::isModelTransition(EventKind::LockAcquire));
+  EXPECT_TRUE(ev::isModelTransition(EventKind::WaitBegin));
+  EXPECT_TRUE(ev::isModelTransition(EventKind::LockRelease));
+  EXPECT_TRUE(ev::isModelTransition(EventKind::Notified));
+  EXPECT_FALSE(ev::isModelTransition(EventKind::NotifyCall));
+  EXPECT_FALSE(ev::isModelTransition(EventKind::Read));
+  EXPECT_FALSE(ev::isModelTransition(EventKind::ClockTick));
+}
+
+TEST(Event, StringRoundTrip) {
+  Event e;
+  e.seq = 42;
+  e.thread = 3;
+  e.kind = EventKind::GuardEval;
+  e.monitor = 7;
+  e.aux = 99;
+  e.method = 2;
+  e.flag = true;
+  EXPECT_EQ(Event::parse(e.toString()), e);
+
+  Event minimal;
+  minimal.kind = EventKind::ThreadStart;
+  EXPECT_EQ(Event::parse(minimal.toString()), minimal);
+}
+
+TEST(Event, ParseRejectsGarbage) {
+  EXPECT_THROW(Event::parse("not an event"), confail::UsageError);
+  EXPECT_THROW(Event::parse(""), confail::UsageError);
+}
+
+TEST(Trace, AssignsMonotonicSequence) {
+  Trace t;
+  for (int i = 0; i < 5; ++i) {
+    Event e;
+    e.kind = EventKind::Read;
+    EXPECT_EQ(t.record(e), static_cast<std::uint64_t>(i));
+  }
+  auto all = t.events();
+  ASSERT_EQ(all.size(), 5u);
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i].seq, i);
+}
+
+TEST(Trace, SinksSeeEveryEventInOrder) {
+  struct Counter : ev::EventSink {
+    std::vector<std::uint64_t> seqs;
+    void onEvent(const Event& e) override { seqs.push_back(e.seq); }
+  } sink;
+  Trace t;
+  t.addSink(&sink);
+  for (int i = 0; i < 4; ++i) {
+    Event e;
+    e.kind = EventKind::Write;
+    t.record(e);
+  }
+  EXPECT_EQ(sink.seqs, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(Trace, NamesFallBackToGenerated) {
+  Trace t;
+  t.nameThread(2, "worker");
+  EXPECT_EQ(t.threadName(2), "worker");
+  EXPECT_EQ(t.threadName(5), "thread-5");
+  EXPECT_EQ(t.monitorName(0), "monitor-0");
+  EXPECT_EQ(t.varName(1), "var-1");
+  EXPECT_EQ(t.methodName(9), "method-9");
+}
+
+TEST(Trace, Projections) {
+  Trace t;
+  auto push = [&t](ev::ThreadId tid, ev::MonitorId mon) {
+    Event e;
+    e.thread = tid;
+    e.monitor = mon;
+    e.kind = EventKind::LockAcquire;
+    t.record(e);
+  };
+  push(0, 10);
+  push(1, 10);
+  push(0, 11);
+  EXPECT_EQ(t.threadProjection(0).size(), 2u);
+  EXPECT_EQ(t.threadProjection(1).size(), 1u);
+  EXPECT_EQ(t.monitorProjection(10).size(), 2u);
+  EXPECT_EQ(t.monitorProjection(11).size(), 1u);
+  EXPECT_EQ(t.monitorProjection(99).size(), 0u);
+}
+
+TEST(Trace, SerializeDeserializeRoundTrip) {
+  Trace t;
+  t.nameThread(0, "producer");
+  t.nameMonitor(3, "buffer");
+  t.nameVar(1, "size");
+  t.nameMethod(2, "put");
+  for (int i = 0; i < 3; ++i) {
+    Event e;
+    e.thread = 0;
+    e.monitor = 3;
+    e.kind = i == 1 ? EventKind::WaitBegin : EventKind::LockAcquire;
+    e.aux = static_cast<std::uint64_t>(i);
+    t.record(e);
+  }
+  std::string text = t.serialize();
+  Trace u = Trace::deserialize(text);
+  EXPECT_EQ(u.events(), t.events());
+  EXPECT_EQ(u.threadName(0), "producer");
+  EXPECT_EQ(u.monitorName(3), "buffer");
+  EXPECT_EQ(u.varName(1), "size");
+  EXPECT_EQ(u.methodName(2), "put");
+}
+
+TEST(Trace, ClearKeepsNames) {
+  Trace t;
+  t.nameThread(0, "keeper");
+  Event e;
+  e.kind = EventKind::Read;
+  t.record(e);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.threadName(0), "keeper");
+  // Sequence restarts.
+  EXPECT_EQ(t.record(e), 0u);
+}
+
+TEST(Trace, RenderMentionsNames) {
+  Trace t;
+  t.nameThread(0, "alpha");
+  t.nameMonitor(1, "mon");
+  Event e;
+  e.thread = 0;
+  e.monitor = 1;
+  e.kind = EventKind::LockRequest;
+  t.record(e);
+  std::string out;
+  t.render([&out](const std::string& line) { out += line + "\n"; });
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("mon"), std::string::npos);
+  EXPECT_NE(out.find("LockRequest"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzed serialization round-trip: random events through serialize/parse.
+// ---------------------------------------------------------------------------
+
+#include "confail/support/rng.hpp"
+
+class TraceFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceFuzz, SerializationRoundTripsRandomTraces) {
+  confail::Xoshiro256 rng(GetParam());
+  Trace t;
+  t.nameThread(0, "fuzz-thread");
+  t.nameMonitor(1, "fuzz monitor with spaces");
+  const int kKinds = static_cast<int>(EventKind::ClockTick) + 1;
+  for (int i = 0; i < 300; ++i) {
+    Event e;
+    e.thread = static_cast<ev::ThreadId>(rng.below(6));
+    e.kind = static_cast<EventKind>(rng.below(static_cast<std::uint64_t>(kKinds)));
+    e.monitor = rng.chance(0.5) ? static_cast<ev::MonitorId>(rng.below(4))
+                                : ev::kNoMonitor;
+    e.aux = rng.next();
+    e.method = rng.chance(0.5) ? static_cast<ev::MethodId>(rng.below(8))
+                               : ev::kNoMethod;
+    e.flag = rng.chance(0.5);
+    t.record(e);
+  }
+  Trace u = Trace::deserialize(t.serialize());
+  EXPECT_EQ(u.events(), t.events());
+  EXPECT_EQ(u.threadName(0), "fuzz-thread");
+  EXPECT_EQ(u.monitorName(1), "fuzz monitor with spaces");
+  // Double round-trip is a fixpoint.
+  EXPECT_EQ(u.serialize(), t.serialize());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceFuzz,
+                         testing::Values(1ull, 2ull, 3ull, 5ull, 8ull, 13ull),
+                         [](const testing::TestParamInfo<std::uint64_t>& pinfo) {
+                           return "seed" + std::to_string(pinfo.param);
+                         });
