@@ -1,0 +1,119 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "confail::confail_support" for configuration "RelWithDebInfo"
+set_property(TARGET confail::confail_support APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(confail::confail_support PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libconfail_support.a"
+  )
+
+list(APPEND _cmake_import_check_targets confail::confail_support )
+list(APPEND _cmake_import_check_files_for_confail::confail_support "${_IMPORT_PREFIX}/lib/libconfail_support.a" )
+
+# Import target "confail::confail_events" for configuration "RelWithDebInfo"
+set_property(TARGET confail::confail_events APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(confail::confail_events PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libconfail_events.a"
+  )
+
+list(APPEND _cmake_import_check_targets confail::confail_events )
+list(APPEND _cmake_import_check_files_for_confail::confail_events "${_IMPORT_PREFIX}/lib/libconfail_events.a" )
+
+# Import target "confail::confail_sched" for configuration "RelWithDebInfo"
+set_property(TARGET confail::confail_sched APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(confail::confail_sched PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libconfail_sched.a"
+  )
+
+list(APPEND _cmake_import_check_targets confail::confail_sched )
+list(APPEND _cmake_import_check_files_for_confail::confail_sched "${_IMPORT_PREFIX}/lib/libconfail_sched.a" )
+
+# Import target "confail::confail_monitor" for configuration "RelWithDebInfo"
+set_property(TARGET confail::confail_monitor APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(confail::confail_monitor PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libconfail_monitor.a"
+  )
+
+list(APPEND _cmake_import_check_targets confail::confail_monitor )
+list(APPEND _cmake_import_check_files_for_confail::confail_monitor "${_IMPORT_PREFIX}/lib/libconfail_monitor.a" )
+
+# Import target "confail::confail_clock" for configuration "RelWithDebInfo"
+set_property(TARGET confail::confail_clock APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(confail::confail_clock PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libconfail_clock.a"
+  )
+
+list(APPEND _cmake_import_check_targets confail::confail_clock )
+list(APPEND _cmake_import_check_files_for_confail::confail_clock "${_IMPORT_PREFIX}/lib/libconfail_clock.a" )
+
+# Import target "confail::confail_conan" for configuration "RelWithDebInfo"
+set_property(TARGET confail::confail_conan APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(confail::confail_conan PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libconfail_conan.a"
+  )
+
+list(APPEND _cmake_import_check_targets confail::confail_conan )
+list(APPEND _cmake_import_check_files_for_confail::confail_conan "${_IMPORT_PREFIX}/lib/libconfail_conan.a" )
+
+# Import target "confail::confail_petri" for configuration "RelWithDebInfo"
+set_property(TARGET confail::confail_petri APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(confail::confail_petri PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libconfail_petri.a"
+  )
+
+list(APPEND _cmake_import_check_targets confail::confail_petri )
+list(APPEND _cmake_import_check_files_for_confail::confail_petri "${_IMPORT_PREFIX}/lib/libconfail_petri.a" )
+
+# Import target "confail::confail_cofg" for configuration "RelWithDebInfo"
+set_property(TARGET confail::confail_cofg APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(confail::confail_cofg PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libconfail_cofg.a"
+  )
+
+list(APPEND _cmake_import_check_targets confail::confail_cofg )
+list(APPEND _cmake_import_check_files_for_confail::confail_cofg "${_IMPORT_PREFIX}/lib/libconfail_cofg.a" )
+
+# Import target "confail::confail_detect" for configuration "RelWithDebInfo"
+set_property(TARGET confail::confail_detect APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(confail::confail_detect PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libconfail_detect.a"
+  )
+
+list(APPEND _cmake_import_check_targets confail::confail_detect )
+list(APPEND _cmake_import_check_files_for_confail::confail_detect "${_IMPORT_PREFIX}/lib/libconfail_detect.a" )
+
+# Import target "confail::confail_taxonomy" for configuration "RelWithDebInfo"
+set_property(TARGET confail::confail_taxonomy APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(confail::confail_taxonomy PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libconfail_taxonomy.a"
+  )
+
+list(APPEND _cmake_import_check_targets confail::confail_taxonomy )
+list(APPEND _cmake_import_check_files_for_confail::confail_taxonomy "${_IMPORT_PREFIX}/lib/libconfail_taxonomy.a" )
+
+# Import target "confail::confail_components" for configuration "RelWithDebInfo"
+set_property(TARGET confail::confail_components APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(confail::confail_components PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libconfail_components.a"
+  )
+
+list(APPEND _cmake_import_check_targets confail::confail_components )
+list(APPEND _cmake_import_check_files_for_confail::confail_components "${_IMPORT_PREFIX}/lib/libconfail_components.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

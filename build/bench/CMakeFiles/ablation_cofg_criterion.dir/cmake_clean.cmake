@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cofg_criterion.dir/ablation_cofg_criterion.cpp.o"
+  "CMakeFiles/ablation_cofg_criterion.dir/ablation_cofg_criterion.cpp.o.d"
+  "ablation_cofg_criterion"
+  "ablation_cofg_criterion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cofg_criterion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

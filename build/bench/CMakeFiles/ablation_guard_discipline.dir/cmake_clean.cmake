@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_guard_discipline.dir/ablation_guard_discipline.cpp.o"
+  "CMakeFiles/ablation_guard_discipline.dir/ablation_guard_discipline.cpp.o.d"
+  "ablation_guard_discipline"
+  "ablation_guard_discipline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_guard_discipline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_petri_model.dir/fig1_petri_model.cpp.o"
+  "CMakeFiles/fig1_petri_model.dir/fig1_petri_model.cpp.o.d"
+  "fig1_petri_model"
+  "fig1_petri_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_petri_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_producer_consumer.dir/fig2_producer_consumer.cpp.o"
+  "CMakeFiles/fig2_producer_consumer.dir/fig2_producer_consumer.cpp.o.d"
+  "fig2_producer_consumer"
+  "fig2_producer_consumer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_producer_consumer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cofg_coverage.dir/fig3_cofg_coverage.cpp.o"
+  "CMakeFiles/fig3_cofg_coverage.dir/fig3_cofg_coverage.cpp.o.d"
+  "fig3_cofg_coverage"
+  "fig3_cofg_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cofg_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

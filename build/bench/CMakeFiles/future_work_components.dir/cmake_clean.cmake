@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_work_components.dir/future_work_components.cpp.o"
+  "CMakeFiles/future_work_components.dir/future_work_components.cpp.o.d"
+  "future_work_components"
+  "future_work_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_work_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_work_criteria_comparison.dir/future_work_criteria_comparison.cpp.o"
+  "CMakeFiles/future_work_criteria_comparison.dir/future_work_criteria_comparison.cpp.o.d"
+  "future_work_criteria_comparison"
+  "future_work_criteria_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_work_criteria_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cofg_coverage.dir/cofg_coverage.cpp.o"
+  "CMakeFiles/cofg_coverage.dir/cofg_coverage.cpp.o.d"
+  "cofg_coverage"
+  "cofg_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cofg_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starvation_fix.dir/starvation_fix.cpp.o"
+  "CMakeFiles/starvation_fix.dir/starvation_fix.cpp.o.d"
+  "starvation_fix"
+  "starvation_fix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starvation_fix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

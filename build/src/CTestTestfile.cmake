@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("events")
+subdirs("sched")
+subdirs("monitor")
+subdirs("clock")
+subdirs("conan")
+subdirs("petri")
+subdirs("cofg")
+subdirs("detect")
+subdirs("taxonomy")
+subdirs("components")

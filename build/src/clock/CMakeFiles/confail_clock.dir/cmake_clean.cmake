@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confail_clock.dir/abstract_clock.cpp.o"
+  "CMakeFiles/confail_clock.dir/abstract_clock.cpp.o.d"
+  "libconfail_clock.a"
+  "libconfail_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confail_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

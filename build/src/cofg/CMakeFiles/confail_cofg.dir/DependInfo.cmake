@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cofg/cofg.cpp" "src/cofg/CMakeFiles/confail_cofg.dir/cofg.cpp.o" "gcc" "src/cofg/CMakeFiles/confail_cofg.dir/cofg.cpp.o.d"
+  "/root/repo/src/cofg/coverage.cpp" "src/cofg/CMakeFiles/confail_cofg.dir/coverage.cpp.o" "gcc" "src/cofg/CMakeFiles/confail_cofg.dir/coverage.cpp.o.d"
+  "/root/repo/src/cofg/method_model.cpp" "src/cofg/CMakeFiles/confail_cofg.dir/method_model.cpp.o" "gcc" "src/cofg/CMakeFiles/confail_cofg.dir/method_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/confail_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/confail_events.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

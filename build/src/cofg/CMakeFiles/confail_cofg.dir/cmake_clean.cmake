@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confail_cofg.dir/cofg.cpp.o"
+  "CMakeFiles/confail_cofg.dir/cofg.cpp.o.d"
+  "CMakeFiles/confail_cofg.dir/coverage.cpp.o"
+  "CMakeFiles/confail_cofg.dir/coverage.cpp.o.d"
+  "CMakeFiles/confail_cofg.dir/method_model.cpp.o"
+  "CMakeFiles/confail_cofg.dir/method_model.cpp.o.d"
+  "libconfail_cofg.a"
+  "libconfail_cofg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confail_cofg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

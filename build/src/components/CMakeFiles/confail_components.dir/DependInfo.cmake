@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/components/alarm_clock.cpp" "src/components/CMakeFiles/confail_components.dir/alarm_clock.cpp.o" "gcc" "src/components/CMakeFiles/confail_components.dir/alarm_clock.cpp.o.d"
+  "/root/repo/src/components/barrier.cpp" "src/components/CMakeFiles/confail_components.dir/barrier.cpp.o" "gcc" "src/components/CMakeFiles/confail_components.dir/barrier.cpp.o.d"
+  "/root/repo/src/components/fifo_lock.cpp" "src/components/CMakeFiles/confail_components.dir/fifo_lock.cpp.o" "gcc" "src/components/CMakeFiles/confail_components.dir/fifo_lock.cpp.o.d"
+  "/root/repo/src/components/latch.cpp" "src/components/CMakeFiles/confail_components.dir/latch.cpp.o" "gcc" "src/components/CMakeFiles/confail_components.dir/latch.cpp.o.d"
+  "/root/repo/src/components/producer_consumer.cpp" "src/components/CMakeFiles/confail_components.dir/producer_consumer.cpp.o" "gcc" "src/components/CMakeFiles/confail_components.dir/producer_consumer.cpp.o.d"
+  "/root/repo/src/components/readers_writers.cpp" "src/components/CMakeFiles/confail_components.dir/readers_writers.cpp.o" "gcc" "src/components/CMakeFiles/confail_components.dir/readers_writers.cpp.o.d"
+  "/root/repo/src/components/semaphore.cpp" "src/components/CMakeFiles/confail_components.dir/semaphore.cpp.o" "gcc" "src/components/CMakeFiles/confail_components.dir/semaphore.cpp.o.d"
+  "/root/repo/src/components/thread_pool.cpp" "src/components/CMakeFiles/confail_components.dir/thread_pool.cpp.o" "gcc" "src/components/CMakeFiles/confail_components.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/monitor/CMakeFiles/confail_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/cofg/CMakeFiles/confail_cofg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/confail_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/confail_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/confail_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confail_components.dir/alarm_clock.cpp.o"
+  "CMakeFiles/confail_components.dir/alarm_clock.cpp.o.d"
+  "CMakeFiles/confail_components.dir/barrier.cpp.o"
+  "CMakeFiles/confail_components.dir/barrier.cpp.o.d"
+  "CMakeFiles/confail_components.dir/fifo_lock.cpp.o"
+  "CMakeFiles/confail_components.dir/fifo_lock.cpp.o.d"
+  "CMakeFiles/confail_components.dir/latch.cpp.o"
+  "CMakeFiles/confail_components.dir/latch.cpp.o.d"
+  "CMakeFiles/confail_components.dir/producer_consumer.cpp.o"
+  "CMakeFiles/confail_components.dir/producer_consumer.cpp.o.d"
+  "CMakeFiles/confail_components.dir/readers_writers.cpp.o"
+  "CMakeFiles/confail_components.dir/readers_writers.cpp.o.d"
+  "CMakeFiles/confail_components.dir/semaphore.cpp.o"
+  "CMakeFiles/confail_components.dir/semaphore.cpp.o.d"
+  "CMakeFiles/confail_components.dir/thread_pool.cpp.o"
+  "CMakeFiles/confail_components.dir/thread_pool.cpp.o.d"
+  "libconfail_components.a"
+  "libconfail_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confail_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

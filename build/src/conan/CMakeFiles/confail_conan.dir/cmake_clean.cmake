@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confail_conan.dir/test_driver.cpp.o"
+  "CMakeFiles/confail_conan.dir/test_driver.cpp.o.d"
+  "libconfail_conan.a"
+  "libconfail_conan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confail_conan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

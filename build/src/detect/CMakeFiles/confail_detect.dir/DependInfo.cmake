@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/finding.cpp" "src/detect/CMakeFiles/confail_detect.dir/finding.cpp.o" "gcc" "src/detect/CMakeFiles/confail_detect.dir/finding.cpp.o.d"
+  "/root/repo/src/detect/hb_detector.cpp" "src/detect/CMakeFiles/confail_detect.dir/hb_detector.cpp.o" "gcc" "src/detect/CMakeFiles/confail_detect.dir/hb_detector.cpp.o.d"
+  "/root/repo/src/detect/lock_graph.cpp" "src/detect/CMakeFiles/confail_detect.dir/lock_graph.cpp.o" "gcc" "src/detect/CMakeFiles/confail_detect.dir/lock_graph.cpp.o.d"
+  "/root/repo/src/detect/lockset.cpp" "src/detect/CMakeFiles/confail_detect.dir/lockset.cpp.o" "gcc" "src/detect/CMakeFiles/confail_detect.dir/lockset.cpp.o.d"
+  "/root/repo/src/detect/release_discipline.cpp" "src/detect/CMakeFiles/confail_detect.dir/release_discipline.cpp.o" "gcc" "src/detect/CMakeFiles/confail_detect.dir/release_discipline.cpp.o.d"
+  "/root/repo/src/detect/starvation.cpp" "src/detect/CMakeFiles/confail_detect.dir/starvation.cpp.o" "gcc" "src/detect/CMakeFiles/confail_detect.dir/starvation.cpp.o.d"
+  "/root/repo/src/detect/suite.cpp" "src/detect/CMakeFiles/confail_detect.dir/suite.cpp.o" "gcc" "src/detect/CMakeFiles/confail_detect.dir/suite.cpp.o.d"
+  "/root/repo/src/detect/unnecessary_sync.cpp" "src/detect/CMakeFiles/confail_detect.dir/unnecessary_sync.cpp.o" "gcc" "src/detect/CMakeFiles/confail_detect.dir/unnecessary_sync.cpp.o.d"
+  "/root/repo/src/detect/wait_notify.cpp" "src/detect/CMakeFiles/confail_detect.dir/wait_notify.cpp.o" "gcc" "src/detect/CMakeFiles/confail_detect.dir/wait_notify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/confail_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/confail_events.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confail_detect.dir/finding.cpp.o"
+  "CMakeFiles/confail_detect.dir/finding.cpp.o.d"
+  "CMakeFiles/confail_detect.dir/hb_detector.cpp.o"
+  "CMakeFiles/confail_detect.dir/hb_detector.cpp.o.d"
+  "CMakeFiles/confail_detect.dir/lock_graph.cpp.o"
+  "CMakeFiles/confail_detect.dir/lock_graph.cpp.o.d"
+  "CMakeFiles/confail_detect.dir/lockset.cpp.o"
+  "CMakeFiles/confail_detect.dir/lockset.cpp.o.d"
+  "CMakeFiles/confail_detect.dir/release_discipline.cpp.o"
+  "CMakeFiles/confail_detect.dir/release_discipline.cpp.o.d"
+  "CMakeFiles/confail_detect.dir/starvation.cpp.o"
+  "CMakeFiles/confail_detect.dir/starvation.cpp.o.d"
+  "CMakeFiles/confail_detect.dir/suite.cpp.o"
+  "CMakeFiles/confail_detect.dir/suite.cpp.o.d"
+  "CMakeFiles/confail_detect.dir/unnecessary_sync.cpp.o"
+  "CMakeFiles/confail_detect.dir/unnecessary_sync.cpp.o.d"
+  "CMakeFiles/confail_detect.dir/wait_notify.cpp.o"
+  "CMakeFiles/confail_detect.dir/wait_notify.cpp.o.d"
+  "libconfail_detect.a"
+  "libconfail_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confail_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

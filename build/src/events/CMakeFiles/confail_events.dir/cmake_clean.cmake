@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confail_events.dir/event.cpp.o"
+  "CMakeFiles/confail_events.dir/event.cpp.o.d"
+  "CMakeFiles/confail_events.dir/trace.cpp.o"
+  "CMakeFiles/confail_events.dir/trace.cpp.o.d"
+  "libconfail_events.a"
+  "libconfail_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confail_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

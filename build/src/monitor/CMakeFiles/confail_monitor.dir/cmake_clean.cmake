@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confail_monitor.dir/monitor.cpp.o"
+  "CMakeFiles/confail_monitor.dir/monitor.cpp.o.d"
+  "CMakeFiles/confail_monitor.dir/runtime.cpp.o"
+  "CMakeFiles/confail_monitor.dir/runtime.cpp.o.d"
+  "libconfail_monitor.a"
+  "libconfail_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confail_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

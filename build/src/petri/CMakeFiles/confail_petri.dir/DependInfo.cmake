@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/petri/invariants.cpp" "src/petri/CMakeFiles/confail_petri.dir/invariants.cpp.o" "gcc" "src/petri/CMakeFiles/confail_petri.dir/invariants.cpp.o.d"
+  "/root/repo/src/petri/net.cpp" "src/petri/CMakeFiles/confail_petri.dir/net.cpp.o" "gcc" "src/petri/CMakeFiles/confail_petri.dir/net.cpp.o.d"
+  "/root/repo/src/petri/reachability.cpp" "src/petri/CMakeFiles/confail_petri.dir/reachability.cpp.o" "gcc" "src/petri/CMakeFiles/confail_petri.dir/reachability.cpp.o.d"
+  "/root/repo/src/petri/thread_lock_net.cpp" "src/petri/CMakeFiles/confail_petri.dir/thread_lock_net.cpp.o" "gcc" "src/petri/CMakeFiles/confail_petri.dir/thread_lock_net.cpp.o.d"
+  "/root/repo/src/petri/trace_validator.cpp" "src/petri/CMakeFiles/confail_petri.dir/trace_validator.cpp.o" "gcc" "src/petri/CMakeFiles/confail_petri.dir/trace_validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/confail_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/confail_events.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confail_petri.dir/invariants.cpp.o"
+  "CMakeFiles/confail_petri.dir/invariants.cpp.o.d"
+  "CMakeFiles/confail_petri.dir/net.cpp.o"
+  "CMakeFiles/confail_petri.dir/net.cpp.o.d"
+  "CMakeFiles/confail_petri.dir/reachability.cpp.o"
+  "CMakeFiles/confail_petri.dir/reachability.cpp.o.d"
+  "CMakeFiles/confail_petri.dir/thread_lock_net.cpp.o"
+  "CMakeFiles/confail_petri.dir/thread_lock_net.cpp.o.d"
+  "CMakeFiles/confail_petri.dir/trace_validator.cpp.o"
+  "CMakeFiles/confail_petri.dir/trace_validator.cpp.o.d"
+  "libconfail_petri.a"
+  "libconfail_petri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confail_petri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

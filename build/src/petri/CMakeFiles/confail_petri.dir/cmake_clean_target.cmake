@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libconfail_petri.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/explorer.cpp" "src/sched/CMakeFiles/confail_sched.dir/explorer.cpp.o" "gcc" "src/sched/CMakeFiles/confail_sched.dir/explorer.cpp.o.d"
+  "/root/repo/src/sched/strategy.cpp" "src/sched/CMakeFiles/confail_sched.dir/strategy.cpp.o" "gcc" "src/sched/CMakeFiles/confail_sched.dir/strategy.cpp.o.d"
+  "/root/repo/src/sched/virtual_scheduler.cpp" "src/sched/CMakeFiles/confail_sched.dir/virtual_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/confail_sched.dir/virtual_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/confail_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/confail_events.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confail_sched.dir/explorer.cpp.o"
+  "CMakeFiles/confail_sched.dir/explorer.cpp.o.d"
+  "CMakeFiles/confail_sched.dir/strategy.cpp.o"
+  "CMakeFiles/confail_sched.dir/strategy.cpp.o.d"
+  "CMakeFiles/confail_sched.dir/virtual_scheduler.cpp.o"
+  "CMakeFiles/confail_sched.dir/virtual_scheduler.cpp.o.d"
+  "libconfail_sched.a"
+  "libconfail_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confail_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

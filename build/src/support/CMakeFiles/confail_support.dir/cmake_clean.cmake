@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confail_support.dir/assert.cpp.o"
+  "CMakeFiles/confail_support.dir/assert.cpp.o.d"
+  "CMakeFiles/confail_support.dir/rng.cpp.o"
+  "CMakeFiles/confail_support.dir/rng.cpp.o.d"
+  "CMakeFiles/confail_support.dir/text.cpp.o"
+  "CMakeFiles/confail_support.dir/text.cpp.o.d"
+  "libconfail_support.a"
+  "libconfail_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confail_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxonomy/classifier.cpp" "src/taxonomy/CMakeFiles/confail_taxonomy.dir/classifier.cpp.o" "gcc" "src/taxonomy/CMakeFiles/confail_taxonomy.dir/classifier.cpp.o.d"
+  "/root/repo/src/taxonomy/table1.cpp" "src/taxonomy/CMakeFiles/confail_taxonomy.dir/table1.cpp.o" "gcc" "src/taxonomy/CMakeFiles/confail_taxonomy.dir/table1.cpp.o.d"
+  "/root/repo/src/taxonomy/taxonomy.cpp" "src/taxonomy/CMakeFiles/confail_taxonomy.dir/taxonomy.cpp.o" "gcc" "src/taxonomy/CMakeFiles/confail_taxonomy.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/confail_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/confail_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/confail_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/confail_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/conan/CMakeFiles/confail_conan.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/confail_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/confail_monitor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

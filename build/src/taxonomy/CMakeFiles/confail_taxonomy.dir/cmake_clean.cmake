@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confail_taxonomy.dir/classifier.cpp.o"
+  "CMakeFiles/confail_taxonomy.dir/classifier.cpp.o.d"
+  "CMakeFiles/confail_taxonomy.dir/table1.cpp.o"
+  "CMakeFiles/confail_taxonomy.dir/table1.cpp.o.d"
+  "CMakeFiles/confail_taxonomy.dir/taxonomy.cpp.o"
+  "CMakeFiles/confail_taxonomy.dir/taxonomy.cpp.o.d"
+  "libconfail_taxonomy.a"
+  "libconfail_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confail_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

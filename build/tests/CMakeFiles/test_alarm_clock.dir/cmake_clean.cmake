@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alarm_clock.dir/alarm_clock_test.cpp.o"
+  "CMakeFiles/test_alarm_clock.dir/alarm_clock_test.cpp.o.d"
+  "test_alarm_clock"
+  "test_alarm_clock.pdb"
+  "test_alarm_clock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alarm_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cofg.dir/cofg_test.cpp.o"
+  "CMakeFiles/test_cofg.dir/cofg_test.cpp.o.d"
+  "test_cofg"
+  "test_cofg.pdb"
+  "test_cofg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cofg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

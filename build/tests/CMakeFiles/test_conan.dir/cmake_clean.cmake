@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conan.dir/conan_test.cpp.o"
+  "CMakeFiles/test_conan.dir/conan_test.cpp.o.d"
+  "test_conan"
+  "test_conan.pdb"
+  "test_conan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conan_extra.dir/conan_extra_test.cpp.o"
+  "CMakeFiles/test_conan_extra.dir/conan_extra_test.cpp.o.d"
+  "test_conan_extra"
+  "test_conan_extra.pdb"
+  "test_conan_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conan_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

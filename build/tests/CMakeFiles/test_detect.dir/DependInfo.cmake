@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/detect_test.cpp" "tests/CMakeFiles/test_detect.dir/detect_test.cpp.o" "gcc" "tests/CMakeFiles/test_detect.dir/detect_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/confail_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/confail_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/confail_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/confail_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/confail_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/conan/CMakeFiles/confail_conan.dir/DependInfo.cmake"
+  "/root/repo/build/src/petri/CMakeFiles/confail_petri.dir/DependInfo.cmake"
+  "/root/repo/build/src/cofg/CMakeFiles/confail_cofg.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/confail_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/confail_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/CMakeFiles/confail_components.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fifo_lock.dir/fifo_lock_test.cpp.o"
+  "CMakeFiles/test_fifo_lock.dir/fifo_lock_test.cpp.o.d"
+  "test_fifo_lock"
+  "test_fifo_lock.pdb"
+  "test_fifo_lock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fifo_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

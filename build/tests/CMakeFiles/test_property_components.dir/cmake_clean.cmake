@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_components.dir/property_components_test.cpp.o"
+  "CMakeFiles/test_property_components.dir/property_components_test.cpp.o.d"
+  "test_property_components"
+  "test_property_components.pdb"
+  "test_property_components[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

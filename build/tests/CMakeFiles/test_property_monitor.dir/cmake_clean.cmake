@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_monitor.dir/property_monitor_test.cpp.o"
+  "CMakeFiles/test_property_monitor.dir/property_monitor_test.cpp.o.d"
+  "test_property_monitor"
+  "test_property_monitor.pdb"
+  "test_property_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

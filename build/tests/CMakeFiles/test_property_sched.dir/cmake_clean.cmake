@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_sched.dir/property_sched_test.cpp.o"
+  "CMakeFiles/test_property_sched.dir/property_sched_test.cpp.o.d"
+  "test_property_sched"
+  "test_property_sched.pdb"
+  "test_property_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

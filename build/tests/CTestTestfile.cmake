@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_events[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_clock[1]_include.cmake")
+include("/root/repo/build/tests/test_conan[1]_include.cmake")
+include("/root/repo/build/tests/test_conan_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_petri[1]_include.cmake")
+include("/root/repo/build/tests/test_cofg[1]_include.cmake")
+include("/root/repo/build/tests/test_detect[1]_include.cmake")
+include("/root/repo/build/tests/test_detect_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_taxonomy[1]_include.cmake")
+include("/root/repo/build/tests/test_components[1]_include.cmake")
+include("/root/repo/build/tests/test_property_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_property_components[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_fifo_lock[1]_include.cmake")
+include("/root/repo/build/tests/test_alarm_clock[1]_include.cmake")
+add_test(trace_tool_selftest "/root/repo/build/tools/confail_trace" "selftest")
+set_tests_properties(trace_tool_selftest PROPERTIES  PASS_REGULAR_EXPRESSION "SELFTEST OK" TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;36;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confail_trace.dir/trace_tool.cpp.o"
+  "CMakeFiles/confail_trace.dir/trace_tool.cpp.o.d"
+  "confail_trace"
+  "confail_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confail_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
