@@ -3,157 +3,179 @@
 // The paper's premise is that free-running execution is a poor way to find
 // concurrency failures and that controlled (deterministic) execution is
 // needed.  This bench quantifies that on the substrate: a schedule-
-// dependent FF-T5 bug (BoundedBuffer with notify() instead of notifyAll())
-// is hunted by four strategies under equal run budgets:
-//   round-robin      (the "fair JVM" — a single deterministic schedule)
-//   random walk      (stress testing with seeds; ConTest-style)
-//   PCT              (priority-based probabilistic concurrency testing)
-//   exhaustive DFS   (bounded model checking of the schedule tree)
+// dependent FF-T5 bug (BoundedBuffer with notify() instead of notifyAll(),
+// scenarios::ffT5Notify) is hunted by five strategies under equal run
+// budgets:
+//   round-robin       (the "fair JVM" — a single deterministic schedule)
+//   random walk       (stress testing with seeds; ConTest-style)
+//   PCT               (priority-based probabilistic concurrency testing)
+//   exhaustive DFS    (bounded model checking of the schedule tree)
+//   exhaustive+prune  (same, with (depth, fingerprint) state dedup; its
+//                      budget is sized to exhaust the deduped tree, which
+//                      turns the budget-bounded search into a proof)
 // Reported: exposure rate, runs-to-first-failure, and whether the failure
-// is *proved* reachable.
+// is *proved* reachable.  Results also land in
+// BENCH_ablation_schedulers.json; `--smoke` shrinks the seed budgets.
 #include <cstdio>
-#include <memory>
+#include <cstring>
 #include <string>
+#include <vector>
 
-#include "confail/components/bounded_buffer.hpp"
-#include "confail/events/trace.hpp"
-#include "confail/monitor/runtime.hpp"
+#include "bench_json.hpp"
+#include "confail/components/scenarios.hpp"
 #include "confail/sched/explorer.hpp"
 #include "confail/sched/virtual_scheduler.hpp"
 
-namespace comps = confail::components;
 namespace ev = confail::events;
 namespace sched = confail::sched;
-using confail::monitor::Runtime;
+namespace scenarios = confail::components::scenarios;
 
 namespace {
-
-// The scenario: capacity-1 buffer, 2 producers x 2 items, 2 consumers x 2
-// items, notify() instead of notifyAll().  Under many schedules the single
-// notify wakes a same-side waiter and the system deadlocks (FF-T5,
-// "a notify is called rather than a notifyAll").
-void buildScenario(sched::VirtualScheduler& s) {
-  // The State (and its trace) is kept alive by the spawned closures, which
-  // the scheduler owns until the run finishes.
-  struct State {
-    ev::Trace trace;
-    Runtime rt;
-    comps::BoundedBuffer<int> buf;
-    explicit State(sched::VirtualScheduler& sc)
-        : rt(trace, sc, 1), buf(rt, "buf", 1, [] {
-            comps::BoundedBuffer<int>::Faults f;
-            f.notifyOneOnly = true;
-            return f;
-          }()) {}
-  };
-  auto st = std::make_shared<State>(s);
-  for (int p = 0; p < 2; ++p) {
-    st->rt.spawn("p" + std::to_string(p), [st] {
-      for (int i = 0; i < 2; ++i) st->buf.put(i);
-    });
-  }
-  for (int c = 0; c < 2; ++c) {
-    st->rt.spawn("c" + std::to_string(c), [st] {
-      for (int i = 0; i < 2; ++i) (void)st->buf.take();
-    });
-  }
-}
 
 bool runOnce(sched::Strategy& strategy) {
   sched::VirtualScheduler::Options so;
   so.maxSteps = 20000;
   sched::VirtualScheduler s(strategy, so);
-  buildScenario(s);
+  scenarios::ffT5Notify(s);
   return s.run().outcome == sched::Outcome::Deadlock;
+}
+
+struct Row {
+  std::string strategy;
+  std::uint64_t runs = 0;
+  std::uint64_t exposed = 0;
+  std::uint64_t firstFailure = 0;  // 0 = never
+  std::string notes;
+};
+
+void printRow(const Row& r) {
+  std::printf("%-18s %8llu %10llu %14s %s\n", r.strategy.c_str(),
+              static_cast<unsigned long long>(r.runs),
+              static_cast<unsigned long long>(r.exposed),
+              r.firstFailure ? std::to_string(r.firstFailure).c_str() : "-",
+              r.notes.c_str());
+}
+
+Row exploreRow(const char* name, std::uint64_t budget, bool prune,
+               const char* notesIfExhausted) {
+  sched::ExhaustiveExplorer::Options eo;
+  eo.maxRuns = budget;
+  eo.maxSteps = 20000;
+  eo.fingerprintPruning = prune;
+  sched::ExhaustiveExplorer explorer(eo);
+  std::uint64_t runs = 0, first = 0;
+  auto stats = explorer.explore(
+      scenarios::ffT5Notify,
+      [&runs, &first](const std::vector<ev::ThreadId>&,
+                      const sched::RunResult& r) {
+        ++runs;
+        if (r.outcome == sched::Outcome::Deadlock && first == 0) first = runs;
+        return true;
+      });
+  Row row;
+  row.strategy = name;
+  row.runs = stats.runs;
+  row.exposed = stats.deadlocks;
+  row.firstFailure = first;
+  row.notes = stats.exhausted ? notesIfExhausted : "budget-bounded";
+  if (prune && stats.dedupedStates > 0) {
+    row.notes += " (" + std::to_string(stats.dedupedStates) + " states deduped)";
+  }
+  return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   std::printf("=== Ablation A: scheduling strategy vs failure exposure ===\n");
   std::printf("target bug: FF-T5 (notify() where notifyAll() is required)\n\n");
-  std::printf("%-16s %8s %10s %14s %s\n", "strategy", "runs", "exposed",
+  std::printf("%-18s %8s %10s %14s %s\n", "strategy", "runs", "exposed",
               "first-failure", "notes");
 
-  const std::uint64_t budget = 200;
-  int strategiesThatExposed = 0;
+  const std::uint64_t budget = smoke ? 60 : 200;
+  std::vector<Row> rows;
 
   {
     sched::RoundRobinStrategy rr;
     bool hit = runOnce(rr);
-    std::printf("%-16s %8d %10s %14s %s\n", "round-robin", 1,
-                hit ? "1" : "0", hit ? "1" : "-",
-                "single deterministic fair schedule");
-    strategiesThatExposed += hit ? 1 : 0;
+    rows.push_back({"round-robin", 1, hit ? 1ull : 0ull, hit ? 1ull : 0ull,
+                    "single deterministic fair schedule"});
   }
 
   {
-    std::uint64_t exposed = 0, first = 0;
+    Row row{"random-walk", budget, 0, 0, "seeded stress (ConTest-style noise)"};
     for (std::uint64_t seed = 1; seed <= budget; ++seed) {
       sched::RandomWalkStrategy rw(seed);
       if (runOnce(rw)) {
-        ++exposed;
-        if (first == 0) first = seed;
+        ++row.exposed;
+        if (row.firstFailure == 0) row.firstFailure = seed;
       }
     }
-    std::printf("%-16s %8llu %10llu %14s %s\n", "random-walk",
-                static_cast<unsigned long long>(budget),
-                static_cast<unsigned long long>(exposed),
-                first ? std::to_string(first).c_str() : "-",
-                "seeded stress (ConTest-style noise)");
-    strategiesThatExposed += exposed > 0 ? 1 : 0;
+    rows.push_back(row);
   }
 
   {
-    std::uint64_t exposed = 0, first = 0;
+    Row row{"pct(d=3)", budget, 0, 0, "probabilistic, depth-bounded"};
     for (std::uint64_t seed = 1; seed <= budget; ++seed) {
       sched::PctStrategy pct(seed, /*depth=*/3, /*expectedSteps=*/300);
       if (runOnce(pct)) {
-        ++exposed;
-        if (first == 0) first = seed;
+        ++row.exposed;
+        if (row.firstFailure == 0) row.firstFailure = seed;
       }
     }
-    std::printf("%-16s %8llu %10llu %14s %s\n", "pct(d=3)",
-                static_cast<unsigned long long>(budget),
-                static_cast<unsigned long long>(exposed),
-                first ? std::to_string(first).c_str() : "-",
-                "probabilistic, depth-bounded");
-    strategiesThatExposed += exposed > 0 ? 1 : 0;
+    rows.push_back(row);
   }
 
-  std::uint64_t exhaustiveFirst = 0;
-  {
-    sched::ExhaustiveExplorer::Options eo;
-    eo.maxRuns = budget;
-    eo.maxSteps = 20000;
-    sched::ExhaustiveExplorer explorer(eo);
-    std::uint64_t runs = 0;
-    auto stats = explorer.explore(
-        [](sched::VirtualScheduler& s) { buildScenario(s); },
-        [&runs, &exhaustiveFirst](const std::vector<ev::ThreadId>&,
-                                  const sched::RunResult& r) {
-          ++runs;
-          if (r.outcome == sched::Outcome::Deadlock && exhaustiveFirst == 0) {
-            exhaustiveFirst = runs;
-          }
-          return true;
-        });
-    std::printf("%-16s %8llu %10llu %14s %s\n", "exhaustive",
-                static_cast<unsigned long long>(stats.runs),
-                static_cast<unsigned long long>(stats.deadlocks),
-                exhaustiveFirst ? std::to_string(exhaustiveFirst).c_str() : "-",
-                stats.exhausted ? "tree fully covered (proof)"
-                                : "budget-bounded");
-    strategiesThatExposed += stats.deadlocks > 0 ? 1 : 0;
-  }
+  rows.push_back(
+      exploreRow("exhaustive", budget, false, "tree fully covered (proof)"));
+  // The pruned explorer gets a budget large enough to *exhaust* the deduped
+  // tree (~6.6k runs) — a full reachability proof that the unpruned tree
+  // (astronomically larger) cannot deliver under any practical budget.
+  rows.push_back(exploreRow("exhaustive+prune", 10000, true,
+                            "pruned tree covered (proof)"));
+
+  for (const Row& r : rows) printRow(r);
 
   std::printf("\nreading: the fair deterministic schedule alone usually\n"
               "misses the bug; randomized strategies expose it with some\n"
               "probability; the exhaustive explorer finds it reliably and\n"
               "can prove reachability — the paper's argument for controlled\n"
-              "execution made quantitative.\n");
+              "execution made quantitative.  Fingerprint pruning collapses\n"
+              "the schedule tree far enough to *exhaust* it — the proof the\n"
+              "unpruned search cannot reach under any practical budget.\n");
 
-  const bool ok = strategiesThatExposed >= 2 && exhaustiveFirst > 0;
+  confail::benchjson::Writer json;
+  json.beginObject();
+  json.field("bench", "ablation_schedulers");
+  json.field("smoke", smoke);
+  json.field("budget", budget);
+  json.key("rows");
+  json.beginArray();
+  for (const Row& r : rows) {
+    json.beginObject();
+    json.field("strategy", r.strategy);
+    json.field("runs", r.runs);
+    json.field("exposed", r.exposed);
+    json.field("first_failure", r.firstFailure);
+    json.field("notes", r.notes);
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+  bool wrote = json.writeFile("BENCH_ablation_schedulers.json");
+  if (wrote) {
+    std::printf("\nwrote BENCH_ablation_schedulers.json\n");
+  } else {
+    std::printf("\nFAIL: could not write BENCH_ablation_schedulers.json\n");
+  }
+
+  int strategiesThatExposed = 0;
+  for (const Row& r : rows) strategiesThatExposed += r.exposed > 0 ? 1 : 0;
+  const std::uint64_t exhaustiveFirst = rows[3].firstFailure;
+  const std::uint64_t prunedFirst = rows[4].firstFailure;
+  const bool ok = strategiesThatExposed >= 2 && exhaustiveFirst > 0 &&
+                  prunedFirst > 0 && wrote;
   std::printf("\n%s\n", ok ? "ABLATION A: OK" : "ABLATION A: FAILURES");
   return ok ? 0 : 1;
 }

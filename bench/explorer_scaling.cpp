@@ -1,0 +1,217 @@
+// Explorer throughput: worker scaling and fingerprint-pruning reduction.
+//
+// Two questions, measured on the canonical scenarios
+// (components/scenarios.hpp) and emitted as BENCH_explorer.json:
+//
+//   1. Scaling — how does runs/sec grow with worker threads?  The same
+//      exhaustible FF-T5 tree is explored at 1, 2, 4 and 8 workers
+//      (reductions off, so every row executes the identical run set) and
+//      each row reports runs/sec and speedup vs the serial row.  The >= 3x
+//      at 8 workers acceptance bar is asserted only when the host actually
+//      has >= 8 hardware threads — on smaller machines the numbers are
+//      reported as measured.
+//
+//   2. Pruning — how much of the Figure-2 tree does (depth, fingerprint)
+//      dedup remove, and does the FF-T5 companion still find the same set
+//      of distinct deadlock states?  The >= 30% reduction bar is asserted
+//      in full mode (measured: ~95%+ on both trees).
+//
+// `--smoke` shrinks every tree so the whole binary finishes in a couple of
+// seconds; the bench_smoke ctest entry runs that mode.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "confail/components/scenarios.hpp"
+#include "confail/sched/explorer.hpp"
+
+namespace sched = confail::sched;
+namespace scenarios = confail::components::scenarios;
+
+namespace {
+
+using Scenario = void (*)(sched::VirtualScheduler&);
+
+std::uint64_t deadlockSignature(const sched::RunResult& r) {
+  std::uint64_t h = sched::kFpSeed;
+  for (const sched::BlockedThreadInfo& b : r.blocked) {
+    h = sched::fpMix(h, (static_cast<std::uint64_t>(b.id) << 32) ^
+                            static_cast<std::uint64_t>(b.kind));
+    h = sched::fpMix(h, b.resource);
+  }
+  return h;
+}
+
+struct Measured {
+  sched::ExhaustiveExplorer::Stats stats;
+  std::set<std::uint64_t> deadlockSigs;
+  double ms = 0.0;
+};
+
+Measured run(Scenario scenario, std::size_t workers, std::size_t branchDepth,
+             bool prune) {
+  sched::ExhaustiveExplorer::Options eo;
+  eo.maxRuns = 2000000;
+  eo.maxSteps = 20000;
+  eo.maxBranchDepth = branchDepth;
+  eo.workers = workers;
+  eo.fingerprintPruning = prune;
+  sched::ExhaustiveExplorer explorer(eo);
+  Measured m;
+  const auto t0 = std::chrono::steady_clock::now();
+  m.stats = explorer.explore(
+      scenario, [&m](const std::vector<sched::ThreadId>&,
+                     const sched::RunResult& r) {
+        if (r.outcome == sched::Outcome::Deadlock) {
+          m.deadlockSigs.insert(deadlockSignature(r));
+        }
+        return true;
+      });
+  const auto t1 = std::chrono::steady_clock::now();
+  m.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return m;
+}
+
+double pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const unsigned hw = std::thread::hardware_concurrency();
+  bool ok = true;
+
+  std::printf("=== Explorer scaling & pruning (%s mode, %u hw threads) ===\n\n",
+              smoke ? "smoke" : "full", hw);
+
+  confail::benchjson::Writer json;
+  json.beginObject();
+  json.field("bench", "explorer_scaling");
+  json.field("smoke", smoke);
+  json.field("hardware_concurrency", static_cast<std::uint64_t>(hw));
+
+  // ---- 1. worker scaling on a fixed exhaustible tree ----------------------
+  // Smoke: the tiny lock-order tree.  Full: the single-item FF-T5 tree,
+  // branch-bounded to depth 8 (~26k runs serial).
+  const Scenario scaleScenario =
+      smoke ? scenarios::lockOrder : scenarios::ffT5Small;
+  const std::size_t scaleDepth =
+      smoke ? static_cast<std::size_t>(-1) : 8;
+  const char* scaleName = smoke ? "lock_order" : "ff_t5_small";
+
+  std::printf("scaling scenario: %s\n", scaleName);
+  std::printf("%8s %10s %10s %12s %10s\n", "workers", "runs", "ms",
+              "runs/sec", "speedup");
+
+  json.key("scaling");
+  json.beginObject();
+  json.field("scenario", scaleName);
+  json.key("rows");
+  json.beginArray();
+
+  double serialMs = 0.0;
+  double speedupAt8 = 0.0;
+  std::uint64_t serialRuns = 0;
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    Measured m = run(scaleScenario, workers, scaleDepth, /*prune=*/false);
+    if (workers == 1) {
+      serialMs = m.ms;
+      serialRuns = m.stats.runs;
+    }
+    ok = ok && m.stats.exhausted && m.stats.runs == serialRuns;
+    const double rps = m.ms > 0.0 ? 1000.0 * static_cast<double>(m.stats.runs) / m.ms : 0.0;
+    const double speedup = m.ms > 0.0 ? serialMs / m.ms : 0.0;
+    if (workers == 8) speedupAt8 = speedup;
+    std::printf("%8zu %10llu %10.1f %12.1f %9.2fx\n", workers,
+                static_cast<unsigned long long>(m.stats.runs), m.ms, rps,
+                speedup);
+    json.beginObject();
+    json.field("workers", workers);
+    json.field("runs", m.stats.runs);
+    json.field("ms", m.ms);
+    json.field("runs_per_sec", rps);
+    json.field("speedup_vs_serial", speedup);
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+
+  const bool gateSpeedup = !smoke && hw >= 8;
+  if (gateSpeedup && speedupAt8 < 3.0) {
+    std::printf("FAIL: speedup at 8 workers %.2fx < 3x on a %u-thread host\n",
+                speedupAt8, hw);
+    ok = false;
+  } else if (!gateSpeedup) {
+    std::printf("(speedup bar not asserted: %s)\n",
+                smoke ? "smoke mode" : "host has < 8 hardware threads");
+  }
+
+  // ---- 2. fingerprint pruning: reduction + deadlock-set preservation ------
+  // Figure-2 (deadlock-free within the bound) measures the reduction; the
+  // FF-T5 companion checks the distinct-deadlock-state set is unchanged.
+  const std::size_t fig2Depth = smoke ? 4 : 6;
+  Measured fig2Plain = run(scenarios::figure2, 1, fig2Depth, false);
+  Measured fig2Pruned = run(scenarios::figure2, 1, fig2Depth, true);
+  const double reduction =
+      100.0 - pct(fig2Pruned.stats.runs, fig2Plain.stats.runs);
+
+  const Scenario dlScenario =
+      smoke ? scenarios::lockOrder : scenarios::ffT5Small;
+  const std::size_t dlDepth = smoke ? static_cast<std::size_t>(-1) : 8;
+  const char* dlName = smoke ? "lock_order" : "ff_t5_small";
+  Measured dlPlain = run(dlScenario, 1, dlDepth, false);
+  Measured dlPruned = run(dlScenario, 1, dlDepth, true);
+  const bool setsEqual = dlPlain.deadlockSigs == dlPruned.deadlockSigs &&
+                         !dlPlain.deadlockSigs.empty();
+
+  std::printf("\npruning (figure2, depth %zu): %llu -> %llu runs "
+              "(%.1f%% reduction), %llu states deduped\n",
+              fig2Depth,
+              static_cast<unsigned long long>(fig2Plain.stats.runs),
+              static_cast<unsigned long long>(fig2Pruned.stats.runs),
+              reduction,
+              static_cast<unsigned long long>(fig2Pruned.stats.dedupedStates));
+  std::printf("deadlock set (%s): %zu distinct state(s), %s under pruning\n",
+              dlName, dlPlain.deadlockSigs.size(),
+              setsEqual ? "preserved" : "CHANGED");
+
+  json.key("pruning");
+  json.beginObject();
+  json.field("scenario", "figure2");
+  json.field("branch_depth", fig2Depth);
+  json.field("runs_unpruned", fig2Plain.stats.runs);
+  json.field("runs_pruned", fig2Pruned.stats.runs);
+  json.field("reduction_pct", reduction);
+  json.field("deduped_states", fig2Pruned.stats.dedupedStates);
+  json.field("pruned_branches", fig2Pruned.stats.prunedBranches);
+  json.field("deadlock_scenario", dlName);
+  json.field("deadlock_states", dlPlain.deadlockSigs.size());
+  json.field("deadlock_sets_equal", setsEqual);
+  json.endObject();
+  json.endObject();
+
+  ok = ok && fig2Plain.stats.exhausted && fig2Pruned.stats.exhausted &&
+       setsEqual && reduction >= 30.0;
+  if (reduction < 30.0) {
+    std::printf("FAIL: pruning reduction %.1f%% < 30%%\n", reduction);
+  }
+
+  if (!json.writeFile("BENCH_explorer.json")) {
+    std::printf("FAIL: could not write BENCH_explorer.json\n");
+    ok = false;
+  } else {
+    std::printf("\nwrote BENCH_explorer.json\n");
+  }
+
+  std::printf("\n%s\n", ok ? "EXPLORER SCALING: OK" : "EXPLORER SCALING: FAILURES");
+  return ok ? 0 : 1;
+}

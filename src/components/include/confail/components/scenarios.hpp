@@ -1,0 +1,122 @@
+// Canonical exploration scenarios, shared by the parallel-explorer tests,
+// the benches (ablation_schedulers, explorer_scaling) and the
+// confail_explore tool so they all measure exactly the same trees.
+//
+//   * figure2      — the paper's Figure-2 producer/consumer shape with a
+//                    correct notifyAll buffer: capacity 1, 2 producers x 2
+//                    items, 2 consumers x 2 items.  Deadlock-free.
+//   * ffT5Notify   — the same shape with notify() instead of notifyAll()
+//                    (FF-T5, "a notify is called rather than a notifyAll"):
+//                    many schedules wake a same-side waiter and deadlock.
+//   * disjointCounters — two threads incrementing two unrelated shared
+//                    variables; every interleaving commutes, the showcase
+//                    for the explorer's sleep-set reduction.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "confail/components/bounded_buffer.hpp"
+#include "confail/events/trace.hpp"
+#include "confail/monitor/monitor.hpp"
+#include "confail/monitor/runtime.hpp"
+#include "confail/monitor/shared_var.hpp"
+#include "confail/sched/virtual_scheduler.hpp"
+
+namespace confail::components::scenarios {
+
+namespace detail {
+
+inline void boundedBufferScenario(confail::sched::VirtualScheduler& s,
+                                  const BoundedBuffer<int>::Faults& faults,
+                                  int itemsPerThread = 2) {
+  // The State (and its trace) is kept alive by the spawned closures, which
+  // the scheduler owns until the run finishes.
+  struct State {
+    events::Trace trace;
+    monitor::Runtime rt;
+    BoundedBuffer<int> buf;
+    State(confail::sched::VirtualScheduler& sc,
+          const BoundedBuffer<int>::Faults& f)
+        : rt(trace, sc, 1), buf(rt, "buf", 1, f) {}
+  };
+  auto st = std::make_shared<State>(s, faults);
+  for (int p = 0; p < 2; ++p) {
+    st->rt.spawn("p" + std::to_string(p), [st, itemsPerThread] {
+      for (int i = 0; i < itemsPerThread; ++i) st->buf.put(i);
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    st->rt.spawn("c" + std::to_string(c), [st, itemsPerThread] {
+      for (int i = 0; i < itemsPerThread; ++i) (void)st->buf.take();
+    });
+  }
+}
+
+}  // namespace detail
+
+/// Figure-2 producer/consumer with a correct (notifyAll) buffer.
+inline void figure2(confail::sched::VirtualScheduler& s) {
+  detail::boundedBufferScenario(s, BoundedBuffer<int>::Faults{});
+}
+
+/// FF-T5 mutant: notify() where notifyAll() is required.
+inline void ffT5Notify(confail::sched::VirtualScheduler& s) {
+  BoundedBuffer<int>::Faults f;
+  f.notifyOneOnly = true;
+  detail::boundedBufferScenario(s, f);
+}
+
+/// Single-item FF-T5 mutant: 2 producers x 1 item, 2 consumers x 1 item,
+/// capacity 1, notify().  The same missed-notification deadlock as
+/// ffT5Notify, but its schedule tree is small enough to exhaust unbounded —
+/// the workhorse of the parallel-determinism tests.
+inline void ffT5Small(confail::sched::VirtualScheduler& s) {
+  BoundedBuffer<int>::Faults f;
+  f.notifyOneOnly = true;
+  detail::boundedBufferScenario(s, f, /*itemsPerThread=*/1);
+}
+
+/// Classic lock-order deadlock (the paper's FF-T2 "locks held by several
+/// threads in a circular chain"): t0 takes A then B, t1 takes B then A.
+inline void lockOrder(confail::sched::VirtualScheduler& s) {
+  struct State {
+    events::Trace trace;
+    monitor::Runtime rt;
+    monitor::Monitor a;
+    monitor::Monitor b;
+    explicit State(confail::sched::VirtualScheduler& sc)
+        : rt(trace, sc, 1), a(rt, "A"), b(rt, "B") {}
+  };
+  auto st = std::make_shared<State>(s);
+  st->rt.spawn("t0", [st] {
+    monitor::Synchronized ga(st->a);
+    monitor::Synchronized gb(st->b);
+  });
+  st->rt.spawn("t1", [st] {
+    monitor::Synchronized gb(st->b);
+    monitor::Synchronized ga(st->a);
+  });
+}
+
+/// Two threads on fully disjoint state: adjacent steps of different
+/// threads always commute.
+inline void disjointCounters(confail::sched::VirtualScheduler& s) {
+  struct State {
+    events::Trace trace;
+    monitor::Runtime rt;
+    monitor::SharedVar<int> a;
+    monitor::SharedVar<int> b;
+    explicit State(confail::sched::VirtualScheduler& sc)
+        : rt(trace, sc, 1), a(rt, "a", 0), b(rt, "b", 0) {}
+  };
+  auto st = std::make_shared<State>(s);
+  st->rt.spawn("ta", [st] {
+    for (int i = 0; i < 2; ++i) st->a.set(st->a.get() + 1);
+  });
+  st->rt.spawn("tb", [st] {
+    for (int i = 0; i < 2; ++i) st->b.set(st->b.get() + 1);
+  });
+}
+
+}  // namespace confail::components::scenarios

@@ -51,7 +51,7 @@ enum class SelectPolicy : std::uint8_t {
 
 const char* selectPolicyName(SelectPolicy p);
 
-class Monitor {
+class Monitor : public sched::FingerprintSource {
  public:
   struct Options {
     SelectPolicy grantPolicy = SelectPolicy::Fifo;  ///< entry-queue choice
@@ -61,10 +61,15 @@ class Monitor {
 
   Monitor(Runtime& rt, std::string name) : Monitor(rt, std::move(name), Options()) {}
   Monitor(Runtime& rt, std::string name, Options opts);
-  ~Monitor();
+  ~Monitor() override;
 
   Monitor(const Monitor&) = delete;
   Monitor& operator=(const Monitor&) = delete;
+
+  /// Fingerprint contribution (virtual mode): owner, recursion depth, and
+  /// the exact order of the entry queue and wait set — queue order is
+  /// observable state under Fifo/Lifo policies.
+  std::uint64_t stateFingerprint() const override;
 
   /// Enter the monitor (Figure 1: T1, then T2 once the lock is granted).
   /// Reentrant: a thread already owning the lock increments the depth.

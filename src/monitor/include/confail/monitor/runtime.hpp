@@ -32,7 +32,7 @@ using events::MonitorId;
 using events::ThreadId;
 using events::VarId;
 
-class Runtime {
+class Runtime : public sched::FingerprintSource {
  public:
   enum class Mode { Real, Virtual };
 
@@ -42,10 +42,15 @@ class Runtime {
   /// Real-mode runtime: threads are plain std::threads.
   Runtime(events::Trace& trace, std::uint64_t seed);
 
-  ~Runtime();
+  ~Runtime() override;
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
+
+  /// Fingerprint contribution (virtual mode): the policy-RNG stream
+  /// position and the id-registration counters.  Two runs in equal states
+  /// must have consumed the same policy draws, or their futures diverge.
+  std::uint64_t stateFingerprint() const override;
 
   Mode mode() const { return mode_; }
   bool isVirtual() const { return mode_ == Mode::Virtual; }
@@ -108,6 +113,8 @@ class Runtime {
 
  private:
   ThreadId allocateThread(const std::string& name);
+  /// Map an emitted event onto the current step's footprint (virtual mode).
+  void noteFootprint(EventKind kind, MonitorId monitorId, std::uint64_t aux);
 
   Mode mode_;
   events::Trace& trace_;

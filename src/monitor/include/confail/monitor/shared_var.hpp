@@ -14,6 +14,8 @@
 // is not a monitor and is invisible to the detectors.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -23,13 +25,34 @@
 namespace confail::monitor {
 
 template <typename T>
-class SharedVar {
+class SharedVar : public sched::FingerprintSource {
  public:
   SharedVar(Runtime& rt, const std::string& name, T init)
-      : rt_(rt), id_(rt.registerVar(name)), value_(std::move(init)) {}
+      : rt_(rt), id_(rt.registerVar(name)), value_(std::move(init)) {
+    if (rt_.isVirtual()) rt_.scheduler().addFingerprintSource(this);
+  }
+
+  ~SharedVar() override {
+    if (rt_.isVirtual()) rt_.scheduler().removeFingerprintSource(this);
+  }
 
   SharedVar(const SharedVar&) = delete;
   SharedVar& operator=(const SharedVar&) = delete;
+
+  /// Fingerprint contribution: the variable's current value when T is
+  /// std::hash-able, otherwise a running hash of the write history.  The
+  /// value itself must participate — a write count alone would equate
+  /// states that diverge on the next read.
+  std::uint64_t stateFingerprint() const override {
+    std::lock_guard<std::mutex> g(mu_);
+    std::uint64_t h = sched::fpMix(sched::kFpSeed, sched::fpTag('v', id_));
+    if constexpr (requires(const T& t) { std::hash<T>{}(t); }) {
+      h = sched::fpMix(h, std::hash<T>{}(value_));
+    } else {
+      h = sched::fpMix(h, historyHash_);
+    }
+    return h;
+  }
 
   /// Instrumented read (emits a Read event; schedule point before access).
   T get() {
@@ -45,6 +68,12 @@ class SharedVar {
     rt_.emit(EventKind::Write, events::kNoMonitor, id_);
     std::lock_guard<std::mutex> g(mu_);
     value_ = std::move(v);
+    if constexpr (requires(const T& t) { std::hash<T>{}(t); }) {
+      // stateFingerprint() hashes the value directly.
+    } else {
+      ThreadId writer = rt_.currentThread();
+      historyHash_ = sched::fpMix(historyHash_, writer);
+    }
   }
 
   /// Uninstrumented peek for assertions in tests and invariant checks;
@@ -61,6 +90,7 @@ class SharedVar {
   VarId id_;
   mutable std::mutex mu_;
   T value_;
+  std::uint64_t historyHash_ = sched::kFpSeed;  // non-hashable T fallback
 };
 
 }  // namespace confail::monitor

@@ -66,12 +66,32 @@ Monitor::Monitor(Runtime& rt, std::string name, Options opts)
     : rt_(rt), name_(std::move(name)), id_(rt.registerMonitor(name_)), opts_(opts) {
   if (rt_.isVirtual()) {
     v_ = std::make_unique<VirtualState>();
+    rt_.scheduler().addFingerprintSource(this);
   } else {
     r_ = std::make_unique<RealState>();
   }
 }
 
-Monitor::~Monitor() = default;
+Monitor::~Monitor() {
+  if (v_) rt_.scheduler().removeFingerprintSource(this);
+}
+
+std::uint64_t Monitor::stateFingerprint() const {
+  if (!v_) return 0;
+  const VirtualState& v = *v_;
+  std::uint64_t h = sched::fpMix(sched::kFpSeed, sched::fpTag('m', id_));
+  h = sched::fpMix(h, (static_cast<std::uint64_t>(v.owner) << 32) ^ v.depth);
+  for (const VirtualState::Entry& e : v.entry) {
+    h = sched::fpMix(h, (static_cast<std::uint64_t>(e.tid) << 32) ^
+                            e.restoreDepth);
+  }
+  h = sched::fpMix(h, 0x9e3779b97f4a7c15ull);  // entry / wait-set separator
+  for (const VirtualState::Waiter& w : v.waiters) {
+    h = sched::fpMix(h, (static_cast<std::uint64_t>(w.tid) << 32) ^
+                            w.savedDepth);
+  }
+  return h;
+}
 
 void Monitor::lock() {
   ThreadId self = rt_.currentThread();

@@ -15,12 +15,65 @@ thread_local RealTls realTls;
 
 Runtime::Runtime(events::Trace& trace, sched::VirtualScheduler& sched,
                  std::uint64_t seed)
-    : mode_(Mode::Virtual), trace_(trace), sched_(&sched), rng_(seed) {}
+    : mode_(Mode::Virtual), trace_(trace), sched_(&sched), rng_(seed) {
+  sched_->addFingerprintSource(this);
+}
 
 Runtime::Runtime(events::Trace& trace, std::uint64_t seed)
     : mode_(Mode::Real), trace_(trace), rng_(seed) {}
 
-Runtime::~Runtime() { joinAll(); }
+Runtime::~Runtime() {
+  if (sched_ != nullptr) sched_->removeFingerprintSource(this);
+  joinAll();
+}
+
+std::uint64_t Runtime::stateFingerprint() const {
+  std::uint64_t h = sched::fpMix(sched::kFpSeed, rng_.stateHash());
+  h = sched::fpMix(h, (static_cast<std::uint64_t>(nextMonitorId_) << 32) ^
+                          nextVarId_);
+  h = sched::fpMix(h, (static_cast<std::uint64_t>(nextMethodId_) << 32) ^
+                          nextThreadId_);
+  return h;
+}
+
+void Runtime::noteFootprint(EventKind kind, MonitorId monitorId,
+                            std::uint64_t aux) {
+  switch (kind) {
+    case EventKind::Read:
+      sched_->noteAccess(sched::fpTag('v', aux), /*isWrite=*/false);
+      break;
+    case EventKind::Write:
+      sched_->noteAccess(sched::fpTag('v', aux), /*isWrite=*/true);
+      break;
+    case EventKind::LockRequest:
+    case EventKind::LockAcquire:
+    case EventKind::WaitBegin:
+    case EventKind::LockRelease:
+    case EventKind::Notified:
+    case EventKind::NotifyCall:
+    case EventKind::NotifyAllCall:
+    case EventKind::SpuriousWake:
+      // Any monitor operation orders against every other operation on the
+      // same monitor (entry queue and wait set are shared state).
+      sched_->noteAccess(sched::fpTag('m', monitorId), /*isWrite=*/true);
+      break;
+    case EventKind::ThreadSpawn:
+      sched_->noteGlobalEffect();
+      break;
+    case EventKind::ClockAwait:
+    case EventKind::ClockTick:
+      // Abstract-clock traffic interacts with idle-handler time advance;
+      // treat conservatively.
+      sched_->noteGlobalEffect();
+      break;
+    case EventKind::ThreadStart:
+    case EventKind::ThreadEnd:
+    case EventKind::MethodEnter:
+    case EventKind::MethodExit:
+    case EventKind::GuardEval:
+      break;  // thread-local bookkeeping: no shared footprint
+  }
+}
 
 sched::VirtualScheduler& Runtime::scheduler() {
   CONFAIL_CHECK(sched_ != nullptr, UsageError,
@@ -144,6 +197,7 @@ std::uint64_t Runtime::emit(EventKind kind, MonitorId monitorId,
 std::uint64_t Runtime::emitFor(ThreadId thread, EventKind kind,
                                MonitorId monitorId, std::uint64_t aux,
                                bool flag) {
+  if (mode_ == Mode::Virtual) noteFootprint(kind, monitorId, aux);
   events::Event e;
   e.thread = thread;
   e.kind = kind;
@@ -179,11 +233,19 @@ MethodId Runtime::currentMethodOf(ThreadId t) {
 }
 
 std::uint64_t Runtime::rngBelow(std::uint64_t bound) {
+  // Consuming a policy draw advances shared state: steps that both draw
+  // from the RNG do not commute (the stream order is the state).
+  if (mode_ == Mode::Virtual) {
+    sched_->noteAccess(sched::fpTag('r', 0), /*isWrite=*/true);
+  }
   std::lock_guard<std::mutex> g(mu_);
   return rng_.below(bound);
 }
 
 bool Runtime::rngChance(double p) {
+  if (mode_ == Mode::Virtual) {
+    sched_->noteAccess(sched::fpTag('r', 0), /*isWrite=*/true);
+  }
   std::lock_guard<std::mutex> g(mu_);
   return rng_.chance(p);
 }

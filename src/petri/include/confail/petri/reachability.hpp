@@ -6,6 +6,12 @@
 // mutual-exclusion invariant, and for the notify-gated variant we find the
 // dead markings that correspond exactly to the FF-T5 "all threads waiting,
 // nobody left to notify" failure.
+//
+// The visited-set is specialized by net size: markings of nets with <= 8
+// places (every Figure-1 instance) pack into a single 64-bit word (8 bits
+// per place) keyed into a flat open-addressing table (support/flat_table),
+// falling back to an unordered_map over full markings for larger nets or
+// token counts >= 256.
 #pragma once
 
 #include <cstdint>

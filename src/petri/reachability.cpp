@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 
 #include "confail/support/assert.hpp"
+#include "confail/support/flat_table.hpp"
 
 namespace confail::petri {
 
@@ -13,13 +15,78 @@ std::size_t ReachabilityResult::edgeCount() const {
   return n;
 }
 
-ReachabilityResult reachable(const Net& net, const Marking& initial,
-                             std::size_t maxStates) {
-  CONFAIL_CHECK(initial.size() == net.placeCount(), UsageError,
-                "initial marking size mismatch");
-  ReachabilityResult r;
-  std::unordered_map<Marking, std::size_t, MarkingHash> index;
+namespace {
 
+// The Figure-1 nets (and every net the paper models) have a handful of
+// places with small token counts, so a marking packs into a single 64-bit
+// word at 8 bits per place.  That turns the hot BFS lookup into a probe of
+// a flat open-addressing table keyed on the packed word — no Marking
+// hashing, no per-node allocation, no pointer chasing.
+//
+// Returns nullopt if any place holds >= 256 tokens, in which case the
+// caller falls back to the generic path (restarted from scratch; the
+// compact run's partial work is discarded, which is cheap precisely
+// because such nets blow past the encoding within a few levels of BFS).
+std::optional<std::uint64_t> encodeMarking(const Marking& m) {
+  std::uint64_t key = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m[i] >= 256) return std::nullopt;
+    key |= static_cast<std::uint64_t>(m[i]) << (8 * i);
+  }
+  return key;
+}
+
+bool reachableCompact(const Net& net, const Marking& initial,
+                      std::size_t maxStates, ReachabilityResult& r) {
+  FlatMap64 index(std::min<std::size_t>(maxStates, std::size_t{1} << 16));
+  const std::optional<std::uint64_t> initKey = encodeMarking(initial);
+  if (!initKey) return false;
+
+  r.states.reserve(std::min<std::size_t>(maxStates, 4096));
+  r.edges.reserve(std::min<std::size_t>(maxStates, 4096));
+  r.states.push_back(initial);
+  r.edges.emplace_back();
+  index.findOrInsert(*initKey, 0);
+
+  std::deque<std::size_t> frontier{0};
+  while (!frontier.empty()) {
+    std::size_t s = frontier.front();
+    frontier.pop_front();
+    // Copy: r.states may reallocate as successors are appended.
+    const Marking m = r.states[s];
+    std::vector<TransitionId> en = net.enabledSet(m);
+    if (en.empty()) r.deadStates.push_back(s);
+    for (TransitionId t : en) {
+      Marking next = net.fire(t, m);
+      const std::optional<std::uint64_t> key = encodeMarking(next);
+      if (!key) return false;  // encoding overflow: redo generically
+      const std::uint32_t found = index.find(*key);
+      if (found != FlatMap64::kNoValue) {
+        r.edges[s].push_back(ReachEdge{t, found});
+        continue;
+      }
+      if (r.states.size() >= maxStates) {
+        r.complete = false;  // cap: drop the new state, record no edge
+        continue;
+      }
+      const std::uint32_t id = static_cast<std::uint32_t>(r.states.size());
+      index.findOrInsert(*key, id);
+      r.states.push_back(std::move(next));
+      r.edges.emplace_back();
+      frontier.push_back(id);
+      r.edges[s].push_back(ReachEdge{t, id});
+    }
+  }
+  return true;
+}
+
+void reachableGeneric(const Net& net, const Marking& initial,
+                      std::size_t maxStates, ReachabilityResult& r) {
+  std::unordered_map<Marking, std::size_t, MarkingHash> index;
+  index.reserve(std::min<std::size_t>(maxStates, std::size_t{1} << 16));
+
+  r.states.reserve(std::min<std::size_t>(maxStates, 4096));
+  r.edges.reserve(std::min<std::size_t>(maxStates, 4096));
   r.states.push_back(initial);
   r.edges.emplace_back();
   index.emplace(initial, 0);
@@ -34,20 +101,44 @@ ReachabilityResult reachable(const Net& net, const Marking& initial,
     if (en.empty()) r.deadStates.push_back(s);
     for (TransitionId t : en) {
       Marking next = net.fire(t, m);
-      auto [it, inserted] = index.emplace(std::move(next), r.states.size());
-      if (inserted) {
-        if (r.states.size() >= maxStates) {
-          r.complete = false;
-          index.erase(it);
-          continue;
-        }
-        r.states.push_back(it->first);
-        r.edges.emplace_back();
-        frontier.push_back(it->second);
+      auto it = index.find(next);
+      if (it != index.end()) {
+        r.edges[s].push_back(ReachEdge{t, it->second});
+        continue;
       }
-      r.edges[s].push_back(ReachEdge{t, it->second});
+      if (r.states.size() >= maxStates) {
+        r.complete = false;  // cap: drop the new state, record no edge
+        continue;
+      }
+      const std::size_t id = r.states.size();
+      auto [ins, inserted] = index.emplace(std::move(next), id);
+      CONFAIL_ASSERT(inserted, "duplicate marking after failed find");
+      r.states.push_back(ins->first);
+      r.edges.emplace_back();
+      frontier.push_back(id);
+      r.edges[s].push_back(ReachEdge{t, id});
     }
   }
+}
+
+}  // namespace
+
+ReachabilityResult reachable(const Net& net, const Marking& initial,
+                             std::size_t maxStates) {
+  CONFAIL_CHECK(initial.size() == net.placeCount(), UsageError,
+                "initial marking size mismatch");
+  // Compact path: markings of nets with <= 8 places pack into one 64-bit
+  // word (8 bits per place), keyed into a flat open-addressing table.
+  // State ids must also fit the table's 32-bit value slot.
+  if (net.placeCount() <= 8 &&
+      maxStates < static_cast<std::size_t>(FlatMap64::kNoValue)) {
+    ReachabilityResult r;
+    if (reachableCompact(net, initial, maxStates, r)) return r;
+    // A place exceeded 255 tokens mid-enumeration: discard and redo
+    // generically.
+  }
+  ReachabilityResult r;
+  reachableGeneric(net, initial, maxStates, r);
   return r;
 }
 

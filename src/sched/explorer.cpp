@@ -1,66 +1,202 @@
 #include "confail/sched/explorer.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "confail/sched/fingerprint.hpp"
+#include "confail/sched/work_queue.hpp"
+
 namespace confail::sched {
+
+namespace {
+
+/// An unexecuted schedule prefix, plus an optional one-shot sleep entry.
+///
+/// The sleep entry records the step that the parent run took at this item's
+/// branch point (the spine choice) together with that step's footprint.  If
+/// the child's own first step turns out to be independent of it, the child
+/// must NOT branch back to the spine thread at its first decision point:
+/// that sibling is the pure transposition of two commuting steps and leads
+/// to a state explored from the parent's subtree.  The entry applies only
+/// at depth == prefix.size() and is never inherited further down.
+struct WorkItem {
+  std::vector<ThreadId> prefix;
+  ThreadId sleepThread = events::kNoThread;
+  Footprint sleepFp;
+};
+
+/// Per-worker tallies, merged once at the end so that hot-loop counting is
+/// uncontended and the merged totals are order-independent.
+struct LocalStats {
+  std::uint64_t runs = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deadlocks = 0;
+  std::uint64_t stepLimited = 0;
+  std::uint64_t exceptions = 0;
+  std::uint64_t prunedBranches = 0;
+  std::uint64_t dedupedStates = 0;
+  bool hasFailure = false;
+  std::vector<ThreadId> firstFailure;
+  Outcome firstFailureOutcome = Outcome::Completed;
+};
+
+}  // namespace
 
 ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
                                                       const RunCallback& cb) const {
-  Stats stats;
-  // DFS over schedule prefixes.  Each entry is a prefix that has not yet
-  // been executed.  Last-in-first-out gives depth-first order so related
-  // interleavings are explored together.
-  std::vector<std::vector<ThreadId>> pending;
-  pending.push_back({});
-
-  while (!pending.empty()) {
-    if (stats.runs >= opts_.maxRuns) {
-      return stats;  // budget exhausted; stats.exhausted stays false
-    }
-    std::vector<ThreadId> prefix = std::move(pending.back());
-    pending.pop_back();
-
-    PrefixReplayStrategy strategy(prefix);
-    VirtualScheduler::Options schedOpts;
-    schedOpts.maxSteps = opts_.maxSteps;
-    VirtualScheduler sched(strategy, schedOpts);
-    program(sched);
-    RunResult result = sched.run();
-    ++stats.runs;
-
-    switch (result.outcome) {
-      case Outcome::Completed: ++stats.completed; break;
-      case Outcome::Deadlock: ++stats.deadlocks; break;
-      case Outcome::StepLimit: ++stats.stepLimited; break;
-      case Outcome::Exception: ++stats.exceptions; break;
-    }
-    if (result.outcome != Outcome::Completed && stats.firstFailure.empty()) {
-      stats.firstFailure = result.schedule;
-      stats.firstFailureOutcome = result.outcome;
-    }
-
-    if (cb && !cb(result.schedule, result)) {
-      stats.stoppedByCallback = true;
-      return stats;
-    }
-
-    // Branch: for every decision point past the replayed prefix where more
-    // than one thread was runnable, queue the untried alternatives.
-    // Reverse order so the lowest-index branch is explored next (DFS).
-    const std::size_t branchLimit =
-        std::min(result.choiceSets.size(), opts_.maxBranchDepth);
-    for (std::size_t i = branchLimit; i-- > prefix.size();) {
-      const std::vector<ThreadId>& choices = result.choiceSets[i];
-      if (choices.size() <= 1) continue;
-      for (ThreadId alt : choices) {
-        if (alt == result.schedule[i]) continue;
-        std::vector<ThreadId> next(result.schedule.begin(),
-                                   result.schedule.begin() +
-                                       static_cast<std::ptrdiff_t>(i));
-        next.push_back(alt);
-        pending.push_back(std::move(next));
-      }
-    }
+  std::size_t workers = opts_.workers;
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  stats.exhausted = true;
+
+  const bool captureState = opts_.fingerprintPruning || opts_.sleepSets;
+
+  WorkStealQueue<WorkItem> queue(workers);
+  VisitedSet visited;
+  std::atomic<std::uint64_t> runsClaimed{0};
+  std::atomic<bool> budgetExhausted{false};
+  std::atomic<bool> stoppedByCallback{false};
+  std::mutex cbMu;      // serializes the user callback
+  std::mutex mergeMu;   // guards the merged Stats
+  Stats stats;
+  bool mergedHasFailure = false;
+
+  auto worker = [&](std::size_t self) {
+    LocalStats local;
+    while (std::optional<WorkItem> item = queue.next(self)) {
+      // Claim a slot in the run budget before executing.  fetch_add makes
+      // the claim exact under contention: at most maxRuns runs execute.
+      const std::uint64_t claimed = runsClaimed.fetch_add(1);
+      if (claimed >= opts_.maxRuns) {
+        budgetExhausted.store(true, std::memory_order_relaxed);
+        queue.stop();
+        queue.done();
+        continue;
+      }
+
+      // With sleep sets, keep the displaced spine thread out of the child's
+      // own first free pick: the transposed schedule then appears as a
+      // sibling branch, where the independence check can prune it.
+      PrefixReplayStrategy strategy(
+          item->prefix,
+          opts_.sleepSets ? item->sleepThread : events::kNoThread);
+      VirtualScheduler::Options schedOpts;
+      schedOpts.maxSteps = opts_.maxSteps;
+      schedOpts.captureState = captureState;
+      VirtualScheduler sched(strategy, schedOpts);
+      program(sched);
+      RunResult result = sched.run();
+
+      ++local.runs;
+      switch (result.outcome) {
+        case Outcome::Completed: ++local.completed; break;
+        case Outcome::Deadlock: ++local.deadlocks; break;
+        case Outcome::StepLimit: ++local.stepLimited; break;
+        case Outcome::Exception: ++local.exceptions; break;
+      }
+      if (result.outcome != Outcome::Completed &&
+          (!local.hasFailure || result.schedule < local.firstFailure)) {
+        local.hasFailure = true;
+        local.firstFailure = result.schedule;
+        local.firstFailureOutcome = result.outcome;
+      }
+
+      if (cb) {
+        std::lock_guard<std::mutex> g(cbMu);
+        if (!stoppedByCallback.load(std::memory_order_relaxed) &&
+            !cb(result.schedule, result)) {
+          stoppedByCallback.store(true, std::memory_order_relaxed);
+          queue.stop();
+        }
+      }
+
+      if (!queue.stopped()) {
+        // Branch: for every decision point past the replayed prefix where
+        // more than one thread was runnable, queue the untried siblings.
+        // Descending outer order + LIFO own-pop keeps the serial (workers
+        // == 1) traversal bit-identical to the legacy recursive DFS.
+        const std::size_t prefixLen = item->prefix.size();
+        const std::size_t branchLimit =
+            std::min(result.choiceSets.size(), opts_.maxBranchDepth);
+        for (std::size_t i = branchLimit; i-- > prefixLen;) {
+          const std::vector<ThreadId>& choices = result.choiceSets[i];
+          if (choices.size() <= 1) continue;
+
+          if (opts_.fingerprintPruning) {
+            // Key on (depth, fingerprint): the insert is exactly-once
+            // across all workers, so whichever run reaches the state first
+            // expands it and every other run skips it — the total branch
+            // count is the same regardless of who wins.
+            const std::uint64_t key =
+                fpMix(fpMix(kFpSeed, i), result.fingerprints[i]);
+            if (!visited.insert(key)) {
+              ++local.dedupedStates;
+              local.prunedBranches += choices.size() - 1;
+              continue;
+            }
+          }
+
+          for (ThreadId alt : choices) {
+            if (alt == result.schedule[i]) continue;
+            if (opts_.sleepSets && i == prefixLen && prefixLen > 0 &&
+                alt == item->sleepThread &&
+                result.stepFootprints[prefixLen - 1].independentWith(
+                    item->sleepFp)) {
+              // First step of this child is independent of the spine step
+              // it displaced; swapping them back reaches a state already
+              // covered by the parent's subtree.
+              ++local.prunedBranches;
+              continue;
+            }
+            WorkItem child;
+            child.prefix.assign(
+                result.schedule.begin(),
+                result.schedule.begin() + static_cast<std::ptrdiff_t>(i));
+            child.prefix.push_back(alt);
+            if (opts_.sleepSets) {
+              child.sleepThread = result.schedule[i];
+              child.sleepFp = result.stepFootprints[i];
+            }
+            queue.push(self, std::move(child));
+          }
+        }
+      }
+
+      queue.done();
+    }
+
+    std::lock_guard<std::mutex> g(mergeMu);
+    stats.runs += local.runs;
+    stats.completed += local.completed;
+    stats.deadlocks += local.deadlocks;
+    stats.stepLimited += local.stepLimited;
+    stats.exceptions += local.exceptions;
+    stats.prunedBranches += local.prunedBranches;
+    stats.dedupedStates += local.dedupedStates;
+    if (local.hasFailure &&
+        (!mergedHasFailure || local.firstFailure < stats.firstFailure)) {
+      mergedHasFailure = true;
+      stats.firstFailure = std::move(local.firstFailure);
+      stats.firstFailureOutcome = local.firstFailureOutcome;
+    }
+  };
+
+  queue.push(0, WorkItem{});  // the root: the empty prefix
+
+  std::vector<std::thread> extra;
+  extra.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) {
+    extra.emplace_back(worker, w);
+  }
+  worker(0);  // the calling thread is worker 0
+  for (std::thread& t : extra) t.join();
+
+  stats.exhausted = !budgetExhausted.load() && !stoppedByCallback.load();
+  stats.stoppedByCallback = stoppedByCallback.load();
   return stats;
 }
 

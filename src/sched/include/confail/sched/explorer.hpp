@@ -1,4 +1,4 @@
-// Bounded exhaustive schedule exploration (stateless DFS).
+// Bounded exhaustive schedule exploration (stateless, parallel DFS).
 //
 // The explorer repeatedly executes a *program* — a callback that spawns
 // logical threads on a fresh VirtualScheduler — replaying a schedule prefix
@@ -7,6 +7,21 @@
 // schedule, identical prefixes reproduce identical states, so the set of
 // explored schedules forms a tree that covers every interleaving up to the
 // configured bounds.
+//
+// The tree is explored by `workers` OS threads pulling prefixes from a
+// work-stealing queue; each worker owns its own scheduler replay, so runs
+// proceed fully in parallel.  Two optional reductions cut the tree:
+//
+//   * fingerprintPruning — hash the full execution state (thread statuses,
+//     lock owners, wait sets, shared-variable contents, policy-RNG stream)
+//     at every decision point and branch from a (depth, fingerprint) pair
+//     at most once, JPF-style;
+//   * sleepSets — skip the transposed sibling of two adjacent independent
+//     steps (their footprints touch disjoint state), a one-shot sleep-set
+//     reduction.
+//
+// See docs/exploration.md for the design, the determinism guarantees, and
+// the soundness argument for both reductions.
 //
 // This is the mechanism that turns the paper's failure classes from
 // "things that may happen under some JVM scheduler" into properties that
@@ -29,15 +44,34 @@ class ExhaustiveExplorer {
     std::uint64_t maxSteps = 100000;   ///< per-run step budget
     std::size_t maxBranchDepth = static_cast<std::size_t>(-1);
     ///< only branch on decision points below this index (iteration bounding)
+
+    /// Number of exploration worker threads.  1 (the default) explores on
+    /// the calling thread with no extra threads — bit-identical to the
+    /// legacy serial DFS.  0 means std::thread::hardware_concurrency().
+    std::size_t workers = 1;
+
+    /// Branch from each (depth, state-fingerprint) pair at most once.
+    /// Cuts re-exploration of converged interleavings; Stats counters stay
+    /// deterministic across worker counts (see docs/exploration.md).
+    bool fingerprintPruning = false;
+
+    /// Skip the transposed sibling of two adjacent independent steps.
+    bool sleepSets = false;
   };
 
   /// A program spawns its logical threads on the given scheduler; the
   /// explorer then drives the run.  The callback must build all state
-  /// afresh on each invocation (the explorer re-executes many times).
+  /// afresh on each invocation (the explorer re-executes many times), and
+  /// with workers > 1 it must be safe to invoke from several exploration
+  /// threads concurrently (each invocation gets its own scheduler).
   using Program = std::function<void(VirtualScheduler&)>;
 
   /// Invoked after every run with the schedule that was executed and its
   /// result.  Return false to stop exploring early (e.g. first bug found).
+  /// Invocations are serialized under an internal mutex, but with
+  /// workers > 1 they arrive from arbitrary worker threads and in a
+  /// nondeterministic order; runs already in flight when the callback
+  /// returns false still complete (without further callbacks).
   using RunCallback =
       std::function<bool(const std::vector<ThreadId>& schedule, const RunResult&)>;
 
@@ -47,10 +81,20 @@ class ExhaustiveExplorer {
     std::uint64_t deadlocks = 0;
     std::uint64_t stepLimited = 0;
     std::uint64_t exceptions = 0;
+    /// Child prefixes skipped by fingerprint pruning or sleep sets.
+    std::uint64_t prunedBranches = 0;
+    /// Decision points whose (depth, fingerprint) had already been expanded.
+    std::uint64_t dedupedStates = 0;
     bool exhausted = false;   ///< true if the whole bounded tree was covered
     bool stoppedByCallback = false;
-    /// First failing schedule (deadlock/exception), if any — replay it with
+    /// Lexicographically smallest failing schedule (deadlock / step limit /
+    /// exception) among all executed runs, if any — replay it with
     /// PrefixReplayStrategy to reproduce the failure deterministically.
+    /// The lexicographic-minimum rule makes the witness independent of
+    /// traversal order, so it is identical across worker counts whenever
+    /// the same set of runs executes (always true on an exhausted tree
+    /// with reductions off), and is reported even when the run budget is
+    /// exhausted mid-tree.
     std::vector<ThreadId> firstFailure;
     Outcome firstFailureOutcome = Outcome::Completed;
   };

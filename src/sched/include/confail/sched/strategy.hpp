@@ -76,10 +76,21 @@ class PrefixReplayStrategy final : public Strategy {
  public:
   explicit PrefixReplayStrategy(std::vector<ThreadId> prefix)
       : prefix_(std::move(prefix)) {}
+
+  /// `avoidAtFirstFree`: at the first decision point past the prefix,
+  /// prefer the lowest-id runnable thread OTHER than this one (fall back
+  /// to it only if it is the sole runnable thread).  The explorer's
+  /// sleep-set reduction uses this to keep the displaced spine thread out
+  /// of the child's own spine, so the transposed schedule shows up as a
+  /// prunable sibling instead.
+  PrefixReplayStrategy(std::vector<ThreadId> prefix, ThreadId avoidAtFirstFree)
+      : prefix_(std::move(prefix)), avoid_(avoidAtFirstFree) {}
+
   ThreadId pick(const std::vector<ThreadId>& runnable, std::uint64_t step) override;
 
  private:
   std::vector<ThreadId> prefix_;
+  ThreadId avoid_ = events::kNoThread;
 };
 
 }  // namespace confail::sched

@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "confail/sched/fingerprint.hpp"
 #include "confail/sched/strategy.hpp"
 #include "confail/support/assert.hpp"
 
@@ -77,6 +78,15 @@ struct RunResult {
   std::vector<BlockedThreadInfo> blocked;
   /// Populated when outcome == Exception.
   std::string errorMessage;
+  /// With Options::captureState: the state fingerprint at each decision
+  /// point, aligned with `schedule` (fingerprints[i] hashes the state in
+  /// which schedule[i] was chosen).  The explorer's dedup table keys on
+  /// (depth, fingerprint) pairs from here.
+  std::vector<std::uint64_t> fingerprints;
+  /// With Options::captureState: what each step touched (the segment from
+  /// decision point i to i+1, executed by schedule[i]).  Consumed by the
+  /// explorer's adjacent-step independence (sleep-set) check.
+  std::vector<Footprint> stepFootprints;
 
   bool ok() const { return outcome == Outcome::Completed; }
 };
@@ -96,6 +106,10 @@ class VirtualScheduler {
   struct Options {
     /// Abort the run after this many decision points (livelock guard).
     std::uint64_t maxSteps = 200000;
+    /// Record per-decision-point state fingerprints and per-step footprints
+    /// into the RunResult (see RunResult::fingerprints).  Off by default:
+    /// only the pruning explorer pays for state hashing.
+    bool captureState = false;
   };
 
   explicit VirtualScheduler(Strategy& strategy) : VirtualScheduler(strategy, Options()) {}
@@ -155,6 +169,34 @@ class VirtualScheduler {
   /// consulted in registration order.
   void addIdleHandler(IdleHandler* h);
 
+  // ---- state fingerprinting (schedule-tree pruning) -----------------------
+
+  /// Register an object whose state participates in fingerprint().  Sources
+  /// are hashed in registration order, which is deterministic because the
+  /// explorer's program callback constructs the same objects in the same
+  /// order on every run.  Monitors, SharedVars and the Runtime register
+  /// themselves in virtual mode.
+  void addFingerprintSource(const FingerprintSource* s);
+
+  /// Unregister a source (called from its destructor).  Safe during
+  /// scheduler teardown.
+  void removeFingerprintSource(const FingerprintSource* s);
+
+  /// Hash of the complete scheduler-visible state: every logical thread's
+  /// (status, block kind, block resource) plus each registered source.
+  /// Deterministic: equal states yield equal fingerprints across runs.
+  std::uint64_t fingerprint() const;
+
+  /// Record that the currently-running logical thread accessed the resource
+  /// identified by `tag` (see fpTag).  No-op unless Options::captureState is
+  /// set and a logical thread is executing.  Called by the Runtime for every
+  /// instrumented operation and by the scheduler's own blocking primitives.
+  void noteAccess(std::uint64_t tag, bool isWrite);
+
+  /// Mark the current step as having a global effect (thread spawn, clock
+  /// progress): it will never be treated as independent of anything.
+  void noteGlobalEffect();
+
   /// True while the run is being torn down (deadlock/step-limit/exception).
   /// RAII cleanup code uses this to tolerate partially-unwound state.
   bool aborting() const { return aborting_; }
@@ -192,6 +234,11 @@ class VirtualScheduler {
 
   Strategy& strategy_;
   Options opts_;
+  // Declared before threads_ on purpose: destroying threads_ runs the
+  // program closures' destructors, which unregister monitors / shared vars
+  // from this vector — it must still be alive then.
+  std::vector<const FingerprintSource*> fingerprintSources_;
+  Footprint stepFootprint_;
   std::vector<std::unique_ptr<ThreadRecord>> threads_;
   std::vector<IdleHandler*> idleHandlers_;
   std::binary_semaphore controllerSem_{0};

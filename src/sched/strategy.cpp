@@ -77,6 +77,11 @@ ThreadId PrefixReplayStrategy::pick(const std::vector<ThreadId>& runnable,
     }
     return want;
   }
+  if (step == prefix_.size() && avoid_ != events::kNoThread) {
+    for (ThreadId t : runnable) {
+      if (t != avoid_) return t;  // lowest id among the non-avoided
+    }
+  }
   return runnable.front();
 }
 

@@ -53,6 +53,10 @@ VirtualScheduler::~VirtualScheduler() {
 ThreadId VirtualScheduler::spawn(std::string name, std::function<void()> fn) {
   CONFAIL_CHECK(!finished_ && !aborting_, UsageError,
                 "spawn after the run finished");
+  // A mid-run spawn changes the runnable universe for every later decision
+  // and allocates a thread id whose value depends on spawn order: never
+  // treat the spawning step as independent of anything.
+  if (onLogicalThread()) noteGlobalEffect();
   const ThreadId id = static_cast<ThreadId>(threads_.size());
   auto rec = std::make_unique<ThreadRecord>(id, std::move(name));
   rec->fn = std::move(fn);
@@ -84,7 +88,9 @@ void VirtualScheduler::finishSelf(ThreadRecord& rec) {
   rec.blockKind = BlockKind::None;
   --liveCount_;
   // Wake any logical threads joined on us (only outside teardown; during
-  // teardown the controller wakes everyone itself).
+  // teardown the controller wakes everyone itself).  unblock() records the
+  // join-resource footprint, so a finish that wakes joiners conflicts with
+  // their joinThread() step as required.
   if (!aborting_) {
     for (ThreadId j : rec.joiners) {
       if (recordOf(j).state == ThreadState::Blocked) unblock(j);
@@ -135,7 +141,15 @@ RunResult VirtualScheduler::run() {
           break;
         }
       }
-      if (progressed) continue;
+      if (progressed) {
+        // Idle-handler progress (abstract-clock advance) changes blocked
+        // threads behind the back of the step that led here: poison the
+        // preceding step so it never passes an independence check.
+        if (opts_.captureState && !result.stepFootprints.empty()) {
+          result.stepFootprints.back().global = true;
+        }
+        continue;
+      }
       result.outcome = Outcome::Deadlock;
       for (const auto& rec : threads_) {
         if (rec->state == ThreadState::Blocked) {
@@ -166,11 +180,16 @@ RunResult VirtualScheduler::run() {
     result.schedule.push_back(pick);
     result.choiceSets.push_back(std::move(runnable));
     ++result.steps;
+    if (opts_.captureState) {
+      result.fingerprints.push_back(fingerprint());
+      stepFootprint_.clear();
+    }
 
     ThreadRecord& rec = recordOf(pick);
     rec.state = ThreadState::Running;
     rec.sem.release();
     controllerSem_.acquire();
+    if (opts_.captureState) result.stepFootprints.push_back(stepFootprint_);
 
     if (rec.state == ThreadState::Finished && rec.error) {
       result.outcome = Outcome::Exception;
@@ -231,9 +250,18 @@ void VirtualScheduler::yield() {
   switchToController(rec);
 }
 
+namespace {
+// Footprint tag of a blocking resource: the rendezvous point between a
+// block() and the unblock()/reblock() that releases it.
+std::uint64_t blockTag(BlockKind kind, std::uint64_t resource) {
+  return fpTag('b', (static_cast<std::uint64_t>(kind) << 56) ^ resource);
+}
+}  // namespace
+
 void VirtualScheduler::block(BlockKind kind, std::uint64_t resource) {
   CONFAIL_ASSERT(onLogicalThread(), "block off a logical thread");
   checkAbort();
+  noteAccess(blockTag(kind, resource), /*isWrite=*/true);
   auto& rec = *static_cast<ThreadRecord*>(tlsBinding.record);
   rec.state = ThreadState::Blocked;
   rec.blockKind = kind;
@@ -253,6 +281,7 @@ void VirtualScheduler::unblock(ThreadId t) {
   ThreadRecord& rec = recordOf(t);
   CONFAIL_ASSERT(rec.state == ThreadState::Blocked,
                  "unblock of a thread that is not blocked");
+  noteAccess(blockTag(rec.blockKind, rec.blockResource), /*isWrite=*/true);
   rec.state = ThreadState::Runnable;
   rec.blockKind = BlockKind::None;
   rec.blockResource = 0;
@@ -273,6 +302,8 @@ void VirtualScheduler::reblock(ThreadId t, BlockKind kind,
   ThreadRecord& rec = recordOf(t);
   CONFAIL_ASSERT(rec.state == ThreadState::Blocked,
                  "reblock of a thread that is not blocked");
+  noteAccess(blockTag(rec.blockKind, rec.blockResource), /*isWrite=*/true);
+  noteAccess(blockTag(kind, resource), /*isWrite=*/true);
   rec.blockKind = kind;
   rec.blockResource = resource;
 }
@@ -301,6 +332,48 @@ std::size_t VirtualScheduler::threadCount() const { return threads_.size(); }
 void VirtualScheduler::addIdleHandler(IdleHandler* h) {
   CONFAIL_ASSERT(h != nullptr, "null idle handler");
   idleHandlers_.push_back(h);
+}
+
+void VirtualScheduler::addFingerprintSource(const FingerprintSource* s) {
+  CONFAIL_ASSERT(s != nullptr, "null fingerprint source");
+  fingerprintSources_.push_back(s);
+}
+
+void VirtualScheduler::removeFingerprintSource(const FingerprintSource* s) {
+  for (auto it = fingerprintSources_.begin(); it != fingerprintSources_.end();
+       ++it) {
+    if (*it == s) {
+      fingerprintSources_.erase(it);
+      return;
+    }
+  }
+}
+
+std::uint64_t VirtualScheduler::fingerprint() const {
+  std::uint64_t h = kFpSeed;
+  for (const auto& rec : threads_) {
+    h = fpMix(h, (static_cast<std::uint64_t>(rec->state) << 40) ^
+                     (static_cast<std::uint64_t>(rec->blockKind) << 32));
+    h = fpMix(h, rec->blockResource);
+  }
+  for (const FingerprintSource* s : fingerprintSources_) {
+    h = fpMix(h, s->stateFingerprint());
+  }
+  return h;
+}
+
+void VirtualScheduler::noteAccess(std::uint64_t tag, bool isWrite) {
+  if (!opts_.captureState || !onLogicalThread()) return;
+  if (isWrite) {
+    stepFootprint_.addWrite(tag);
+  } else {
+    stepFootprint_.addRead(tag);
+  }
+}
+
+void VirtualScheduler::noteGlobalEffect() {
+  if (!opts_.captureState) return;
+  stepFootprint_.global = true;
 }
 
 }  // namespace confail::sched

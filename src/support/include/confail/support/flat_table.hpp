@@ -1,0 +1,107 @@
+// FlatMap64: a flat open-addressing hash table from 64-bit keys to 32-bit
+// values.
+//
+// Both hot state-space engines key on a compact 64-bit encoding of a state
+// (the Petri reachability table encodes a marking of <= 8 places; the
+// explorer's visited set keys on a (depth, fingerprint) mix), so the table
+// avoids the per-node allocation, pointer chasing and bucket indirection of
+// std::unordered_map: storage is a single contiguous slot array probed
+// linearly, and lookups on the BFS/DFS hot path touch one cache line in the
+// common case.  Capacity is a power of two, pre-reservable, and doubles at
+// ~70% load.  No erase (neither engine removes states mid-enumeration).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "confail/support/assert.hpp"
+
+namespace confail {
+
+class FlatMap64 {
+ public:
+  /// Sentinel marking an empty slot.  Values passed to findOrInsert must be
+  /// distinct from it (state indices are capped well below 2^32-1).
+  static constexpr std::uint32_t kNoValue = 0xffffffffu;
+
+  /// `expected` is the anticipated number of entries; the table pre-reserves
+  /// enough slots that no rehash happens before `expected` insertions.
+  explicit FlatMap64(std::size_t expected = 0) { reserve(expected); }
+
+  /// Value stored under `key`, or kNoValue if absent.
+  std::uint32_t find(std::uint64_t key) const {
+    std::size_t i = static_cast<std::size_t>(hash(key)) & mask_;
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.value == kNoValue) return kNoValue;
+      if (s.key == key) return s.value;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Insert (key -> value) if the key is absent.  Returns the resident value
+  /// (existing or just-inserted) and whether an insertion happened.
+  std::pair<std::uint32_t, bool> findOrInsert(std::uint64_t key,
+                                              std::uint32_t value) {
+    CONFAIL_ASSERT(value != kNoValue, "kNoValue is reserved");
+    std::size_t i = static_cast<std::size_t>(hash(key)) & mask_;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.value == kNoValue) {
+        s.key = key;
+        s.value = value;
+        ++size_;
+        if (size_ * 10 >= slots_.size() * 7) grow();
+        return {value, true};
+      }
+      if (s.key == key) return {s.value, false};
+      i = (i + 1) & mask_;
+    }
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Grow the slot array so at least `expected` entries fit under the load
+  /// factor.  Never shrinks.
+  void reserve(std::size_t expected) {
+    std::size_t want = 16;
+    while (want * 7 < (expected + 1) * 10) want <<= 1;
+    if (want <= slots_.size()) return;
+    rehash(want);
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint32_t value = kNoValue;
+  };
+
+  /// SplitMix64 finalizer: full-avalanche scrambling so sequential encodings
+  /// (markings differ in low bits) spread across the table.
+  static std::uint64_t hash(std::uint64_t k) {
+    k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    k = (k ^ (k >> 27)) * 0x94d049bb133111ebULL;
+    return k ^ (k >> 31);
+  }
+
+  void grow() { rehash(slots_.size() * 2); }
+
+  void rehash(std::size_t newCap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(newCap, Slot{});
+    mask_ = newCap - 1;
+    for (const Slot& s : old) {
+      if (s.value == kNoValue) continue;
+      std::size_t i = static_cast<std::size_t>(hash(s.key)) & mask_;
+      while (slots_[i].value != kNoValue) i = (i + 1) & mask_;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace confail
