@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "confail/clock/abstract_clock.hpp"
 #include "confail/cofg/cofg.hpp"
 #include "confail/cofg/coverage.hpp"
@@ -195,26 +196,56 @@ int main() {
         static_cast<double>(kills) / static_cast<double>(mutants.size());
   }
 
+  confail::benchjson::Writer json;
+  json.beginObject();
+  json.field("bench", "ablation_cofg_criterion");
+  json.field("sequences", kSequences);
+  json.field("mutants", static_cast<std::uint64_t>(mutants.size()));
+
   std::printf("%-18s %10s %16s\n", "arc coverage", "sequences",
               "avg mutants killed");
   double lowCovKill = -1.0, highCovKill = -1.0;
+  json.key("by_coverage_decile");
+  json.beginArray();
   for (const auto& [decile, b] : byCoverage) {
     double avg = b.killSum / b.sequences;
     std::printf("%9d0%%        %10d %15.0f%%\n", decile, b.sequences,
                 avg * 100.0);
+    json.beginObject();
+    json.field("coverage_pct", decile * 10);
+    json.field("sequences", b.sequences);
+    json.field("avg_kill_rate", avg);
+    json.endObject();
     if (lowCovKill < 0) lowCovKill = avg;
     highCovKill = avg;
   }
+  json.endArray();
 
   std::printf("\nper-mutant kills over %d random sequences:\n", kSequences);
+  json.key("kills_per_mutant");
+  json.beginObject();
   for (const auto& [name, kills] : killsPerMutant) {
     std::printf("  %-20s %d\n", name.c_str(), kills);
+    json.field(name, kills);
   }
+  json.endObject();
 
   const bool rises = highCovKill > lowCovKill;
+  json.field("low_coverage_kill_rate", lowCovKill);
+  json.field("high_coverage_kill_rate", highCovKill);
+  json.field("kill_rate_rises_with_coverage", rises);
+  json.field("ok", rises);
+  json.endObject();
+
   std::printf("\nreading: higher CoFG arc coverage -> more mutants killed\n"
               "(%s), supporting the paper's criterion.\n",
               rises ? "confirmed on this run" : "NOT observed on this run");
+  if (json.writeFile("BENCH_ablation_cofg.json")) {
+    std::printf("\nwrote BENCH_ablation_cofg.json\n");
+  } else {
+    std::printf("\nFAIL: could not write BENCH_ablation_cofg.json\n");
+    return 1;
+  }
   std::printf("\n%s\n", rises ? "ABLATION C: OK" : "ABLATION C: FAILURES");
   return rises ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.hpp"
 #include "confail/components/producer_consumer.hpp"
 #include "confail/detect/wait_notify.hpp"
 #include "confail/events/trace.hpp"
@@ -90,26 +91,54 @@ int main() {
   std::printf("%-10s %-8s %8s %12s %10s %14s\n", "guard", "p(spur)", "runs",
               "bad-value", "deadlock", "guard-flagged");
 
+  confail::benchjson::Writer json;
+  json.beginObject();
+  json.field("bench", "ablation_guard_discipline");
+  json.field("seeds_per_cell", seeds);
+  json.key("rows");
+  json.beginArray();
+  auto emitRow = [&json](const char* guard, double p, const Outcomes& o) {
+    json.beginObject();
+    json.field("guard", guard);
+    json.field("spurious_prob", p);
+    json.field("runs", o.runs);
+    json.field("wrong_value", o.wrongValue);
+    json.field("deadlocks", o.deadlocks);
+    json.field("guard_findings", o.guardFindings);
+    json.endObject();
+  };
+
   int failures = 0;
   for (double p : {0.0, 0.1, 0.3, 0.6}) {
     Outcomes w = measure(/*ifGuard=*/false, p, seeds);
     std::printf("%-10s %-8.1f %8d %12d %10d %14d\n", "while", p, w.runs,
                 w.wrongValue, w.deadlocks, w.guardFindings);
+    emitRow("while", p, w);
     // The correct idiom must never fail, at any hostility level.
     if (w.wrongValue != 0 || w.deadlocks != 0) ++failures;
 
     Outcomes i = measure(/*ifGuard=*/true, p, seeds);
     std::printf("%-10s %-8.1f %8d %12d %10d %14d\n", "if", p, i.runs,
                 i.wrongValue, i.deadlocks, i.guardFindings);
+    emitRow("if", p, i);
     if (p >= 0.3 && i.wrongValue + i.deadlocks == 0) {
       ++failures;  // hostility this high must expose the mutant
     }
   }
+  json.endArray();
+  json.field("ok", failures == 0);
+  json.endObject();
 
   std::printf("\nreading: the while-guard absorbs arbitrary spurious wakeups\n"
               "(zero failures in every row); the if-guard fails increasingly\n"
               "often as wakeups get more spurious, and the guard-discipline\n"
               "analysis flags the vulnerable pattern even in lucky runs.\n");
+  if (json.writeFile("BENCH_ablation_guard.json")) {
+    std::printf("\nwrote BENCH_ablation_guard.json\n");
+  } else {
+    std::printf("\nFAIL: could not write BENCH_ablation_guard.json\n");
+    return 1;
+  }
   std::printf("\n%s\n", failures == 0 ? "ABLATION D: OK" : "ABLATION D: FAILURES");
   return failures == 0 ? 0 : 1;
 }

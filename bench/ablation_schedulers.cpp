@@ -64,8 +64,10 @@ Row exploreRow(const char* name, std::uint64_t budget, bool prune,
   eo.fingerprintPruning = prune;
   sched::ExhaustiveExplorer explorer(eo);
   std::uint64_t runs = 0, first = 0;
+  // Cast picks the uninstrumented overload; std::function's templated
+  // constructor cannot resolve the overload set on its own.
   auto stats = explorer.explore(
-      scenarios::ffT5Notify,
+      static_cast<void (*)(sched::VirtualScheduler&)>(scenarios::ffT5Notify),
       [&runs, &first](const std::vector<ev::ThreadId>&,
                       const sched::RunResult& r) {
         ++runs;

@@ -1,109 +1,14 @@
-// Minimal JSON emitter for the bench binaries' machine-readable outputs
-// (BENCH_*.json).  Flat builder, no dependencies: values are appended in
-// document order and commas/indentation are handled by nesting depth.
-// Only what the benches need — objects, arrays, numbers, strings, bools.
+// Compatibility shim: the bench JSON emitter moved into the observability
+// library (confail::obs::JsonWriter) so benches, metrics snapshots and the
+// Chrome trace exporter all share one escaping/formatting convention.  This
+// header keeps the historical confail::benchjson::Writer name alive for the
+// bench sources; new code should include confail/obs/json.hpp directly.
 #pragma once
 
-#include <cstdint>
-#include <cstdio>
-#include <string>
-#include <type_traits>
+#include "confail/obs/json.hpp"
 
 namespace confail::benchjson {
 
-class Writer {
- public:
-  void beginObject() { open('{'); }
-  void endObject() { close('}'); }
-  void beginArray() { open('['); }
-  void endArray() { close(']'); }
-
-  void key(const std::string& k) {
-    comma();
-    out_ += '"';
-    escape(k);
-    out_ += "\": ";
-    pendingValue_ = true;
-  }
-
-  void value(const std::string& v) {
-    comma();
-    out_ += '"';
-    escape(v);
-    out_ += '"';
-  }
-  void value(const char* v) { value(std::string(v)); }
-  void value(bool v) {
-    comma();
-    out_ += v ? "true" : "false";
-  }
-  void value(double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.3f", v);
-    comma();
-    out_ += buf;
-  }
-  template <typename T>
-    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
-  void value(T v) {
-    comma();
-    out_ += std::to_string(v);
-  }
-
-  template <typename T>
-  void field(const std::string& k, T v) {
-    key(k);
-    value(v);
-  }
-
-  const std::string& str() const { return out_; }
-
-  /// Write the document to `path`; returns false on I/O failure.
-  bool writeFile(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    std::fputs(out_.c_str(), f);
-    std::fputc('\n', f);
-    return std::fclose(f) == 0;
-  }
-
- private:
-  void open(char c) {
-    comma();
-    out_ += c;
-    ++depth_;
-    first_ = true;
-  }
-  void close(char c) {
-    --depth_;
-    newlineIndent();
-    out_ += c;
-    first_ = false;
-  }
-  void comma() {
-    if (pendingValue_) {
-      pendingValue_ = false;  // value directly follows its key
-      return;
-    }
-    if (!first_ && depth_ > 0) out_ += ',';
-    if (depth_ > 0) newlineIndent();
-    first_ = false;
-  }
-  void newlineIndent() {
-    out_ += '\n';
-    out_.append(static_cast<std::size_t>(depth_) * 2, ' ');
-  }
-  void escape(const std::string& s) {
-    for (char c : s) {
-      if (c == '"' || c == '\\') out_ += '\\';
-      out_ += c;
-    }
-  }
-
-  std::string out_;
-  int depth_ = 0;
-  bool first_ = true;
-  bool pendingValue_ = false;
-};
+using Writer = confail::obs::JsonWriter;
 
 }  // namespace confail::benchjson

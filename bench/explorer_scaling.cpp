@@ -103,7 +103,8 @@ int main(int argc, char** argv) {
   // Smoke: the tiny lock-order tree.  Full: the single-item FF-T5 tree,
   // branch-bounded to depth 8 (~26k runs serial).
   const Scenario scaleScenario =
-      smoke ? scenarios::lockOrder : scenarios::ffT5Small;
+      smoke ? static_cast<Scenario>(scenarios::lockOrder)
+            : static_cast<Scenario>(scenarios::ffT5Small);
   const std::size_t scaleDepth =
       smoke ? static_cast<std::size_t>(-1) : 8;
   const char* scaleName = smoke ? "lock_order" : "ff_t5_small";
@@ -165,7 +166,8 @@ int main(int argc, char** argv) {
       100.0 - pct(fig2Pruned.stats.runs, fig2Plain.stats.runs);
 
   const Scenario dlScenario =
-      smoke ? scenarios::lockOrder : scenarios::ffT5Small;
+      smoke ? static_cast<Scenario>(scenarios::lockOrder)
+            : static_cast<Scenario>(scenarios::ffT5Small);
   const std::size_t dlDepth = smoke ? static_cast<std::size_t>(-1) : 8;
   const char* dlName = smoke ? "lock_order" : "ff_t5_small";
   Measured dlPlain = run(dlScenario, 1, dlDepth, false);

@@ -19,6 +19,7 @@
 #include <sstream>
 #include <string>
 
+#include "bench_json.hpp"
 #include "confail/clock/abstract_clock.hpp"
 #include "confail/components/producer_consumer.hpp"
 #include "confail/conan/test_driver.hpp"
@@ -309,6 +310,12 @@ int main() {
   outcomes[FailureClass::EF_T2] =
       "n/a by construction (substrate scheduler assumed correct)";
 
+  confail::benchjson::Writer json;
+  json.beginObject();
+  json.field("bench", "table1_classification");
+  json.key("rows");
+  json.beginArray();
+
   int failures = 0;
   for (const Scenario& sc : scenarios) {
     FailureReport report = sc.run();
@@ -317,11 +324,21 @@ int main() {
                 sc.mutant.c_str());
     std::printf("       technique: %s\n", sc.technique.c_str());
     std::printf("       classified: ");
+    json.beginObject();
+    json.field("class", tax::failureClassName(sc.target));
+    json.field("mutant", sc.mutant);
+    json.field("technique", sc.technique);
+    json.key("classified_as");
+    json.beginArray();
     bool first = true;
     for (FailureClass c : report.classes()) {
       std::printf("%s%s", first ? "" : ", ", tax::failureClassName(c));
+      json.value(tax::failureClassName(c));
       first = false;
     }
+    json.endArray();
+    json.field("detected", hit);
+    json.endObject();
     if (first) std::printf("(none)");
     std::printf("  ->  %s\n\n", hit ? "DETECTED" : "MISSED");
     if (!hit) ++failures;
@@ -329,6 +346,11 @@ int main() {
     cell << (hit ? "DETECTED" : "MISSED") << " via " << sc.technique;
     outcomes[sc.target] = cell.str();
   }
+  json.endArray();
+  json.field("detected_classes", 9 - failures);
+  json.field("applicable_classes", 9);
+  json.field("ok", failures == 0);
+  json.endObject();
 
   std::printf("%s\n",
               tax::renderTable1With("Reproduced by", outcomes).c_str());
@@ -336,6 +358,12 @@ int main() {
   std::printf("%d/9 applicable failure classes detected and correctly "
               "classified (EF-T2 not applicable).\n",
               9 - failures);
+  if (json.writeFile("BENCH_table1.json")) {
+    std::printf("wrote BENCH_table1.json\n");
+  } else {
+    std::printf("FAIL: could not write BENCH_table1.json\n");
+    return 1;
+  }
   std::printf("%s\n", failures == 0 ? "TABLE 1 REPRODUCTION: OK"
                                     : "TABLE 1 REPRODUCTION: FAILURES");
   return failures == 0 ? 0 : 1;

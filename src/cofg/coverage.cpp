@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "confail/obs/metrics.hpp"
 #include "confail/support/assert.hpp"
 
 namespace confail::cofg {
@@ -20,8 +21,11 @@ void CoverageTracker::onConcurrencyEvent(const Event& e, NodeKind kind) {
   // concurrency statement per kind between guards.
   for (std::size_t idx : graph_->arcsFrom(cur)) {
     if (graph_->arcs()[idx].dst.kind == kind) {
+      const bool firstTraversal = hits_[idx] == 0;
       ++hits_[idx];
       cur = graph_->arcs()[idx].dst;
+      // Only a first traversal can move the covered-arc gauges.
+      if (firstTraversal && coveredGauge_ != nullptr) updateGauges();
       return;
     }
   }
@@ -63,6 +67,29 @@ void CoverageTracker::onEvent(const Event& e) {
 
 void CoverageTracker::process(const std::vector<Event>& events) {
   for (const Event& e : events) onEvent(e);
+}
+
+void CoverageTracker::updateGauges() const {
+  if (coveredGauge_ == nullptr) return;
+  coveredGauge_->set(static_cast<double>(coveredArcs()));
+  totalGauge_->set(static_cast<double>(totalArcs()));
+  fractionGauge_->set(coverageFraction());
+}
+
+void CoverageTracker::bindGauges(obs::Registry& metrics,
+                                 const std::string& prefix) {
+  coveredGauge_ = &metrics.gauge(prefix + ".arcs_covered");
+  totalGauge_ = &metrics.gauge(prefix + ".arcs_total");
+  fractionGauge_ = &metrics.gauge(prefix + ".coverage");
+  updateGauges();
+}
+
+void CoverageTracker::publishTo(obs::Registry& metrics,
+                                const std::string& prefix) const {
+  metrics.gauge(prefix + ".arcs_covered")
+      .set(static_cast<double>(coveredArcs()));
+  metrics.gauge(prefix + ".arcs_total").set(static_cast<double>(totalArcs()));
+  metrics.gauge(prefix + ".coverage").set(coverageFraction());
 }
 
 std::size_t CoverageTracker::coveredArcs() const {

@@ -18,6 +18,11 @@
 #include "confail/cofg/cofg.hpp"
 #include "confail/events/trace.hpp"
 
+namespace confail::obs {
+class Gauge;
+class Registry;
+}
+
 namespace confail::cofg {
 
 struct CoverageAnomaly {
@@ -65,13 +70,27 @@ class CoverageTracker : public events::EventSink {
   /// conditions that must be made true.
   std::string suggestSequences() const;
 
+  /// Live coverage gauges: binds <prefix>.arcs_covered, <prefix>.arcs_total
+  /// and <prefix>.coverage on `metrics` and keeps them current as arcs are
+  /// traversed — a progress line can report "9/10 arcs" mid-run.  The
+  /// registry must outlive the tracker.
+  void bindGauges(obs::Registry& metrics, const std::string& prefix);
+
+  /// One-shot publication of the current coverage to the same gauges that
+  /// bindGauges maintains (no live updates afterwards unless bound).
+  void publishTo(obs::Registry& metrics, const std::string& prefix) const;
+
  private:
   void onConcurrencyEvent(const events::Event& e, NodeKind kind);
+  void updateGauges() const;
 
   const Cofg* graph_;
   events::MethodId method_;
   std::vector<std::uint64_t> hits_;
   std::vector<CoverageAnomaly> anomalies_;
+  obs::Gauge* coveredGauge_ = nullptr;
+  obs::Gauge* totalGauge_ = nullptr;
+  obs::Gauge* fractionGauge_ = nullptr;
 
   // Per-thread cursor stacks (stack: methods may be re-entered recursively).
   std::map<events::ThreadId, std::vector<Node>> cursor_;

@@ -21,26 +21,50 @@
 #include "confail/monitor/monitor.hpp"
 #include "confail/monitor/runtime.hpp"
 #include "confail/monitor/shared_var.hpp"
+#include "confail/obs/metrics.hpp"
 #include "confail/sched/virtual_scheduler.hpp"
 
 namespace confail::components::scenarios {
 
+/// Optional observation hooks for a scenario run.  `trace`, when set, is
+/// cleared and then receives the run's events (instead of a scenario-private
+/// trace that dies with the run) — feed it to the exporters or the offline
+/// detectors afterwards.  `metrics`, when set, is attached to the scenario's
+/// Runtime before any monitor is built, so per-monitor counters register.
+/// Exploration note: a shared external trace serializes appends from
+/// parallel workers and interleaves their runs — pass a trace only to a
+/// single capture run; `metrics` alone is safe under parallel exploration.
+struct Instruments {
+  events::Trace* trace = nullptr;
+  obs::Registry* metrics = nullptr;
+};
+
 namespace detail {
+
+/// Member-init-list hook: attach metrics to the runtime before the
+/// components (and their monitors) are constructed.
+inline monitor::Runtime& prime(monitor::Runtime& rt, obs::Registry* metrics) {
+  rt.setMetrics(metrics);
+  return rt;
+}
 
 inline void boundedBufferScenario(confail::sched::VirtualScheduler& s,
                                   const BoundedBuffer<int>::Faults& faults,
-                                  int itemsPerThread = 2) {
+                                  int itemsPerThread = 2,
+                                  const Instruments& ins = {}) {
   // The State (and its trace) is kept alive by the spawned closures, which
   // the scheduler owns until the run finishes.
   struct State {
-    events::Trace trace;
+    events::Trace ownTrace;
     monitor::Runtime rt;
     BoundedBuffer<int> buf;
     State(confail::sched::VirtualScheduler& sc,
-          const BoundedBuffer<int>::Faults& f)
-        : rt(trace, sc, 1), buf(rt, "buf", 1, f) {}
+          const BoundedBuffer<int>::Faults& f, const Instruments& i)
+        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1),
+          buf(prime(rt, i.metrics), "buf", 1, f) {}
   };
-  auto st = std::make_shared<State>(s, faults);
+  if (ins.trace != nullptr) ins.trace->clear();
+  auto st = std::make_shared<State>(s, faults, ins);
   for (int p = 0; p < 2; ++p) {
     st->rt.spawn("p" + std::to_string(p), [st, itemsPerThread] {
       for (int i = 0; i < itemsPerThread; ++i) st->buf.put(i);
@@ -59,12 +83,22 @@ inline void boundedBufferScenario(confail::sched::VirtualScheduler& s,
 inline void figure2(confail::sched::VirtualScheduler& s) {
   detail::boundedBufferScenario(s, BoundedBuffer<int>::Faults{});
 }
+inline void figure2(confail::sched::VirtualScheduler& s,
+                    const Instruments& ins) {
+  detail::boundedBufferScenario(s, BoundedBuffer<int>::Faults{}, 2, ins);
+}
 
 /// FF-T5 mutant: notify() where notifyAll() is required.
 inline void ffT5Notify(confail::sched::VirtualScheduler& s) {
   BoundedBuffer<int>::Faults f;
   f.notifyOneOnly = true;
   detail::boundedBufferScenario(s, f);
+}
+inline void ffT5Notify(confail::sched::VirtualScheduler& s,
+                       const Instruments& ins) {
+  BoundedBuffer<int>::Faults f;
+  f.notifyOneOnly = true;
+  detail::boundedBufferScenario(s, f, 2, ins);
 }
 
 /// Single-item FF-T5 mutant: 2 producers x 1 item, 2 consumers x 1 item,
@@ -76,19 +110,29 @@ inline void ffT5Small(confail::sched::VirtualScheduler& s) {
   f.notifyOneOnly = true;
   detail::boundedBufferScenario(s, f, /*itemsPerThread=*/1);
 }
+inline void ffT5Small(confail::sched::VirtualScheduler& s,
+                      const Instruments& ins) {
+  BoundedBuffer<int>::Faults f;
+  f.notifyOneOnly = true;
+  detail::boundedBufferScenario(s, f, /*itemsPerThread=*/1, ins);
+}
 
 /// Classic lock-order deadlock (the paper's FF-T2 "locks held by several
 /// threads in a circular chain"): t0 takes A then B, t1 takes B then A.
-inline void lockOrder(confail::sched::VirtualScheduler& s) {
+inline void lockOrder(confail::sched::VirtualScheduler& s,
+                      const Instruments& ins) {
   struct State {
-    events::Trace trace;
+    events::Trace ownTrace;
     monitor::Runtime rt;
     monitor::Monitor a;
     monitor::Monitor b;
-    explicit State(confail::sched::VirtualScheduler& sc)
-        : rt(trace, sc, 1), a(rt, "A"), b(rt, "B") {}
+    State(confail::sched::VirtualScheduler& sc, const Instruments& i)
+        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1),
+          a(detail::prime(rt, i.metrics), "A"),
+          b(rt, "B") {}
   };
-  auto st = std::make_shared<State>(s);
+  if (ins.trace != nullptr) ins.trace->clear();
+  auto st = std::make_shared<State>(s, ins);
   st->rt.spawn("t0", [st] {
     monitor::Synchronized ga(st->a);
     monitor::Synchronized gb(st->b);
@@ -98,25 +142,35 @@ inline void lockOrder(confail::sched::VirtualScheduler& s) {
     monitor::Synchronized ga(st->a);
   });
 }
+inline void lockOrder(confail::sched::VirtualScheduler& s) {
+  lockOrder(s, Instruments{});
+}
 
 /// Two threads on fully disjoint state: adjacent steps of different
 /// threads always commute.
-inline void disjointCounters(confail::sched::VirtualScheduler& s) {
+inline void disjointCounters(confail::sched::VirtualScheduler& s,
+                             const Instruments& ins) {
   struct State {
-    events::Trace trace;
+    events::Trace ownTrace;
     monitor::Runtime rt;
     monitor::SharedVar<int> a;
     monitor::SharedVar<int> b;
-    explicit State(confail::sched::VirtualScheduler& sc)
-        : rt(trace, sc, 1), a(rt, "a", 0), b(rt, "b", 0) {}
+    State(confail::sched::VirtualScheduler& sc, const Instruments& i)
+        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1),
+          a(detail::prime(rt, i.metrics), "a", 0),
+          b(rt, "b", 0) {}
   };
-  auto st = std::make_shared<State>(s);
+  if (ins.trace != nullptr) ins.trace->clear();
+  auto st = std::make_shared<State>(s, ins);
   st->rt.spawn("ta", [st] {
     for (int i = 0; i < 2; ++i) st->a.set(st->a.get() + 1);
   });
   st->rt.spawn("tb", [st] {
     for (int i = 0; i < 2; ++i) st->b.set(st->b.get() + 1);
   });
+}
+inline void disjointCounters(confail::sched::VirtualScheduler& s) {
+  disjointCounters(s, Instruments{});
 }
 
 }  // namespace confail::components::scenarios

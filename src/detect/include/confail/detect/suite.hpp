@@ -11,6 +11,10 @@
 
 #include "confail/detect/finding.hpp"
 
+namespace confail::obs {
+class Registry;
+}
+
 namespace confail::detect {
 
 class DetectorSuite {
@@ -36,8 +40,15 @@ class DetectorSuite {
   /// Names of the detectors in the battery, in execution order.
   std::vector<const char*> detectorNames() const;
 
+  /// Attach a metrics registry: analyze() then records events seen
+  /// (detect.events), per-detector findings (detect.<name>.findings) and
+  /// per-detector analysis latency (detect.<name>.analyze_ns histogram).
+  /// Null detaches; the registry must outlive the suite's analyze() calls.
+  void setMetrics(obs::Registry* metrics) { metrics_ = metrics; }
+
  private:
   std::vector<std::unique_ptr<Detector>> detectors_;
+  obs::Registry* metrics_ = nullptr;
 };
 
 }  // namespace confail::detect

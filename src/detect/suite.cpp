@@ -1,5 +1,7 @@
 #include "confail/detect/suite.hpp"
 
+#include <string>
+
 #include "confail/detect/hb_detector.hpp"
 #include "confail/detect/lock_graph.hpp"
 #include "confail/detect/lockset.hpp"
@@ -7,6 +9,7 @@
 #include "confail/detect/starvation.hpp"
 #include "confail/detect/unnecessary_sync.hpp"
 #include "confail/detect/wait_notify.hpp"
+#include "confail/obs/metrics.hpp"
 
 namespace confail::detect {
 
@@ -26,9 +29,18 @@ DetectorSuite::DetectorSuite(Options opts) {
 DetectorSuite::~DetectorSuite() = default;
 
 std::vector<Finding> DetectorSuite::analyze(const events::Trace& trace) {
+  if (metrics_ != nullptr) metrics_->counter("detect.events").add(trace.size());
   std::vector<Finding> all;
   for (auto& d : detectors_) {
-    auto fs = d->analyze(trace);
+    std::vector<Finding> fs;
+    if (metrics_ != nullptr) {
+      const std::string prefix = std::string("detect.") + d->name();
+      obs::ScopedTimer timer(&metrics_->histogram(prefix + ".analyze_ns"));
+      fs = d->analyze(trace);
+      metrics_->counter(prefix + ".findings").add(fs.size());
+    } else {
+      fs = d->analyze(trace);
+    }
     all.insert(all.end(), fs.begin(), fs.end());
   }
   return all;

@@ -58,6 +58,11 @@ class Trace {
   std::string varName(VarId id) const;
   std::string methodName(MethodId id) const;
 
+  /// Reverse lookups by registered name.  Return the k-No* sentinel when no
+  /// id was registered under `name` (first match wins on duplicates).
+  MethodId findMethod(const std::string& name) const;
+  MonitorId findMonitor(const std::string& name) const;
+
   /// Snapshot of all events recorded so far (copy; safe to inspect while
   /// execution continues, though normally read after the run completes).
   std::vector<Event> events() const;

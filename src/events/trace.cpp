@@ -77,6 +77,22 @@ std::string Trace::methodName(MethodId id) const {
   return lookup(methodNames_, id, "method-");
 }
 
+MethodId Trace::findMethod(const std::string& name) const {
+  std::lock_guard<std::mutex> g(mu_);
+  for (std::size_t i = 0; i < methodNames_.size(); ++i) {
+    if (methodNames_[i] == name) return static_cast<MethodId>(i);
+  }
+  return kNoMethod;
+}
+
+MonitorId Trace::findMonitor(const std::string& name) const {
+  std::lock_guard<std::mutex> g(mu_);
+  for (std::size_t i = 0; i < monitorNames_.size(); ++i) {
+    if (monitorNames_[i] == name) return static_cast<MonitorId>(i);
+  }
+  return kNoMonitor;
+}
+
 std::vector<Event> Trace::events() const {
   std::lock_guard<std::mutex> g(mu_);
   return events_;

@@ -38,6 +38,10 @@
 
 #include "confail/monitor/runtime.hpp"
 
+namespace confail::obs {
+class Counter;
+}
+
 namespace confail::monitor {
 
 /// How the next thread is chosen from a monitor's entry queue (lock grant)
@@ -130,6 +134,12 @@ class Monitor : public sched::FingerprintSource {
   Options opts_;
   std::unique_ptr<VirtualState> v_;
   std::unique_ptr<RealState> r_;
+  // Per-monitor counters, resolved once from the runtime's metrics registry
+  // at construction (null when no registry is attached — the common,
+  // uninstrumented case costs one branch per operation).
+  obs::Counter* contentionCounter_ = nullptr;  ///< lock attempts that blocked
+  obs::Counter* waitCounter_ = nullptr;        ///< wait() calls
+  obs::Counter* notifyCounter_ = nullptr;      ///< notify()/notifyAll() calls
 };
 
 /// RAII equivalent of a Java `synchronized (m) { ... }` block.

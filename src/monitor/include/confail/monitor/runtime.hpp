@@ -24,6 +24,10 @@
 #include "confail/sched/virtual_scheduler.hpp"
 #include "confail/support/rng.hpp"
 
+namespace confail::obs {
+class Registry;
+}
+
 namespace confail::monitor {
 
 using events::EventKind;
@@ -55,6 +59,13 @@ class Runtime : public sched::FingerprintSource {
   Mode mode() const { return mode_; }
   bool isVirtual() const { return mode_ == Mode::Virtual; }
   events::Trace& trace() { return trace_; }
+
+  /// Attach a metrics registry.  Monitors constructed afterwards register
+  /// per-monitor contention / wait / notify counters on it (monitors built
+  /// before the call stay uninstrumented — attach before constructing
+  /// components).  Null detaches; the registry must outlive the monitors.
+  void setMetrics(obs::Registry* metrics) { metrics_ = metrics; }
+  obs::Registry* metrics() const { return metrics_; }
 
   /// The underlying scheduler.  UsageError in real mode.
   sched::VirtualScheduler& scheduler();
@@ -119,6 +130,7 @@ class Runtime : public sched::FingerprintSource {
   Mode mode_;
   events::Trace& trace_;
   sched::VirtualScheduler* sched_ = nullptr;  // virtual mode only
+  obs::Registry* metrics_ = nullptr;          // optional, not owned
 
   std::mutex mu_;  // guards everything below in real mode
   Xoshiro256 rng_;

@@ -4,6 +4,7 @@
 #include <deque>
 #include <set>
 
+#include "confail/obs/metrics.hpp"
 #include "confail/support/assert.hpp"
 
 namespace confail::monitor {
@@ -69,6 +70,11 @@ Monitor::Monitor(Runtime& rt, std::string name, Options opts)
     rt_.scheduler().addFingerprintSource(this);
   } else {
     r_ = std::make_unique<RealState>();
+  }
+  if (obs::Registry* m = rt_.metrics()) {
+    contentionCounter_ = &m->counter("monitor.contention." + name_);
+    waitCounter_ = &m->counter("monitor.wait." + name_);
+    notifyCounter_ = &m->counter("monitor.notify." + name_);
   }
 }
 
@@ -151,6 +157,7 @@ void Monitor::vLock(ThreadId self) {
     rt_.emit(EventKind::LockAcquire, id_, 0);  // T2 (uncontended)
     return;
   }
+  if (contentionCounter_ != nullptr) contentionCounter_->inc();
   v.entry.push_back(VirtualState::Entry{self, 1});
   rt_.scheduler().block(sched::BlockKind::LockAcquire, id_);
   // vGrantNext() transferred ownership to us (and emitted T2) before the
@@ -204,6 +211,7 @@ void Monitor::vWait(ThreadId self) {
   CONFAIL_CHECK(v.owner == self, IllegalMonitorState,
                 "wait on monitor '" + name_ + "' without owning its lock");
   const std::uint32_t saved = v.depth;
+  if (waitCounter_ != nullptr) waitCounter_->inc();
   rt_.emit(EventKind::WaitBegin, id_, 0);  // T3 (releases the lock)
   v.waiters.push_back(VirtualState::Waiter{self, saved});
   v.owner = kNoThread;
@@ -220,6 +228,7 @@ void Monitor::vNotify(ThreadId self, bool all) {
   CONFAIL_CHECK(v.owner == self, IllegalMonitorState,
                 std::string(all ? "notifyAll" : "notify") + " on monitor '" +
                     name_ + "' without owning its lock");
+  if (notifyCounter_ != nullptr) notifyCounter_->inc();
   rt_.emit(all ? EventKind::NotifyAllCall : EventKind::NotifyCall, id_,
            v.waiters.size());
   std::size_t count = all ? v.waiters.size() : std::min<std::size_t>(1, v.waiters.size());
@@ -258,6 +267,9 @@ void Monitor::rLock(ThreadId self) {
     return;
   }
   rt_.emit(EventKind::LockRequest, id_, 0);  // T1
+  if (r.owner != kNoThread && contentionCounter_ != nullptr) {
+    contentionCounter_->inc();
+  }
   r.entryCv.wait(g, [&] { return r.owner == kNoThread; });
   r.owner = self;
   r.depth = 1;
@@ -286,6 +298,7 @@ void Monitor::rWait(ThreadId self) {
   CONFAIL_CHECK(r.owner == self, IllegalMonitorState,
                 "wait on monitor '" + name_ + "' without owning its lock");
   const std::uint32_t saved = r.depth;
+  if (waitCounter_ != nullptr) waitCounter_->inc();
   rt_.emit(EventKind::WaitBegin, id_, 0);  // T3
   r.owner = kNoThread;
   r.depth = 0;
@@ -307,6 +320,7 @@ void Monitor::rNotify(ThreadId self, bool all) {
   CONFAIL_CHECK(r.owner == self, IllegalMonitorState,
                 std::string(all ? "notifyAll" : "notify") + " on monitor '" +
                     name_ + "' without owning its lock");
+  if (notifyCounter_ != nullptr) notifyCounter_->inc();
   rt_.emit(all ? EventKind::NotifyAllCall : EventKind::NotifyCall, id_,
            r.waitSet.size());
   if (all) {

@@ -1,0 +1,231 @@
+#include "confail/obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "confail/obs/json.hpp"
+
+namespace confail::obs {
+
+namespace detail {
+
+std::size_t threadStripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return mine;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+std::size_t Histogram::bucketIndex(std::uint64_t v) noexcept {
+  return static_cast<std::size_t>(std::bit_width(v));
+}
+
+std::uint64_t Histogram::bucketUpperBound(std::size_t i) noexcept {
+  if (i == 0) return 0;
+  if (i >= 64) return ~0ull;
+  return (1ull << i) - 1;
+}
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  const std::size_t stripe = detail::threadStripe() % detail::kStripes;
+  count_[stripe].v.fetch_add(1, std::memory_order_relaxed);
+  sum_[stripe].v.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : count_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::sum() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : sum_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  const std::uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == ~0ull ? 0 : v;
+}
+
+std::uint64_t Histogram::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucketCount(std::size_t i) const noexcept {
+  return i < kBuckets ? buckets_[i].load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t Histogram::quantileUpperBound(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) return bucketUpperBound(i);
+  }
+  return bucketUpperBound(kBuckets - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> g(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::HistogramStats hs;
+    hs.name = name;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.min = h->min();
+    hs.max = h->max();
+    hs.mean = hs.count == 0 ? 0.0
+                            : static_cast<double>(hs.sum) /
+                                  static_cast<double>(hs.count);
+    hs.p50 = h->quantileUpperBound(0.50);
+    hs.p99 = h->quantileUpperBound(0.99);
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucketCount(i);
+      if (n != 0) hs.buckets.emplace_back(Histogram::bucketUpperBound(i), n);
+    }
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+std::uint64_t Snapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double Snapshot::gauge(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+bool Snapshot::has(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return true;
+  }
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return true;
+  }
+  for (const auto& h : histograms) {
+    if (h.name == name) return true;
+  }
+  return false;
+}
+
+void Snapshot::writeJson(JsonWriter& w) const {
+  w.beginObject();
+  w.key("counters");
+  w.beginObject();
+  for (const auto& [name, v] : counters) w.field(name, v);
+  w.endObject();
+  w.key("gauges");
+  w.beginObject();
+  for (const auto& [name, v] : gauges) w.field(name, v);
+  w.endObject();
+  w.key("histograms");
+  w.beginObject();
+  for (const HistogramStats& h : histograms) {
+    w.key(h.name);
+    w.beginObject();
+    w.field("count", h.count);
+    w.field("sum", h.sum);
+    w.field("min", h.min);
+    w.field("max", h.max);
+    w.field("mean", h.mean);
+    w.field("p50_le", h.p50);
+    w.field("p99_le", h.p99);
+    w.key("buckets");
+    w.beginArray();
+    for (const auto& [le, n] : h.buckets) {
+      w.beginObject();
+      w.field("le", le);
+      w.field("n", n);
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+  }
+  w.endObject();
+  w.endObject();
+}
+
+std::string Snapshot::toJson() const {
+  JsonWriter w;
+  writeJson(w);
+  return w.str();
+}
+
+bool Snapshot::writeFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = toJson();
+  std::fputs(doc.c_str(), f);
+  std::fputc('\n', f);
+  return std::fclose(f) == 0;
+}
+
+}  // namespace confail::obs

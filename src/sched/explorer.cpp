@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 
+#include "confail/obs/metrics.hpp"
 #include "confail/sched/fingerprint.hpp"
 #include "confail/sched/work_queue.hpp"
 
@@ -39,6 +41,8 @@ struct LocalStats {
   std::uint64_t exceptions = 0;
   std::uint64_t prunedBranches = 0;
   std::uint64_t dedupedStates = 0;
+  std::uint64_t fpLookups = 0;  ///< visited-set probes (dedup-rate denominator)
+  std::uint64_t busyNs = 0;     ///< time spent executing runs (metrics only)
   bool hasFailure = false;
   std::vector<ThreadId> firstFailure;
   Outcome firstFailureOutcome = Outcome::Completed;
@@ -64,9 +68,29 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
   std::mutex mergeMu;   // guards the merged Stats
   Stats stats;
   bool mergedHasFailure = false;
+  std::uint64_t fpLookupsTotal = 0;
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point t0 = Clock::now();
+  obs::Registry* const metrics = opts_.metrics;
+  // Resolve histogram handles once; per-run observes are relaxed atomics.
+  obs::Histogram* const runStepsH =
+      metrics != nullptr ? &metrics->histogram("explorer.run_steps") : nullptr;
+  obs::Histogram* const runsPerWorkerH =
+      metrics != nullptr ? &metrics->histogram("explorer.runs_per_worker")
+                         : nullptr;
+  obs::Histogram* const utilizationH =
+      metrics != nullptr
+          ? &metrics->histogram("explorer.worker_utilization_pct")
+          : nullptr;
+
+  auto elapsedSecSince = [](Clock::time_point from) {
+    return std::chrono::duration<double>(Clock::now() - from).count();
+  };
 
   auto worker = [&](std::size_t self) {
     LocalStats local;
+    const Clock::time_point workerStart = Clock::now();
     while (std::optional<WorkItem> item = queue.next(self)) {
       // Claim a slot in the run budget before executing.  fetch_add makes
       // the claim exact under contention: at most maxRuns runs execute.
@@ -78,6 +102,20 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
         continue;
       }
 
+      if (opts_.progressIntervalRuns != 0 && opts_.onProgress &&
+          (claimed + 1) % opts_.progressIntervalRuns == 0) {
+        Progress p;
+        p.runs = claimed + 1;
+        p.queueDepth = queue.queuedApprox();
+        p.steals = queue.steals();
+        p.elapsedSec = elapsedSecSince(t0);
+        p.runsPerSec = p.elapsedSec > 0.0
+                           ? static_cast<double>(p.runs) / p.elapsedSec
+                           : 0.0;
+        std::lock_guard<std::mutex> g(cbMu);
+        opts_.onProgress(p);
+      }
+
       // With sleep sets, keep the displaced spine thread out of the child's
       // own first free pick: the transposed schedule then appears as a
       // sibling branch, where the independence check can prune it.
@@ -87,9 +125,19 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
       VirtualScheduler::Options schedOpts;
       schedOpts.maxSteps = opts_.maxSteps;
       schedOpts.captureState = captureState;
+      schedOpts.metrics = metrics;
       VirtualScheduler sched(strategy, schedOpts);
+      Clock::time_point runStart;
+      if (metrics != nullptr) runStart = Clock::now();
       program(sched);
       RunResult result = sched.run();
+      if (metrics != nullptr) {
+        local.busyNs += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 runStart)
+                .count());
+        runStepsH->observe(result.schedule.size());
+      }
 
       ++local.runs;
       switch (result.outcome) {
@@ -131,6 +179,7 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
             // across all workers, so whichever run reaches the state first
             // expands it and every other run skips it — the total branch
             // count is the same regardless of who wins.
+            ++local.fpLookups;
             const std::uint64_t key =
                 fpMix(fpMix(kFpSeed, i), result.fingerprints[i]);
             if (!visited.insert(key)) {
@@ -169,6 +218,16 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
       queue.done();
     }
 
+    if (metrics != nullptr) {
+      runsPerWorkerH->observe(local.runs);
+      const double wallSec = elapsedSecSince(workerStart);
+      const double busySec = static_cast<double>(local.busyNs) * 1e-9;
+      if (wallSec > 0.0) {
+        utilizationH->observe(static_cast<std::uint64_t>(
+            std::min(100.0, 100.0 * busySec / wallSec)));
+      }
+    }
+
     std::lock_guard<std::mutex> g(mergeMu);
     stats.runs += local.runs;
     stats.completed += local.completed;
@@ -177,6 +236,7 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
     stats.exceptions += local.exceptions;
     stats.prunedBranches += local.prunedBranches;
     stats.dedupedStates += local.dedupedStates;
+    fpLookupsTotal += local.fpLookups;
     if (local.hasFailure &&
         (!mergedHasFailure || local.firstFailure < stats.firstFailure)) {
       mergedHasFailure = true;
@@ -197,6 +257,32 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
 
   stats.exhausted = !budgetExhausted.load() && !stoppedByCallback.load();
   stats.stoppedByCallback = stoppedByCallback.load();
+
+  if (metrics != nullptr) {
+    const double elapsedSec = elapsedSecSince(t0);
+    metrics->counter("explorer.runs").add(stats.runs);
+    metrics->counter("explorer.completed").add(stats.completed);
+    metrics->counter("explorer.deadlocks").add(stats.deadlocks);
+    metrics->counter("explorer.step_limited").add(stats.stepLimited);
+    metrics->counter("explorer.exceptions").add(stats.exceptions);
+    metrics->counter("explorer.pruned_branches").add(stats.prunedBranches);
+    metrics->counter("explorer.deduped_states").add(stats.dedupedStates);
+    metrics->counter("explorer.steals").add(queue.steals());
+    metrics->gauge("explorer.workers").set(static_cast<double>(workers));
+    metrics->gauge("explorer.elapsed_sec").set(elapsedSec);
+    metrics->gauge("explorer.runs_per_sec")
+        .set(elapsedSec > 0.0 ? static_cast<double>(stats.runs) / elapsedSec
+                              : 0.0);
+    // Fraction of fingerprint probes that hit an already-expanded state.
+    // 0 when pruning is off (no probes).
+    metrics->gauge("explorer.dedup_hit_rate")
+        .set(fpLookupsTotal > 0
+                 ? static_cast<double>(stats.dedupedStates) /
+                       static_cast<double>(fpLookupsTotal)
+                 : 0.0);
+    metrics->gauge("explorer.queue_depth")
+        .set(static_cast<double>(queue.queuedApprox()));
+  }
   return stats;
 }
 

@@ -35,10 +35,24 @@
 
 #include "confail/sched/virtual_scheduler.hpp"
 
+namespace confail::obs {
+class Registry;
+}
+
 namespace confail::sched {
 
 class ExhaustiveExplorer {
  public:
+  /// Periodic heartbeat snapshot passed to Options::onProgress.
+  struct Progress {
+    std::uint64_t runs = 0;        ///< runs claimed so far
+    std::int64_t queueDepth = 0;   ///< prefixes awaiting execution (approx)
+    std::uint64_t steals = 0;      ///< cross-worker queue migrations so far
+    double elapsedSec = 0.0;
+    double runsPerSec = 0.0;
+  };
+  using ProgressCallback = std::function<void(const Progress&)>;
+
   struct Options {
     std::uint64_t maxRuns = 10000;     ///< execution budget
     std::uint64_t maxSteps = 100000;   ///< per-run step budget
@@ -57,6 +71,21 @@ class ExhaustiveExplorer {
 
     /// Skip the transposed sibling of two adjacent independent steps.
     bool sleepSets = false;
+
+    /// Optional metrics sink.  When set, explore() publishes throughput
+    /// (explorer.runs_per_sec), reduction effectiveness
+    /// (explorer.dedup_hit_rate), work-stealing traffic (explorer.steals),
+    /// per-run schedule lengths (explorer.run_steps histogram), per-worker
+    /// run counts and utilization, and the outcome counters.  Recording is
+    /// batched per worker and written once at merge time, so the hot loop
+    /// is untouched; the registry must outlive explore().
+    obs::Registry* metrics = nullptr;
+
+    /// Invoke onProgress roughly every this many runs (0 disables).  The
+    /// callback fires from whichever worker crosses the boundary, serialized
+    /// with the run callback; keep it cheap.
+    std::uint64_t progressIntervalRuns = 0;
+    ProgressCallback onProgress;
   };
 
   /// A program spawns its logical threads on the given scheduler; the

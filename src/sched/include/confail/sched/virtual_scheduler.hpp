@@ -32,6 +32,10 @@
 #include "confail/sched/strategy.hpp"
 #include "confail/support/assert.hpp"
 
+namespace confail::obs {
+class Registry;
+}
+
 namespace confail::sched {
 
 /// Why a logical thread is not runnable.
@@ -110,6 +114,11 @@ class VirtualScheduler {
     /// into the RunResult (see RunResult::fingerprints).  Off by default:
     /// only the pruning explorer pays for state hashing.
     bool captureState = false;
+    /// Optional metrics sink: run() adds its step count, context-switch
+    /// count (decision points where the pick changed threads) and run tally
+    /// to sched.* counters when it returns.  Published once per run, not
+    /// per step; must outlive the scheduler.
+    obs::Registry* metrics = nullptr;
   };
 
   explicit VirtualScheduler(Strategy& strategy) : VirtualScheduler(strategy, Options()) {}

@@ -89,6 +89,17 @@ class WorkStealQueue {
 
   bool stopped() const { return stop_.load(std::memory_order_acquire); }
 
+  /// Items taken from another worker's shard so far.
+  std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+  /// Items currently queued (approximate under concurrency: a wakeup hint,
+  /// not a synchronized count — good enough for progress reporting).
+  std::int64_t queuedApprox() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Shard {
     std::mutex mu;
@@ -113,6 +124,7 @@ class WorkStealQueue {
         T item = std::move(victim.q.front());
         victim.q.pop_front();
         queued_.fetch_sub(1, std::memory_order_relaxed);
+        steals_.fetch_add(1, std::memory_order_relaxed);
         return item;
       }
     }
@@ -122,6 +134,7 @@ class WorkStealQueue {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::int64_t> inFlight_{0};  ///< queued + being processed
   std::atomic<std::int64_t> queued_{0};    ///< queued only (wakeup hint)
+  std::atomic<std::uint64_t> steals_{0};   ///< cross-shard pops
   std::atomic<bool> stop_{false};
   std::mutex idleMu_;
   std::condition_variable cv_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "confail/obs/metrics.hpp"
+
 namespace confail::sched {
 
 namespace {
@@ -124,6 +126,8 @@ RunResult VirtualScheduler::run() {
   CONFAIL_CHECK(!onLogicalThread(), UsageError,
                 "run() called from a logical thread");
   RunResult result;
+  ThreadId lastPick = events::kNoThread;
+  std::uint64_t contextSwitches = 0;
 
   for (;;) {
     std::vector<ThreadId> runnable = runnableSet();
@@ -180,6 +184,8 @@ RunResult VirtualScheduler::run() {
     result.schedule.push_back(pick);
     result.choiceSets.push_back(std::move(runnable));
     ++result.steps;
+    if (lastPick != events::kNoThread && pick != lastPick) ++contextSwitches;
+    lastPick = pick;
     if (opts_.captureState) {
       result.fingerprints.push_back(fingerprint());
       stepFootprint_.clear();
@@ -208,6 +214,11 @@ RunResult VirtualScheduler::run() {
   finished_ = true;
   for (auto& rec : threads_) {
     if (rec->real.joinable()) rec->real.join();
+  }
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->counter("sched.runs").inc();
+    opts_.metrics->counter("sched.steps").add(result.steps);
+    opts_.metrics->counter("sched.context_switches").add(contextSwitches);
   }
   return result;
 }

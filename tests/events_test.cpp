@@ -130,6 +130,71 @@ TEST(Trace, SerializeDeserializeRoundTrip) {
   EXPECT_EQ(u.methodName(2), "put");
 }
 
+TEST(Trace, SerializeGoldenFormat) {
+  // The wire format is a contract: saved trace files must stay loadable, so
+  // pin the exact bytes — name-table lines first, then one event per line
+  // as "seq thread kind monitor aux method flag" with -1 sentinels.
+  Trace t;
+  t.nameThread(0, "worker");
+  t.nameMonitor(2, "shared buffer");  // names may contain spaces
+  t.nameMethod(1, "buf.put");
+  Event e;
+  e.thread = 0;
+  e.kind = EventKind::LockAcquire;
+  e.monitor = 2;
+  e.aux = 7;
+  e.method = 1;
+  e.flag = true;
+  t.record(e);
+  Event bare;
+  bare.thread = 0;
+  bare.kind = EventKind::ThreadEnd;  // no monitor/method: -1 sentinels
+  t.record(bare);
+
+  EXPECT_EQ(t.serialize(),
+            "#thread 0 worker\n"
+            "#monitor 2 shared buffer\n"
+            "#method 1 buf.put\n"
+            "0 0 LockAcquire 2 7 1 1\n"
+            "1 0 ThreadEnd -1 0 -1 0\n");
+
+  // And the golden text loads back to the identical trace, name tables
+  // included.
+  Trace u = Trace::deserialize(
+      "#thread 0 worker\n"
+      "#monitor 2 shared buffer\n"
+      "#method 1 buf.put\n"
+      "0 0 LockAcquire 2 7 1 1\n"
+      "1 0 ThreadEnd -1 0 -1 0\n");
+  EXPECT_EQ(u.events(), t.events());
+  EXPECT_EQ(u.threadName(0), "worker");
+  EXPECT_EQ(u.monitorName(2), "shared buffer");
+  EXPECT_EQ(u.methodName(1), "buf.put");
+  EXPECT_EQ(u.findMethod("buf.put"), 1u);
+  EXPECT_EQ(u.findMonitor("shared buffer"), 2u);
+  EXPECT_EQ(u.findMethod("absent"), ev::kNoMethod);
+  EXPECT_EQ(u.findMonitor("absent"), ev::kNoMonitor);
+}
+
+TEST(Trace, MoveConstructorCarriesEventsNamesAndSeq) {
+  Trace t;
+  t.nameThread(0, "mover");
+  Event e;
+  e.thread = 0;
+  e.kind = EventKind::Read;
+  t.record(e);
+  const std::string before = t.serialize();
+
+  Trace moved(std::move(t));
+  EXPECT_EQ(moved.serialize(), before);
+  EXPECT_EQ(moved.threadName(0), "mover");
+  // Sequence numbering continues where the source left off.
+  Event f;
+  f.thread = 0;
+  f.kind = EventKind::Write;
+  EXPECT_EQ(moved.record(f), 1u);
+}
+
 TEST(Trace, ClearKeepsNames) {
   Trace t;
   t.nameThread(0, "keeper");

@@ -275,8 +275,10 @@ TEST(ParallelExplorer, CallbackStopTerminatesParallelExploration) {
   eo.workers = 4;
   sched::ExhaustiveExplorer explorer(eo);
   std::uint64_t seen = 0;
+  // The Scenario cast picks the uninstrumented overload; std::function's
+  // templated constructor cannot resolve the overload set on its own.
   auto stats = explorer.explore(
-      scenarios::lockOrder,
+      static_cast<Scenario>(scenarios::lockOrder),
       [&seen](const std::vector<sched::ThreadId>&, const sched::RunResult&) {
         // Serialized by the explorer; plain mutation is safe here.
         return ++seen < 5;

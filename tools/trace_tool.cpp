@@ -5,8 +5,15 @@
 //   confail_trace stats    <trace-file>          event/thread/monitor counts
 //   confail_trace validate <trace-file> [mon]    replay against the Figure 1
 //                                                net (all monitors or one)
-//   confail_trace detect   <trace-file>          run the detector battery
-//                                                and classify per Table 1
+//   confail_trace detect   <trace-file> [--metrics-out <file>]
+//                                                run the detector battery
+//                                                and classify per Table 1;
+//                                                optionally dump the suite's
+//                                                metrics snapshot as JSON
+//   confail_trace chrome   <trace-file> <out>    export as Chrome trace_event
+//                                                JSON (chrome://tracing)
+//   confail_trace jsonl    <trace-file> <out>    export as one-JSON-object-
+//                                                per-line for jq pipelines
 //   confail_trace selftest                       generate a demo trace,
 //                                                round-trip it, run all modes
 //
@@ -24,6 +31,8 @@
 #include "confail/monitor/monitor.hpp"
 #include "confail/monitor/runtime.hpp"
 #include "confail/monitor/shared_var.hpp"
+#include "confail/obs/metrics.hpp"
+#include "confail/obs/trace_export.hpp"
 #include "confail/petri/trace_validator.hpp"
 #include "confail/sched/virtual_scheduler.hpp"
 #include "confail/taxonomy/classifier.hpp"
@@ -34,7 +43,9 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: confail_trace render|stats|validate|detect <file>\n"
+               "usage: confail_trace render|stats|validate <file>\n"
+               "       confail_trace detect <file> [--metrics-out <file>]\n"
+               "       confail_trace chrome|jsonl <file> <out-file>\n"
                "       confail_trace selftest\n");
   return 2;
 }
@@ -97,9 +108,17 @@ int cmdValidate(const ev::Trace& trace, int argc, char** argv) {
   return bad == 0 ? 0 : 1;
 }
 
-int cmdDetect(const ev::Trace& trace) {
+int cmdDetect(const ev::Trace& trace, const std::string& metricsOut = "") {
+  confail::obs::Registry metrics;
   confail::detect::DetectorSuite suite;
+  suite.setMetrics(&metrics);
   auto findings = suite.analyze(trace);
+  if (!metricsOut.empty() &&
+      !metrics.snapshot().writeFile(metricsOut)) {
+    std::fprintf(stderr, "confail_trace: cannot write %s\n",
+                 metricsOut.c_str());
+    return 1;
+  }
   if (findings.empty()) {
     std::printf("no findings\n");
     return 0;
@@ -110,6 +129,19 @@ int cmdDetect(const ev::Trace& trace) {
     std::printf("%s\n", f.describe(trace).c_str());
   }
   std::printf("\nclassified per Table 1:\n%s", report.describe().c_str());
+  return 0;
+}
+
+int cmdExport(const ev::Trace& trace, const std::string& kind,
+              const std::string& outPath) {
+  const bool ok = kind == "chrome"
+                      ? confail::obs::writeChromeTraceFile(trace, outPath)
+                      : confail::obs::writeJsonlFile(trace, outPath);
+  if (!ok) {
+    std::fprintf(stderr, "confail_trace: cannot write %s\n", outPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu events)\n", outPath.c_str(), trace.size());
   return 0;
 }
 
@@ -143,6 +175,16 @@ int cmdSelftest() {
   cmdValidate(copy, 0, noArgs);
   std::printf("-- detect --\n");
   cmdDetect(copy);
+  std::printf("-- export --\n");
+  const std::string chrome = confail::obs::toChromeTrace(copy);
+  const std::string jsonl = confail::obs::toJsonl(copy);
+  if (chrome.find("\"traceEvents\"") == std::string::npos ||
+      jsonl.find("\"kind\"") == std::string::npos) {
+    std::printf("exporters FAILED\n");
+    return 1;
+  }
+  std::printf("chrome export: %zu bytes, jsonl export: %zu bytes\n",
+              chrome.size(), jsonl.size());
   std::printf("SELFTEST OK\n");
   return 0;
 }
@@ -159,7 +201,17 @@ int main(int argc, char** argv) {
     if (cmd == "render") return cmdRender(trace);
     if (cmd == "stats") return cmdStats(trace);
     if (cmd == "validate") return cmdValidate(trace, argc, argv);
-    if (cmd == "detect") return cmdDetect(trace);
+    if (cmd == "detect") {
+      std::string metricsOut;
+      if (argc >= 5 && std::string(argv[3]) == "--metrics-out") {
+        metricsOut = argv[4];
+      }
+      return cmdDetect(trace, metricsOut);
+    }
+    if (cmd == "chrome" || cmd == "jsonl") {
+      if (argc < 4) return usage();
+      return cmdExport(trace, cmd, argv[3]);
+    }
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "confail_trace: %s\n", e.what());
