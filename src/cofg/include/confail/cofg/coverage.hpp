@@ -74,6 +74,10 @@ class CoverageTracker : public events::EventSink {
   /// and <prefix>.coverage on `metrics` and keeps them current as arcs are
   /// traversed — a progress line can report "9/10 arcs" mid-run.  The
   /// registry must outlive the tracker.
+  ///
+  /// DEPRECATED for exploration wiring: inject::ExploreConfig::capture()
+  /// owns the coverage-gauge publication for explored scenarios; call that
+  /// instead of binding gauges by hand.  See docs/injection.md (Migration).
   void bindGauges(obs::Registry& metrics, const std::string& prefix);
 
   /// One-shot publication of the current coverage to the same gauges that

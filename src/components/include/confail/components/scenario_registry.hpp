@@ -1,0 +1,39 @@
+// Scenario registry: the canonical named-scenario table, shared by the
+// unified `confail` CLI (explore/inject verbs), the injection campaign
+// driver and the tests, so every consumer sees the same scenarios with the
+// same names, order and capability flags.  Formerly a private table inside
+// confail_explore.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "confail/components/scenarios.hpp"
+
+namespace confail::components::scenarios {
+
+using ScenarioFn = void (*)(confail::sched::VirtualScheduler&);
+using InstrumentedScenarioFn = void (*)(confail::sched::VirtualScheduler&,
+                                        const Instruments&);
+
+/// One canonical scenario plus the capability flags exploration and
+/// injection drivers need to decide what applies to it.
+struct NamedScenario {
+  const char* name;
+  ScenarioFn fn;
+  InstrumentedScenarioFn ifn;
+  bool hasBuffer;      ///< registers buf.put/buf.take (CoFG coverage applies)
+  bool faultSeeded;    ///< carries a seeded failure even uninjected
+  bool usesMonitor;    ///< lock deviations (FF-T1/T2/T4, EF-T2/T4) apply
+  bool usesWaitNotify; ///< wait/notify deviations (FF/EF-T3/T5) apply
+  const char* starveVictim;  ///< thread name the FF-T2 starve plan targets
+  const char* blurb;
+};
+
+/// All scenarios, in the stable order the CLI lists them.
+const std::vector<NamedScenario>& registry();
+
+/// Lookup by name; nullptr when unknown.
+const NamedScenario* find(const std::string& name);
+
+}  // namespace confail::components::scenarios

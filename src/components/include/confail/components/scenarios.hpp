@@ -13,6 +13,7 @@
 //                    for the explorer's sleep-set reduction.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -34,9 +35,21 @@ namespace confail::components::scenarios {
 /// Exploration note: a shared external trace serializes appends from
 /// parallel workers and interleaves their runs — pass a trace only to a
 /// single capture run; `metrics` alone is safe under parallel exploration.
+///
+/// `decorate`, when set, is called once per scenario instantiation with the
+/// freshly built Runtime, before any threads are spawned; whatever it
+/// returns is owned by the scenario state and destroyed with it (after the
+/// components, before the Runtime).  This is how confail::inject attaches a
+/// per-run Injector without the components layer depending on it.
+///
+/// DEPRECATED as a hand-wired bundle: prefer building runs through
+/// inject::ExploreConfig, which owns this plumbing (trace capture, metrics
+/// registry, decoration) behind one builder — see docs/injection.md
+/// (Migration).  The struct itself stays as the low-level carrier.
 struct Instruments {
   events::Trace* trace = nullptr;
   obs::Registry* metrics = nullptr;
+  std::function<std::shared_ptr<void>(monitor::Runtime&)> decorate;
 };
 
 namespace detail {
@@ -57,10 +70,12 @@ inline void boundedBufferScenario(confail::sched::VirtualScheduler& s,
   struct State {
     events::Trace ownTrace;
     monitor::Runtime rt;
+    std::shared_ptr<void> decoration;  ///< outlives components, not rt
     BoundedBuffer<int> buf;
     State(confail::sched::VirtualScheduler& sc,
           const BoundedBuffer<int>::Faults& f, const Instruments& i)
         : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1),
+          decoration(i.decorate ? i.decorate(rt) : nullptr),
           buf(prime(rt, i.metrics), "buf", 1, f) {}
   };
   if (ins.trace != nullptr) ins.trace->clear();
@@ -124,10 +139,12 @@ inline void lockOrder(confail::sched::VirtualScheduler& s,
   struct State {
     events::Trace ownTrace;
     monitor::Runtime rt;
+    std::shared_ptr<void> decoration;
     monitor::Monitor a;
     monitor::Monitor b;
     State(confail::sched::VirtualScheduler& sc, const Instruments& i)
         : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1),
+          decoration(i.decorate ? i.decorate(rt) : nullptr),
           a(detail::prime(rt, i.metrics), "A"),
           b(rt, "B") {}
   };
@@ -153,10 +170,12 @@ inline void disjointCounters(confail::sched::VirtualScheduler& s,
   struct State {
     events::Trace ownTrace;
     monitor::Runtime rt;
+    std::shared_ptr<void> decoration;
     monitor::SharedVar<int> a;
     monitor::SharedVar<int> b;
     State(confail::sched::VirtualScheduler& sc, const Instruments& i)
         : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1),
+          decoration(i.decorate ? i.decorate(rt) : nullptr),
           a(detail::prime(rt, i.metrics), "a", 0),
           b(rt, "b", 0) {}
   };

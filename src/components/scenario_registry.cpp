@@ -1,0 +1,30 @@
+#include "confail/components/scenario_registry.hpp"
+
+namespace confail::components::scenarios {
+
+const std::vector<NamedScenario>& registry() {
+  // Names, order and blurbs are stable CLI output; extend at the end.
+  static const std::vector<NamedScenario> kScenarios = {
+      {"fig2", figure2, figure2, true, false, true, true, "c1",
+       "Figure 2 producer/consumer, correct guards (no failure expected)"},
+      {"ff_t5", ffT5Notify, ffT5Notify, true, true, true, true, "c1",
+       "FF-T5: notify() where notifyAll() is required (2 items/thread)"},
+      {"ff_t5_small", ffT5Small, ffT5Small, true, true, true, true, "c1",
+       "FF-T5 variant, 1 item/thread (small exhaustible tree)"},
+      {"lock_order", lockOrder, lockOrder, false, true, true, false, "t1",
+       "two monitors acquired in opposite orders (deadlock)"},
+      {"disjoint", disjointCounters, disjointCounters, false, false, false,
+       false, "",
+       "two threads on disjoint shared vars (sleep-set showcase)"},
+  };
+  return kScenarios;
+}
+
+const NamedScenario* find(const std::string& name) {
+  for (const NamedScenario& s : registry()) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace confail::components::scenarios

@@ -16,6 +16,10 @@ const char* findingKindName(FindingKind k) {
     case FindingKind::NotifySingleInsufficient: return "notify-single-insufficient";
     case FindingKind::GuardNotRechecked: return "guard-not-rechecked";
     case FindingKind::EarlyRelease: return "early-release";
+    case FindingKind::MissedWait: return "missed-wait";
+    case FindingKind::SpuriousWakeup: return "spurious-wakeup";
+    case FindingKind::PhantomNotify: return "phantom-notify";
+    case FindingKind::BargingAcquire: return "barging-acquire";
   }
   return "?";
 }

@@ -26,6 +26,10 @@ enum class FindingKind : std::uint8_t {
   NotifySingleInsufficient, ///< notify() woke one of several waiters; rest hung
   GuardNotRechecked,        ///< woken thread proceeded without re-testing guard
   EarlyRelease,             ///< shared data accessed after the lock was released
+  MissedWait,               ///< guard held twice with no wait between (spin)
+  SpuriousWakeup,           ///< a waiter woke with no notification at all
+  PhantomNotify,            ///< a Notified with no notify call backing it
+  BargingAcquire,           ///< a grant overtook an older entry-queue request
 };
 
 const char* findingKindName(FindingKind k);
@@ -48,6 +52,12 @@ class Detector {
   virtual ~Detector() = default;
   virtual const char* name() const = 0;
   virtual std::vector<Finding> analyze(const events::Trace& trace) = 0;
+
+  /// The finding kinds this detector can produce.  Combined with
+  /// taxonomy::Classifier::classesOf, this is the per-detector
+  /// expected-class mapping the injection campaign's detection matrix is
+  /// checked against (a class a detector *could* indicate but did not).
+  virtual std::vector<FindingKind> detectableKinds() const = 0;
 };
 
 }  // namespace confail::detect

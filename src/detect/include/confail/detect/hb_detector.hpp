@@ -24,6 +24,9 @@ class HbDetector final : public Detector {
  public:
   const char* name() const override { return "happens-before(vector-clock)"; }
   std::vector<Finding> analyze(const events::Trace& trace) override;
+  std::vector<FindingKind> detectableKinds() const override {
+    return {FindingKind::DataRace};
+  }
 };
 
 }  // namespace confail::detect

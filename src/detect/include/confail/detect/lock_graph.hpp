@@ -15,6 +15,9 @@ class LockOrderGraph final : public Detector {
  public:
   const char* name() const override { return "lock-order-graph"; }
   std::vector<Finding> analyze(const events::Trace& trace) override;
+  std::vector<FindingKind> detectableKinds() const override {
+    return {FindingKind::DeadlockCycle};
+  }
 };
 
 }  // namespace confail::detect

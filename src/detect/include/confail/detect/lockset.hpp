@@ -25,6 +25,9 @@ class LocksetDetector final : public Detector {
  public:
   const char* name() const override { return "lockset(Eraser)"; }
   std::vector<Finding> analyze(const events::Trace& trace) override;
+  std::vector<FindingKind> detectableKinds() const override {
+    return {FindingKind::DataRace};
+  }
 };
 
 }  // namespace confail::detect

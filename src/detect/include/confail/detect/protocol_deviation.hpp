@@ -1,0 +1,62 @@
+// ProtocolDeviationDetector: trace-level checks for deviations of the
+// Figure-1 wait/notify protocol itself — the oracles the deviation-
+// injection campaign (confail::inject) relies on for the Table 1 classes
+// that leave no hang or race behind:
+//
+//   * MissedWait (FF-T3)      — a thread saw its blocking guard hold twice
+//                               in the same method invocation without a
+//                               wait() between the evaluations: the
+//                               required wait never fired (a guard loop
+//                               degenerated to a spin).
+//   * SpuriousWakeup (EF-T3)  — a SpuriousWake event occurred.  confail
+//                               only produces these when explicitly
+//                               injected (Monitor::Options probability or
+//                               an injection plan), so their presence in a
+//                               trace is the deviation itself.
+//   * PhantomNotify (EF-T5)   — a Notified (T5) consumed no notification
+//                               permit: every notify() grants one wake and
+//                               every notifyAll() as many wakes as there
+//                               were waiters, all emitted atomically with
+//                               the call; a Notified beyond that budget
+//                               was manufactured, not requested.
+//   * BargingAcquire (EF-T2)  — optional, off by default: a lock grant
+//                               overtook an older entry-queue request.
+//                               The JLS allows an arbitrary choice, so
+//                               this flags *unfairness*, not a bug — it is
+//                               the ground-truth oracle for the simulated
+//                               broken-JVM EF-T2 deviation and only sound
+//                               against FIFO-policy monitors.
+#pragma once
+
+#include "confail/detect/finding.hpp"
+
+namespace confail::detect {
+
+class ProtocolDeviationDetector final : public Detector {
+ public:
+  struct Options {
+    /// Flag non-FIFO grants (EF-T2 oracle).  Leave off for components
+    /// configured with Lifo/Random policies — arbitrary selection is
+    /// legal, and this check would report every exercise of it.
+    bool flagBarging = false;
+  };
+
+  ProtocolDeviationDetector() : ProtocolDeviationDetector(Options()) {}
+  explicit ProtocolDeviationDetector(Options opts) : opts_(opts) {}
+
+  const char* name() const override { return "protocol-deviation"; }
+  std::vector<Finding> analyze(const events::Trace& trace) override;
+  std::vector<FindingKind> detectableKinds() const override {
+    if (opts_.flagBarging) {
+      return {FindingKind::MissedWait, FindingKind::SpuriousWakeup,
+              FindingKind::PhantomNotify, FindingKind::BargingAcquire};
+    }
+    return {FindingKind::MissedWait, FindingKind::SpuriousWakeup,
+            FindingKind::PhantomNotify};
+  }
+
+ private:
+  Options opts_;
+};
+
+}  // namespace confail::detect

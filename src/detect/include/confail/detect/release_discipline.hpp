@@ -15,6 +15,9 @@ class ReleaseDisciplineDetector final : public Detector {
  public:
   const char* name() const override { return "release-discipline"; }
   std::vector<Finding> analyze(const events::Trace& trace) override;
+  std::vector<FindingKind> detectableKinds() const override {
+    return {FindingKind::EarlyRelease};
+  }
 };
 
 }  // namespace confail::detect

@@ -20,6 +20,9 @@ class StarvationDetector final : public Detector {
 
   const char* name() const override { return "starvation"; }
   std::vector<Finding> analyze(const events::Trace& trace) override;
+  std::vector<FindingKind> detectableKinds() const override {
+    return {FindingKind::Starvation, FindingKind::LockHeldForever};
+  }
 
  private:
   std::uint64_t grantThreshold_;

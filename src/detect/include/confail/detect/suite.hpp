@@ -25,6 +25,10 @@ class DetectorSuite {
     /// Skip the unnecessary-sync detector (it flags single-threaded use,
     /// which is expected in some micro-tests).
     bool includeUnnecessarySync = true;
+    /// Flag non-FIFO lock grants (protocol-deviation EF-T2 oracle).  Off by
+    /// default: arbitrary grant order is JLS-legal, so this is only sound
+    /// against components whose monitors use the Fifo policies.
+    bool flagBarging = false;
   };
 
   DetectorSuite() : DetectorSuite(Options()) {}
@@ -36,6 +40,22 @@ class DetectorSuite {
 
   /// Run every detector over the trace; findings in battery order.
   std::vector<Finding> analyze(const events::Trace& trace);
+
+  /// Findings from one detector, attributed by name.
+  struct DetectorReport {
+    const char* detector;
+    std::vector<Finding> findings;
+  };
+
+  /// Run every detector over the trace, keeping findings attributed to the
+  /// detector that produced them (the injection campaign's detection matrix
+  /// needs the per-detector view; analyze() flattens it).
+  std::vector<DetectorReport> analyzeEach(const events::Trace& trace);
+
+  /// The detectors themselves, in battery order (for detectableKinds()).
+  const std::vector<std::unique_ptr<Detector>>& detectors() const {
+    return detectors_;
+  }
 
   /// Names of the detectors in the battery, in execution order.
   std::vector<const char*> detectorNames() const;

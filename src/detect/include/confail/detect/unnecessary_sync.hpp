@@ -17,6 +17,9 @@ class UnnecessarySyncDetector final : public Detector {
  public:
   const char* name() const override { return "unnecessary-sync"; }
   std::vector<Finding> analyze(const events::Trace& trace) override;
+  std::vector<FindingKind> detectableKinds() const override {
+    return {FindingKind::UnnecessarySync};
+  }
 };
 
 }  // namespace confail::detect

@@ -27,6 +27,11 @@ class WaitNotifyAnalyzer final : public Detector {
  public:
   const char* name() const override { return "wait-notify"; }
   std::vector<Finding> analyze(const events::Trace& trace) override;
+  std::vector<FindingKind> detectableKinds() const override {
+    return {FindingKind::WaitingForever, FindingKind::LostNotify,
+            FindingKind::NotifySingleInsufficient,
+            FindingKind::GuardNotRechecked};
+  }
 };
 
 }  // namespace confail::detect

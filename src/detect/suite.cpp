@@ -5,6 +5,7 @@
 #include "confail/detect/hb_detector.hpp"
 #include "confail/detect/lock_graph.hpp"
 #include "confail/detect/lockset.hpp"
+#include "confail/detect/protocol_deviation.hpp"
 #include "confail/detect/release_discipline.hpp"
 #include "confail/detect/starvation.hpp"
 #include "confail/detect/unnecessary_sync.hpp"
@@ -24,6 +25,9 @@ DetectorSuite::DetectorSuite(Options opts) {
     detectors_.push_back(std::make_unique<UnnecessarySyncDetector>());
   }
   detectors_.push_back(std::make_unique<ReleaseDisciplineDetector>());
+  ProtocolDeviationDetector::Options pd;
+  pd.flagBarging = opts.flagBarging;
+  detectors_.push_back(std::make_unique<ProtocolDeviationDetector>(pd));
 }
 
 DetectorSuite::~DetectorSuite() = default;
@@ -44,6 +48,16 @@ std::vector<Finding> DetectorSuite::analyze(const events::Trace& trace) {
     all.insert(all.end(), fs.begin(), fs.end());
   }
   return all;
+}
+
+std::vector<DetectorSuite::DetectorReport> DetectorSuite::analyzeEach(
+    const events::Trace& trace) {
+  std::vector<DetectorReport> reports;
+  reports.reserve(detectors_.size());
+  for (auto& d : detectors_) {
+    reports.push_back(DetectorReport{d->name(), d->analyze(trace)});
+  }
+  return reports;
 }
 
 std::vector<const char*> DetectorSuite::detectorNames() const {

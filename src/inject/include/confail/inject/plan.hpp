@@ -1,0 +1,67 @@
+// InjectionPlan: one deviation experiment, declaratively.
+//
+// A plan names the Table 1 failure class to realize, where to apply it
+// (optionally restricted to one monitor and/or one victim thread) and when
+// (skip the first `after` applicable occasions, then deviate `count` of
+// them).  The Injector turns the plan into InjectionHooks behavior; because
+// occasions are counted along the deterministic virtual schedule, the same
+// plan + the same schedule prefix always deviates the same operation — no
+// seeds, fully replayable.
+//
+// Injectable classes and their operators:
+//   FF-T1  elide acquire      lock() skipped; thread runs unsynchronized
+//   FF-T2  starve acquire     T1 emitted, grant withheld forever
+//   FF-T3  suppress wait      wait() returns immediately, no T3
+//   FF-T4  leak lock          outermost unlock() keeps ownership, no T4
+//   FF-T5  suppress notify    notify()/notifyAll() lost, no call, no wake
+//   EF-T2  barging grant      grant overtakes the entry queue (broken JVM)
+//   EF-T3  spurious wake      a waiter wakes with SpuriousWake, no notify
+//   EF-T4  premature release  T4 fired right after the grant; code continues
+//   EF-T5  phantom notify     a waiter wakes with Notified, no call behind it
+//
+// Not injectable: EF-T1 (unnecessary synchronization is structure, not a
+// run-time transition the hooks can force) and the paper marks EF-T2 "not
+// applicable" under a correct JVM — injecting it simulates a broken one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "confail/taxonomy/taxonomy.hpp"
+
+namespace confail::inject {
+
+struct InjectionPlan {
+  /// The Table 1 class this plan realizes.  Must be injectable (see
+  /// isInjectable); the Injector constructor enforces it.
+  taxonomy::FailureClass cls = taxonomy::FailureClass::FF_T5;
+
+  /// Monitor name the deviation is confined to; empty = any monitor.
+  std::string monitor;
+
+  /// Thread name (scheduler spawn name) the deviation targets; empty = any
+  /// thread.  Meaningless for the classes whose deviation point has no
+  /// single acting thread (EF-T2 grant choice, EF-T3/EF-T5 injected wakes).
+  std::string victim;
+
+  /// Skip the first `after` applicable occasions before deviating.
+  std::uint64_t after = 0;
+
+  /// Deviate this many occasions, then fall back to normal semantics.
+  std::uint64_t count = ~0ull;
+
+  /// One-line human rendering ("EF-T4 premature release on monitor 'buf'").
+  std::string describe() const;
+};
+
+/// True if the class has a deviation operator (all of Table 1 except EF-T1).
+bool isInjectable(taxonomy::FailureClass cls);
+
+/// The injectable classes, in Table 1 row order.
+const std::vector<taxonomy::FailureClass>& injectableClasses();
+
+/// Short operator name for an injectable class ("elide-acquire", ...).
+const char* operatorName(taxonomy::FailureClass cls);
+
+}  // namespace confail::inject

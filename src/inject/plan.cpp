@@ -1,0 +1,64 @@
+#include "confail/inject/plan.hpp"
+
+#include <sstream>
+
+namespace confail::inject {
+
+using taxonomy::FailureClass;
+
+bool isInjectable(FailureClass cls) {
+  switch (cls) {
+    case FailureClass::FF_T1:
+    case FailureClass::FF_T2:
+    case FailureClass::FF_T3:
+    case FailureClass::FF_T4:
+    case FailureClass::FF_T5:
+    case FailureClass::EF_T2:
+    case FailureClass::EF_T3:
+    case FailureClass::EF_T4:
+    case FailureClass::EF_T5:
+      return true;
+    case FailureClass::EF_T1:
+      return false;
+  }
+  return false;
+}
+
+const std::vector<FailureClass>& injectableClasses() {
+  static const std::vector<FailureClass> kClasses = [] {
+    std::vector<FailureClass> out;
+    for (FailureClass c : taxonomy::allFailureClasses()) {
+      if (isInjectable(c)) out.push_back(c);
+    }
+    return out;
+  }();
+  return kClasses;
+}
+
+const char* operatorName(FailureClass cls) {
+  switch (cls) {
+    case FailureClass::FF_T1: return "elide-acquire";
+    case FailureClass::FF_T2: return "starve-acquire";
+    case FailureClass::FF_T3: return "suppress-wait";
+    case FailureClass::FF_T4: return "leak-lock";
+    case FailureClass::FF_T5: return "suppress-notify";
+    case FailureClass::EF_T2: return "barging-grant";
+    case FailureClass::EF_T3: return "spurious-wake";
+    case FailureClass::EF_T4: return "premature-release";
+    case FailureClass::EF_T5: return "phantom-notify";
+    case FailureClass::EF_T1: return "not-injectable";
+  }
+  return "?";
+}
+
+std::string InjectionPlan::describe() const {
+  std::ostringstream os;
+  os << taxonomy::failureClassName(cls) << ' ' << operatorName(cls);
+  if (!monitor.empty()) os << " on monitor '" << monitor << "'";
+  if (!victim.empty()) os << " against thread '" << victim << "'";
+  if (after > 0) os << " after " << after << " occasion(s)";
+  if (count != ~0ull) os << " x" << count;
+  return os.str();
+}
+
+}  // namespace confail::inject

@@ -119,6 +119,7 @@ class Monitor : public sched::FingerprintSource {
   void vWait(ThreadId self);
   void vNotify(ThreadId self, bool all);
   void vGrantNext();
+  void vInjectHookWake(InjectionHooks& hooks);
   void vInjectSpuriousWakes();
   std::size_t vSelect(std::size_t size, SelectPolicy policy);
 

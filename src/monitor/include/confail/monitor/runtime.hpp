@@ -30,6 +30,8 @@ class Registry;
 
 namespace confail::monitor {
 
+class InjectionHooks;
+
 using events::EventKind;
 using events::MethodId;
 using events::MonitorId;
@@ -64,8 +66,21 @@ class Runtime : public sched::FingerprintSource {
   /// per-monitor contention / wait / notify counters on it (monitors built
   /// before the call stay uninstrumented — attach before constructing
   /// components).  Null detaches; the registry must outlive the monitors.
+  ///
+  /// DEPRECATED (kept for one release): calling this directly is the
+  /// pre-ExploreConfig wiring.  New code should route instrumentation
+  /// through inject::ExploreConfig, which owns registry/trace/coverage
+  /// wiring in one place — see docs/injection.md ("Migration").
   void setMetrics(obs::Registry* metrics) { metrics_ = metrics; }
   obs::Registry* metrics() const { return metrics_; }
+
+  /// Attach a fault-injection hooks object (virtual mode; see
+  /// confail/monitor/injection_hooks.hpp).  Monitors consult the current
+  /// pointer at every operation, so this may be called any time before the
+  /// run starts.  Null detaches; the hooks must outlive the monitors'
+  /// operations.  Not owned.
+  void setInjection(InjectionHooks* hooks) { injection_ = hooks; }
+  InjectionHooks* injection() const { return injection_; }
 
   /// The underlying scheduler.  UsageError in real mode.
   sched::VirtualScheduler& scheduler();
@@ -131,6 +146,7 @@ class Runtime : public sched::FingerprintSource {
   events::Trace& trace_;
   sched::VirtualScheduler* sched_ = nullptr;  // virtual mode only
   obs::Registry* metrics_ = nullptr;          // optional, not owned
+  InjectionHooks* injection_ = nullptr;       // optional, not owned
 
   std::mutex mu_;  // guards everything below in real mode
   Xoshiro256 rng_;

@@ -4,6 +4,8 @@
 #include <deque>
 #include <set>
 
+#include "confail/monitor/injection_hooks.hpp"
+
 #include "confail/obs/metrics.hpp"
 #include "confail/support/assert.hpp"
 
@@ -148,6 +150,38 @@ void Monitor::vLock(ThreadId self) {
     ++v.depth;
     return;
   }
+  InjectionHooks* hooks = rt_.injection();
+  if (hooks != nullptr) {
+    switch (hooks->onLock(id_, self)) {
+      case InjectionHooks::LockAction::Elide:
+        // FF-T1: the thread proceeds as if it had entered the monitor —
+        // no T1/T2, no mutual exclusion.  The matching unlock() arrives
+        // as an onElidedUnlock() consultation.
+        return;
+      case InjectionHooks::LockAction::Starve:
+        // FF-T2: the request fires but a grant never does.  The thread is
+        // parked outside the entry queue (a queued thread would be granted
+        // by the next release), so it starves even while the lock cycles.
+        rt_.schedulePoint();
+        rt_.emit(EventKind::LockRequest, id_, 0);  // T1, never answered
+        if (contentionCounter_ != nullptr) contentionCounter_->inc();
+        rt_.scheduler().block(sched::BlockKind::LockAcquire, id_);
+        // Only reachable via run teardown (block() throws ExecutionAborted
+        // for abandoned threads); nothing grants this request.
+        return;
+      case InjectionHooks::LockAction::Proceed:
+        break;
+    }
+    // EF-T3/EF-T5: another thread arriving at the monitor is a wake
+    // occasion for the wait set (the unlock site alone never sees waiters
+    // in protocols where every exit notifies first).  If the lock is free
+    // the moved waiter must be granted immediately — vLock's uncontended
+    // path relies on "lock idle => entry queue empty".
+    if (!v.waiters.empty()) {
+      vInjectHookWake(*hooks);
+      if (v.owner == kNoThread) vGrantNext();
+    }
+  }
   rt_.schedulePoint();  // allow preemption just before requesting the lock
   rt_.emit(EventKind::LockRequest, id_, 0);  // T1
   if (v.owner == kNoThread) {
@@ -155,14 +189,23 @@ void Monitor::vLock(ThreadId self) {
     v.owner = self;
     v.depth = 1;
     rt_.emit(EventKind::LockAcquire, id_, 0);  // T2 (uncontended)
-    return;
+  } else {
+    if (contentionCounter_ != nullptr) contentionCounter_->inc();
+    v.entry.push_back(VirtualState::Entry{self, 1});
+    rt_.scheduler().block(sched::BlockKind::LockAcquire, id_);
+    // vGrantNext() transferred ownership to us (and emitted T2) before the
+    // scheduler resumed this thread.
+    CONFAIL_ASSERT(v.owner == self && v.depth == 1, "lock handoff corrupted");
   }
-  if (contentionCounter_ != nullptr) contentionCounter_->inc();
-  v.entry.push_back(VirtualState::Entry{self, 1});
-  rt_.scheduler().block(sched::BlockKind::LockAcquire, id_);
-  // vGrantNext() transferred ownership to us (and emitted T2) before the
-  // scheduler resumed this thread.
-  CONFAIL_ASSERT(v.owner == self && v.depth == 1, "lock handoff corrupted");
+  if (hooks != nullptr && hooks->releaseEarly(id_, self)) {
+    // EF-T4: T4 fires the moment the lock is granted; the thread continues
+    // its critical section unprotected and its eventual unlock() is
+    // swallowed via onElidedUnlock().
+    rt_.emit(EventKind::LockRelease, id_, 0);
+    v.owner = kNoThread;
+    v.depth = 0;
+    vGrantNext();
+  }
 }
 
 void Monitor::vUnlock(ThreadId self) {
@@ -177,7 +220,9 @@ void Monitor::vUnlock(ThreadId self) {
     }
     return;
   }
+  InjectionHooks* hooks = rt_.injection();
   if (v.owner != self) {
+    if (hooks != nullptr && hooks->onElidedUnlock(id_, self)) return;
     throw IllegalMonitorState("unlock of monitor '" + name_ +
                               "' by a thread that does not own it");
   }
@@ -185,10 +230,17 @@ void Monitor::vUnlock(ThreadId self) {
     --v.depth;  // inner exit of a reentrant region: lock stays held
     return;
   }
+  if (hooks != nullptr && hooks->leakUnlock(id_, self)) {
+    // FF-T4: the outermost release never fires.  Ownership is kept while
+    // the thread walks away believing it released.
+    rt_.schedulePoint();
+    return;
+  }
   rt_.emit(EventKind::LockRelease, id_, 0);  // T4
   v.owner = kNoThread;
   v.depth = 0;
   vInjectSpuriousWakes();
+  if (hooks != nullptr) vInjectHookWake(*hooks);
   vGrantNext();
   rt_.schedulePoint();  // natural preemption point after releasing
 }
@@ -197,7 +249,15 @@ void Monitor::vGrantNext() {
   VirtualState& v = *v_;
   if (v.entry.empty()) return;
   CONFAIL_ASSERT(v.owner == kNoThread, "grant while lock held");
-  std::size_t idx = vSelect(v.entry.size(), opts_.grantPolicy);
+  std::size_t idx;
+  std::size_t pick = 0;
+  InjectionHooks* hooks = rt_.injection();
+  if (hooks != nullptr && hooks->overrideGrant(id_, v.entry.size(), pick)) {
+    CONFAIL_ASSERT(pick < v.entry.size(), "grant override out of range");
+    idx = pick;  // EF-T2: the hook barges past the configured policy
+  } else {
+    idx = vSelect(v.entry.size(), opts_.grantPolicy);
+  }
   VirtualState::Entry e = v.entry[idx];
   v.entry.erase(v.entry.begin() + static_cast<std::ptrdiff_t>(idx));
   v.owner = e.tid;
@@ -210,6 +270,13 @@ void Monitor::vWait(ThreadId self) {
   VirtualState& v = *v_;
   CONFAIL_CHECK(v.owner == self, IllegalMonitorState,
                 "wait on monitor '" + name_ + "' without owning its lock");
+  InjectionHooks* hooks = rt_.injection();
+  if (hooks != nullptr && hooks->suppressWait(id_, self)) {
+    // FF-T3: the wait never fires — no T3, the lock stays held, the
+    // caller returns immediately (a guard loop degenerates to a spin).
+    rt_.schedulePoint();
+    return;
+  }
   const std::uint32_t saved = v.depth;
   if (waitCounter_ != nullptr) waitCounter_->inc();
   rt_.emit(EventKind::WaitBegin, id_, 0);  // T3 (releases the lock)
@@ -228,6 +295,11 @@ void Monitor::vNotify(ThreadId self, bool all) {
   CONFAIL_CHECK(v.owner == self, IllegalMonitorState,
                 std::string(all ? "notifyAll" : "notify") + " on monitor '" +
                     name_ + "' without owning its lock");
+  InjectionHooks* hooks = rt_.injection();
+  if (hooks != nullptr && hooks->suppressNotify(id_, self, all)) {
+    // FF-T5: the notification is lost — no call event, nobody wakes.
+    return;
+  }
   if (notifyCounter_ != nullptr) notifyCounter_->inc();
   rt_.emit(all ? EventKind::NotifyAllCall : EventKind::NotifyCall, id_,
            v.waiters.size());
@@ -240,6 +312,26 @@ void Monitor::vNotify(ThreadId self, bool all) {
     rt_.emitFor(w.tid, EventKind::Notified, id_, self);  // T5: D -> B
     rt_.scheduler().reblock(w.tid, sched::BlockKind::LockAcquire, id_);
   }
+}
+
+void Monitor::vInjectHookWake(InjectionHooks& hooks) {
+  VirtualState& v = *v_;
+  if (v.waiters.empty()) return;
+  const InjectionHooks::WakeInjection w =
+      hooks.injectWake(id_, v.waiters.size());
+  if (w == InjectionHooks::WakeInjection::None) return;
+  // Wake the oldest waiter (a fixed choice keeps the deviation
+  // deterministic independent of the wake policy's RNG stream).
+  VirtualState::Waiter waiter = v.waiters.front();
+  v.waiters.erase(v.waiters.begin());
+  v.entry.push_back(VirtualState::Entry{waiter.tid, waiter.savedDepth});
+  if (w == InjectionHooks::WakeInjection::Spurious) {
+    rt_.emitFor(waiter.tid, EventKind::SpuriousWake, id_, 0);  // EF-T3
+  } else {
+    // EF-T5: a Notified (T5) with no notify call backing it.
+    rt_.emitFor(waiter.tid, EventKind::Notified, id_, kNoThread);
+  }
+  rt_.scheduler().reblock(waiter.tid, sched::BlockKind::LockAcquire, id_);
 }
 
 void Monitor::vInjectSpuriousWakes() {

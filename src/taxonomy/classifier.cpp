@@ -64,6 +64,14 @@ std::vector<FailureClass> Classifier::classesOf(detect::FindingKind kind) {
       return {FailureClass::EF_T5};
     case FindingKind::EarlyRelease:
       return {FailureClass::EF_T4};
+    case FindingKind::MissedWait:
+      return {FailureClass::FF_T3};
+    case FindingKind::SpuriousWakeup:
+      return {FailureClass::EF_T3};
+    case FindingKind::PhantomNotify:
+      return {FailureClass::EF_T5};
+    case FindingKind::BargingAcquire:
+      return {FailureClass::EF_T2};
   }
   return {};
 }

@@ -145,7 +145,7 @@ TEST(DetectorSuite, RunsEveryDetectorAndFindsSeededFaults) {
   ASSERT_EQ(s.run().outcome, sched::Outcome::Completed);
 
   detect::DetectorSuite suite;
-  EXPECT_EQ(suite.detectorNames().size(), 7u);
+  EXPECT_EQ(suite.detectorNames().size(), 8u);
   auto findings = suite.analyze(trace);
   bool race = false;
   for (const auto& f : findings) race = race || f.kind == detect::FindingKind::DataRace;
@@ -156,5 +156,5 @@ TEST(DetectorSuite, UnnecessarySyncCanBeExcluded) {
   detect::DetectorSuite::Options opts;
   opts.includeUnnecessarySync = false;
   detect::DetectorSuite suite(opts);
-  EXPECT_EQ(suite.detectorNames().size(), 6u);
+  EXPECT_EQ(suite.detectorNames().size(), 7u);
 }

@@ -1,0 +1,50 @@
+// Shared command layer of the unified `confail` CLI.
+//
+// Each verb of the multi-tool is an ordinary main-shaped function taking
+// the display name to use in usage/error messages (`prog`) and the
+// arguments AFTER the verb (argv[0] is the first flag, not a program
+// name).  The `confail` binary dispatches verbs onto these; the legacy
+// confail_explore / confail_trace / confail_obs_check binaries are
+// one-line forwarding shims kept for script compatibility.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace confail::cli {
+
+/// confail explore — parallel schedule exploration of a registry scenario.
+int cmdExplore(const char* prog, int argc, char** argv);
+
+/// confail trace — offline analysis of serialized traces.
+int cmdTrace(const char* prog, int argc, char** argv);
+
+/// confail obs-check — validate emitted observability files.
+int cmdObsCheck(const char* prog, int argc, char** argv);
+
+/// confail inject — deviation injection: single plan or full campaign.
+int cmdInject(const char* prog, int argc, char** argv);
+
+// ---- shared flag parsing ---------------------------------------------------
+
+/// The value of a flag: advances `i`; nullptr when the argument is missing.
+inline const char* flagValue(int& i, int argc, char** argv) {
+  return ++i < argc ? argv[i] : nullptr;
+}
+
+/// Parse an unsigned integer flag value; returns false (and reports via
+/// `prog`) on a missing or malformed value.
+inline bool parseU64(const char* prog, const char* flag, const char* v,
+                     std::uint64_t& out) {
+  if (v == nullptr) return false;
+  try {
+    out = std::stoull(v);
+    return true;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "%s: bad value for %s\n", prog, flag);
+    return false;
+  }
+}
+
+}  // namespace confail::cli

@@ -1,0 +1,52 @@
+// confail: the unified command-line front end.
+//
+//   confail explore   ...   parallel schedule exploration (was confail_explore)
+//   confail trace     ...   offline trace analysis        (was confail_trace)
+//   confail inject    ...   deviation injection / detection matrix
+//   confail obs-check ...   observability file validation (was confail_obs_check)
+//
+// Each verb's flags are unchanged from the standalone binary it replaces;
+// the old binaries still exist as forwarding shims.
+#include <cstdio>
+#include <cstring>
+
+#include "cli.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: confail <verb> [args...]\n\nverbs:\n"
+               "  explore    explore a component's schedule space\n"
+               "  trace      analyze a serialized execution trace\n"
+               "  inject     inject Table 1 deviations; build the detection "
+               "matrix\n"
+               "  obs-check  validate emitted metrics/trace files\n"
+               "\nrun `confail <verb>` with no arguments for per-verb usage.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const char* verb = argv[1];
+  const int rest = argc - 2;
+  char** restv = argv + 2;
+  if (std::strcmp(verb, "explore") == 0) {
+    return confail::cli::cmdExplore("confail explore", rest, restv);
+  }
+  if (std::strcmp(verb, "trace") == 0) {
+    return confail::cli::cmdTrace("confail trace", rest, restv);
+  }
+  if (std::strcmp(verb, "inject") == 0) {
+    return confail::cli::cmdInject("confail inject", rest, restv);
+  }
+  if (std::strcmp(verb, "obs-check") == 0) {
+    return confail::cli::cmdObsCheck("confail obs-check", rest, restv);
+  }
+  if (std::strcmp(verb, "--help") != 0 && std::strcmp(verb, "-h") != 0) {
+    std::fprintf(stderr, "confail: unknown verb '%s'\n", verb);
+  }
+  return usage();
+}

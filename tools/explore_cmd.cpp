@@ -1,0 +1,155 @@
+// `confail explore` (formerly the whole of confail_explore): front end for
+// the parallel schedule explorer.  The heavy lifting — program wiring,
+// injection, capture, summary assembly — lives in inject::ExploreConfig;
+// this file is flag parsing and output.
+//
+// Exit status: 0 on a clean exploration (including one that finds
+// failures — finding bugs is the tool working), 1 on an internal error,
+// 2 on a usage error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cli.hpp"
+#include "confail/components/scenario_registry.hpp"
+#include "confail/inject/explore_config.hpp"
+#include "confail/obs/metrics.hpp"
+#include "confail/obs/summary.hpp"
+#include "confail/obs/trace_export.hpp"
+
+namespace confail::cli {
+
+namespace scenarios = confail::components::scenarios;
+namespace sched = confail::sched;
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s --scenario <name> [--workers N] "
+               "[--prune] [--sleep-sets]\n"
+               "               [--max-runs N] [--max-depth N] "
+               "[--max-steps N] [--json]\n"
+               "               [--metrics-out FILE] "
+               "[--chrome-trace FILE] [--progress]\n\nscenarios:\n",
+               prog);
+  for (const scenarios::NamedScenario& s : scenarios::registry()) {
+    std::fprintf(stderr, "  %-12s %s\n", s.name, s.blurb);
+  }
+  return 2;
+}
+
+}  // namespace
+
+int cmdExplore(const char* prog, int argc, char** argv) {
+  const scenarios::NamedScenario* scenario = nullptr;
+  sched::ExhaustiveExplorer::Options eo;
+  eo.maxRuns = 10000;
+  eo.maxSteps = 20000;
+  bool json = false;
+  bool progress = false;
+  std::string metricsOut;
+  std::string chromeTrace;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return flagValue(i, argc, argv); };
+    try {
+      if (arg == "--scenario") {
+        const char* v = next();
+        if (v == nullptr) return usage(prog);
+        scenario = scenarios::find(v);
+        if (scenario == nullptr) {
+          std::fprintf(stderr, "%s: unknown scenario '%s'\n", prog, v);
+          return usage(prog);
+        }
+      } else if (arg == "--workers") {
+        const char* v = next();
+        if (v == nullptr) return usage(prog);
+        eo.workers = std::stoul(v);
+      } else if (arg == "--max-runs") {
+        const char* v = next();
+        if (v == nullptr) return usage(prog);
+        eo.maxRuns = std::stoull(v);
+      } else if (arg == "--max-depth") {
+        const char* v = next();
+        if (v == nullptr) return usage(prog);
+        eo.maxBranchDepth = std::stoull(v);
+      } else if (arg == "--max-steps") {
+        const char* v = next();
+        if (v == nullptr) return usage(prog);
+        eo.maxSteps = std::stoull(v);
+      } else if (arg == "--prune") {
+        eo.fingerprintPruning = true;
+      } else if (arg == "--sleep-sets") {
+        eo.sleepSets = true;
+      } else if (arg == "--json") {
+        json = true;
+      } else if (arg == "--metrics-out") {
+        const char* v = next();
+        if (v == nullptr) return usage(prog);
+        metricsOut = v;
+      } else if (arg == "--chrome-trace") {
+        const char* v = next();
+        if (v == nullptr) return usage(prog);
+        chromeTrace = v;
+      } else if (arg == "--progress") {
+        progress = true;
+      } else {
+        std::fprintf(stderr, "%s: unknown option '%s'\n", prog, arg.c_str());
+        return usage(prog);
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "%s: bad value for %s\n", prog, arg.c_str());
+      return usage(prog);
+    }
+  }
+  if (scenario == nullptr) return usage(prog);
+
+  const bool instrument =
+      !metricsOut.empty() || !chromeTrace.empty() || progress;
+  obs::Registry metrics;
+  inject::ExploreConfig cfg;
+  cfg.scenario(*scenario).explorer(eo);
+  if (instrument) cfg.metrics(&metrics);
+  if (progress) cfg.stderrProgress();
+
+  inject::ExploreConfig::Outcome outcome;
+  try {
+    outcome = cfg.explore();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", prog, e.what());
+    return 1;
+  }
+
+  // One captured run feeds the Chrome trace and the CoFG coverage gauges.
+  events::Trace captured;
+  if (!chromeTrace.empty() || !metricsOut.empty()) {
+    try {
+      cfg.capture(captured, metrics);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: capture run failed: %s\n", prog, e.what());
+      return 1;
+    }
+  }
+  if (!chromeTrace.empty() &&
+      !obs::writeChromeTraceFile(captured, chromeTrace)) {
+    std::fprintf(stderr, "%s: cannot write %s\n", prog, chromeTrace.c_str());
+    return 1;
+  }
+  if (!metricsOut.empty() && !metrics.snapshot().writeFile(metricsOut)) {
+    std::fprintf(stderr, "%s: cannot write %s\n", prog, metricsOut.c_str());
+    return 1;
+  }
+
+  const obs::ExploreSummary summary = outcome.summary();
+  if (json) {
+    std::printf("%s\n", summary.toJson().c_str());
+  } else {
+    std::fputs(summary.human().c_str(), stdout);
+    std::printf("EXPLORE DONE\n");
+  }
+  return 0;
+}
+
+}  // namespace confail::cli

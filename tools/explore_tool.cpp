@@ -1,319 +1,8 @@
-// confail_explore: command-line front end for the parallel schedule
-// explorer.  Runs one of the canonical scenarios (components/scenarios.hpp)
-// through ExhaustiveExplorer and reports coverage, failure counts, and the
-// first (lexicographically smallest) failing schedule.
-//
-// Usage:
-//   confail_explore --scenario fig2|ff_t5|ff_t5_small|lock_order|disjoint
-//                   [--workers N]      worker threads (0 = hardware)
-//                   [--prune]          (depth, fingerprint) state dedup
-//                   [--sleep-sets]     adjacent-step independence skip
-//                   [--max-runs N]     run budget           (default 10000)
-//                   [--max-depth N]    branching depth bound (default none)
-//                   [--max-steps N]    per-run step bound   (default 20000)
-//                   [--json]           machine-readable output on stdout
-//                   [--metrics-out F]  write a metrics-snapshot JSON file
-//                   [--chrome-trace F] write a chrome://tracing file of one
-//                                      captured run
-//                   [--progress]       heartbeat lines on stderr during
-//                                      exploration
-//
-// Observability: --metrics-out / --chrome-trace / --progress attach a
-// metrics registry to the explorer, the scheduler and every monitor the
-// scenario builds.  The snapshot carries explorer throughput and dedup
-// hit-rate, per-monitor contention / wait / notify counts and — for the
-// buffer scenarios — CoFG arc coverage measured on a captured
-// round-robin run (the same run the Chrome trace renders).
-//
-// Exit status: 0 on a clean exploration (including one that finds
-// failures — finding bugs is the tool working), 1 on an internal error,
-// 2 on a usage error.
-#include <chrono>
-#include <cstdio>
-#include <cstring>
-#include <set>
-#include <string>
-#include <vector>
-
-#include "confail/cofg/cofg.hpp"
-#include "confail/cofg/coverage.hpp"
-#include "confail/components/scenarios.hpp"
-#include "confail/obs/metrics.hpp"
-#include "confail/obs/summary.hpp"
-#include "confail/obs/trace_export.hpp"
-#include "confail/sched/explorer.hpp"
-
-namespace sched = confail::sched;
-namespace scenarios = confail::components::scenarios;
-namespace obs = confail::obs;
-namespace cofg = confail::cofg;
-namespace events = confail::events;
-using confail::components::BoundedBuffer;
-
-namespace {
-
-using Scenario = void (*)(sched::VirtualScheduler&);
-using InstrumentedScenario = void (*)(sched::VirtualScheduler&,
-                                      const scenarios::Instruments&);
-
-struct NamedScenario {
-  const char* name;
-  Scenario fn;
-  InstrumentedScenario ifn;
-  bool hasBuffer;  ///< registers buf.put/buf.take (CoFG coverage applies)
-  const char* blurb;
-};
-
-constexpr NamedScenario kScenarios[] = {
-    {"fig2", scenarios::figure2, scenarios::figure2, true,
-     "Figure 2 producer/consumer, correct guards (no failure expected)"},
-    {"ff_t5", scenarios::ffT5Notify, scenarios::ffT5Notify, true,
-     "FF-T5: notify() where notifyAll() is required (2 items/thread)"},
-    {"ff_t5_small", scenarios::ffT5Small, scenarios::ffT5Small, true,
-     "FF-T5 variant, 1 item/thread (small exhaustible tree)"},
-    {"lock_order", scenarios::lockOrder, scenarios::lockOrder, false,
-     "two monitors acquired in opposite orders (deadlock)"},
-    {"disjoint", scenarios::disjointCounters, scenarios::disjointCounters,
-     false, "two threads on disjoint shared vars (sleep-set showcase)"},
-};
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: confail_explore --scenario <name> [--workers N] "
-               "[--prune] [--sleep-sets]\n"
-               "                       [--max-runs N] [--max-depth N] "
-               "[--max-steps N] [--json]\n"
-               "                       [--metrics-out FILE] "
-               "[--chrome-trace FILE] [--progress]\n\nscenarios:\n");
-  for (const NamedScenario& s : kScenarios) {
-    std::fprintf(stderr, "  %-12s %s\n", s.name, s.blurb);
-  }
-  return 2;
-}
-
-std::uint64_t deadlockSignature(const sched::RunResult& r) {
-  std::uint64_t h = sched::kFpSeed;
-  for (const sched::BlockedThreadInfo& b : r.blocked) {
-    h = sched::fpMix(h, (static_cast<std::uint64_t>(b.id) << 32) ^
-                            static_cast<std::uint64_t>(b.kind));
-    h = sched::fpMix(h, b.resource);
-  }
-  return h;
-}
-
-/// Execute one round-robin run of the scenario with an external trace (for
-/// the Chrome export) and the shared metrics registry, then publish CoFG
-/// arc coverage of the captured events when the scenario has the buffer.
-void captureRun(const NamedScenario& sc, std::uint64_t maxSteps,
-                events::Trace& trace, obs::Registry& metrics) {
-  sched::RoundRobinStrategy strategy;
-  sched::VirtualScheduler::Options so;
-  so.maxSteps = maxSteps;
-  sched::VirtualScheduler s(strategy, so);
-  scenarios::Instruments ins;
-  ins.trace = &trace;
-  ins.metrics = &metrics;
-  sc.ifn(s, ins);
-  (void)s.run();  // deadlock / step limit is fine; the trace is the product
-
-  if (!sc.hasBuffer) return;
-  const std::vector<events::Event> evs = trace.events();
-  const cofg::Cofg putGraph = cofg::Cofg::build(BoundedBuffer<int>::putModel());
-  const cofg::Cofg takeGraph =
-      cofg::Cofg::build(BoundedBuffer<int>::takeModel());
-  cofg::CoverageTracker put(putGraph, trace.findMethod("buf.put"));
-  cofg::CoverageTracker take(takeGraph, trace.findMethod("buf.take"));
-  put.process(evs);
-  take.process(evs);
-  put.publishTo(metrics, "cofg.put");
-  take.publishTo(metrics, "cofg.take");
-  const double covered =
-      static_cast<double>(put.coveredArcs() + take.coveredArcs());
-  const double total = static_cast<double>(put.totalArcs() + take.totalArcs());
-  metrics.gauge("cofg.arcs_covered").set(covered);
-  metrics.gauge("cofg.arcs_total").set(total);
-  metrics.gauge("cofg.coverage").set(total > 0.0 ? covered / total : 1.0);
-}
-
-}  // namespace
+// confail_explore: forwarding shim kept for script compatibility.  The
+// implementation moved to the unified CLI (`confail explore`); see
+// explore_cmd.cpp.  Flags and output are unchanged.
+#include "cli.hpp"
 
 int main(int argc, char** argv) {
-  const NamedScenario* scenario = nullptr;
-  sched::ExhaustiveExplorer::Options eo;
-  eo.maxRuns = 10000;
-  eo.maxSteps = 20000;
-  bool json = false;
-  bool progress = false;
-  std::string metricsOut;
-  std::string chromeTrace;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return ++i < argc ? argv[i] : nullptr;
-    };
-    try {
-      if (arg == "--scenario") {
-        const char* v = next();
-        if (v == nullptr) return usage();
-        for (const NamedScenario& s : kScenarios) {
-          if (std::strcmp(s.name, v) == 0) scenario = &s;
-        }
-        if (scenario == nullptr) {
-          std::fprintf(stderr, "confail_explore: unknown scenario '%s'\n", v);
-          return usage();
-        }
-      } else if (arg == "--workers") {
-        const char* v = next();
-        if (v == nullptr) return usage();
-        eo.workers = std::stoul(v);
-      } else if (arg == "--max-runs") {
-        const char* v = next();
-        if (v == nullptr) return usage();
-        eo.maxRuns = std::stoull(v);
-      } else if (arg == "--max-depth") {
-        const char* v = next();
-        if (v == nullptr) return usage();
-        eo.maxBranchDepth = std::stoull(v);
-      } else if (arg == "--max-steps") {
-        const char* v = next();
-        if (v == nullptr) return usage();
-        eo.maxSteps = std::stoull(v);
-      } else if (arg == "--prune") {
-        eo.fingerprintPruning = true;
-      } else if (arg == "--sleep-sets") {
-        eo.sleepSets = true;
-      } else if (arg == "--json") {
-        json = true;
-      } else if (arg == "--metrics-out") {
-        const char* v = next();
-        if (v == nullptr) return usage();
-        metricsOut = v;
-      } else if (arg == "--chrome-trace") {
-        const char* v = next();
-        if (v == nullptr) return usage();
-        chromeTrace = v;
-      } else if (arg == "--progress") {
-        progress = true;
-      } else {
-        std::fprintf(stderr, "confail_explore: unknown option '%s'\n",
-                     arg.c_str());
-        return usage();
-      }
-    } catch (const std::exception&) {
-      std::fprintf(stderr, "confail_explore: bad value for %s\n", arg.c_str());
-      return usage();
-    }
-  }
-  if (scenario == nullptr) return usage();
-
-  const bool instrument =
-      !metricsOut.empty() || !chromeTrace.empty() || progress;
-  obs::Registry metrics;
-  if (instrument) eo.metrics = &metrics;
-  if (progress) {
-    eo.progressIntervalRuns = eo.maxRuns >= 100 ? eo.maxRuns / 20 : 10;
-    eo.onProgress = [](const sched::ExhaustiveExplorer::Progress& p) {
-      std::fprintf(stderr,
-                   "[progress] runs=%llu queue=%lld steals=%llu "
-                   "elapsed=%.1fs (%.0f runs/sec)\n",
-                   static_cast<unsigned long long>(p.runs),
-                   static_cast<long long>(p.queueDepth),
-                   static_cast<unsigned long long>(p.steals), p.elapsedSec,
-                   p.runsPerSec);
-    };
-  }
-
-  // Exploration program: metrics-instrumented when requested (counters are
-  // atomic, so this is safe under parallel workers), but never the shared
-  // capture trace — that would interleave events of concurrent runs.
-  const NamedScenario& sc = *scenario;
-  sched::ExhaustiveExplorer::Program program;
-  if (instrument) {
-    scenarios::Instruments ins;
-    ins.metrics = &metrics;
-    program = [&sc, ins](sched::VirtualScheduler& s) { sc.ifn(s, ins); };
-  } else {
-    program = sc.fn;
-  }
-
-  std::set<std::uint64_t> deadlockSigs;
-  sched::ExhaustiveExplorer explorer(eo);
-  sched::ExhaustiveExplorer::Stats stats;
-  const auto t0 = std::chrono::steady_clock::now();
-  try {
-    stats = explorer.explore(
-        program, [&deadlockSigs](const std::vector<sched::ThreadId>&,
-                                 const sched::RunResult& r) {
-          if (r.outcome == sched::Outcome::Deadlock) {
-            deadlockSigs.insert(deadlockSignature(r));
-          }
-          return true;
-        });
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "confail_explore: %s\n", e.what());
-    return 1;
-  }
-  const double elapsedMs =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                t0)
-          .count();
-
-  // One captured run feeds the Chrome trace and the CoFG coverage gauges.
-  events::Trace captured;
-  if (!chromeTrace.empty() || !metricsOut.empty()) {
-    try {
-      captureRun(sc, eo.maxSteps, captured, metrics);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "confail_explore: capture run failed: %s\n",
-                   e.what());
-      return 1;
-    }
-  }
-  if (!chromeTrace.empty() &&
-      !obs::writeChromeTraceFile(captured, chromeTrace)) {
-    std::fprintf(stderr, "confail_explore: cannot write %s\n",
-                 chromeTrace.c_str());
-    return 1;
-  }
-  if (!metricsOut.empty() && !metrics.snapshot().writeFile(metricsOut)) {
-    std::fprintf(stderr, "confail_explore: cannot write %s\n",
-                 metricsOut.c_str());
-    return 1;
-  }
-
-  obs::ExploreSummary summary;
-  summary.scenario = sc.name;
-  summary.runs = stats.runs;
-  summary.completed = stats.completed;
-  summary.deadlocks = stats.deadlocks;
-  summary.stepLimited = stats.stepLimited;
-  summary.exceptions = stats.exceptions;
-  summary.dedupedStates = stats.dedupedStates;
-  summary.prunedBranches = stats.prunedBranches;
-  summary.distinctDeadlockStates = deadlockSigs.size();
-  summary.exhausted = stats.exhausted;
-  summary.stoppedByCallback = stats.stoppedByCallback;
-  summary.reductionsEnabled = eo.fingerprintPruning || eo.sleepSets;
-  summary.firstFailure = stats.firstFailure;
-  if (!stats.firstFailure.empty()) {
-    summary.firstFailureOutcome = sched::outcomeName(stats.firstFailureOutcome);
-  }
-  // Wall time is the one nondeterministic output; report it only when
-  // observability was asked for, so the default (and --json) output keeps
-  // the byte-identical workers-1-vs-N contract the tests diff on.
-  if (instrument) {
-    summary.elapsedMs = elapsedMs;
-    summary.runsPerSec =
-        elapsedMs > 0.0 ? static_cast<double>(stats.runs) * 1000.0 / elapsedMs
-                        : 0.0;
-  }
-
-  if (json) {
-    std::printf("%s\n", summary.toJson().c_str());
-  } else {
-    std::fputs(summary.human().c_str(), stdout);
-    std::printf("EXPLORE DONE\n");
-  }
-  return 0;
+  return confail::cli::cmdExplore("confail_explore", argc - 1, argv + 1);
 }

@@ -1,0 +1,251 @@
+// `confail inject`: the deviation-injection engine's front end.
+//
+// Two modes:
+//
+//   inject --scenario <name> --class <FF-T5> [--monitor M] [--victim T]
+//          [--after N] [--count N] [exploration flags] [--json]
+//       Run ONE injection plan against one scenario and report which
+//       detectors caught the injected class (a single matrix cell).
+//
+//   inject --campaign [--out FILE] [exploration flags]
+//       Run the full detection-matrix campaign: every registry scenario x
+//       every applicable injectable Table 1 class, plus negative controls.
+//       --out writes the machine-readable matrix (confail.injection.v1);
+//       stdout gets the human rendering ending in INJECTION MATRIX OK|FAIL.
+//       Exit status is 0 iff the matrix is OK.
+//
+// Exploration flags (both modes): --max-runs, --max-steps, --max-depth,
+// --workers, --no-controls (campaign only).
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "cli.hpp"
+#include "confail/inject/campaign.hpp"
+#include "confail/obs/json.hpp"
+#include "confail/taxonomy/taxonomy.hpp"
+
+namespace confail::cli {
+
+namespace inject = confail::inject;
+namespace scenarios = confail::components::scenarios;
+namespace taxonomy = confail::taxonomy;
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s --scenario <name> --class <FF-T5> [--monitor M] "
+               "[--victim T]\n"
+               "               [--after N] [--count N] [--json]\n"
+               "       %s --campaign [--out FILE] [--no-controls]\n"
+               "       common: [--max-runs N] [--max-steps N] [--max-depth N] "
+               "[--workers N]\n\ninjectable classes:\n",
+               prog, prog);
+  for (taxonomy::FailureClass cls : inject::injectableClasses()) {
+    std::fprintf(stderr, "  %-6s %s\n", taxonomy::failureClassName(cls),
+                 inject::operatorName(cls));
+  }
+  return 2;
+}
+
+bool parseClass(const std::string& spec, taxonomy::FailureClass& out) {
+  std::string upper = spec;
+  for (char& c : upper) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (c == '_') c = '-';
+  }
+  for (taxonomy::FailureClass cls : taxonomy::allFailureClasses()) {
+    if (upper == taxonomy::failureClassName(cls)) {
+      out = cls;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string cellJson(const inject::MatrixCell& c) {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.field("schema", "confail.injection.cell.v1");
+  w.field("scenario", c.scenario);
+  w.field("class", taxonomy::failureClassName(c.cls));
+  w.field("operator", inject::operatorName(c.cls));
+  w.field("plan", c.plan.describe());
+  w.field("runs", c.runs);
+  w.field("deviated_runs", c.deviatedRuns);
+  w.field("failing_runs", c.failingRuns);
+  w.field("caught", c.caught);
+  w.field("classifier_agrees", c.classifierAgrees);
+  w.key("caught_by");
+  w.beginArray();
+  for (const std::string& name : c.caughtBy()) w.value(name);
+  w.endArray();
+  w.key("detectors");
+  w.beginObject();
+  for (const inject::DetectorCell& d : c.detectors) {
+    w.key(d.detector);
+    w.beginObject();
+    w.field("findings", d.findings);
+    w.field("hits", d.hits);
+    w.endObject();
+  }
+  w.endObject();
+  w.endObject();
+  return w.str();
+}
+
+void printCell(const inject::MatrixCell& c) {
+  std::printf("plan: %s\n", c.plan.describe().c_str());
+  std::printf("runs %llu, deviated %llu, failing %llu\n",
+              static_cast<unsigned long long>(c.runs),
+              static_cast<unsigned long long>(c.deviatedRuns),
+              static_cast<unsigned long long>(c.failingRuns));
+  for (const inject::DetectorCell& d : c.detectors) {
+    if (d.findings == 0 && d.hits == 0) continue;
+    std::printf("  %-20s findings %llu, hits on %s: %llu\n", d.detector.c_str(),
+                static_cast<unsigned long long>(d.findings),
+                taxonomy::failureClassName(c.cls),
+                static_cast<unsigned long long>(d.hits));
+  }
+  std::printf("%s: %s%s\n", taxonomy::failureClassName(c.cls),
+              c.caught ? "caught" : "MISSED",
+              c.classifierAgrees ? " (+classifier)" : "");
+}
+
+}  // namespace
+
+int cmdInject(const char* prog, int argc, char** argv) {
+  bool campaign = false;
+  bool json = false;
+  bool haveClass = false;
+  const scenarios::NamedScenario* scenario = nullptr;
+  taxonomy::FailureClass cls = taxonomy::FailureClass::FF_T5;
+  std::string monitor;
+  std::string victim;
+  bool haveVictim = false;
+  std::uint64_t after = 0;
+  bool haveAfter = false;
+  std::uint64_t count = 0;
+  bool haveCount = false;
+  std::string outFile;
+  inject::CampaignOptions opts;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return flagValue(i, argc, argv); };
+    if (arg == "--campaign") {
+      campaign = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-controls") {
+      opts.negativeControls = false;
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (v == nullptr) return usage(prog);
+      scenario = scenarios::find(v);
+      if (scenario == nullptr) {
+        std::fprintf(stderr, "%s: unknown scenario '%s'\n", prog, v);
+        return usage(prog);
+      }
+    } else if (arg == "--class") {
+      const char* v = next();
+      if (v == nullptr) return usage(prog);
+      if (!parseClass(v, cls)) {
+        std::fprintf(stderr, "%s: unknown failure class '%s'\n", prog, v);
+        return usage(prog);
+      }
+      haveClass = true;
+    } else if (arg == "--monitor") {
+      const char* v = next();
+      if (v == nullptr) return usage(prog);
+      monitor = v;
+    } else if (arg == "--victim") {
+      const char* v = next();
+      if (v == nullptr) return usage(prog);
+      victim = v;
+      haveVictim = true;
+    } else if (arg == "--after") {
+      if (!parseU64(prog, "--after", next(), after)) return usage(prog);
+      haveAfter = true;
+    } else if (arg == "--count") {
+      if (!parseU64(prog, "--count", next(), count)) return usage(prog);
+      haveCount = true;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return usage(prog);
+      outFile = v;
+    } else if (arg == "--max-runs") {
+      if (!parseU64(prog, "--max-runs", next(), opts.maxRuns)) {
+        return usage(prog);
+      }
+    } else if (arg == "--max-steps") {
+      if (!parseU64(prog, "--max-steps", next(), opts.maxSteps)) {
+        return usage(prog);
+      }
+    } else if (arg == "--max-depth") {
+      std::uint64_t v = 0;
+      if (!parseU64(prog, "--max-depth", next(), v)) return usage(prog);
+      opts.maxBranchDepth = static_cast<std::size_t>(v);
+    } else if (arg == "--workers") {
+      std::uint64_t v = 0;
+      if (!parseU64(prog, "--workers", next(), v)) return usage(prog);
+      opts.workers = static_cast<std::size_t>(v);
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", prog, arg.c_str());
+      return usage(prog);
+    }
+  }
+
+  try {
+    if (campaign) {
+      const inject::CampaignResult result = inject::runCampaign(opts);
+      if (!outFile.empty()) {
+        std::ofstream out(outFile);
+        if (!out || !(out << result.toJson() << '\n')) {
+          std::fprintf(stderr, "%s: cannot write %s\n", prog, outFile.c_str());
+          return 1;
+        }
+      }
+      if (json) {
+        std::printf("%s\n", result.toJson().c_str());
+      } else {
+        std::fputs(result.human().c_str(), stdout);
+      }
+      return result.ok() ? 0 : 1;
+    }
+
+    if (scenario == nullptr || !haveClass) return usage(prog);
+    if (!inject::isInjectable(cls)) {
+      std::fprintf(stderr, "%s: %s is not injectable (structural class)\n",
+                   prog, taxonomy::failureClassName(cls));
+      return 2;
+    }
+    if (!inject::planApplies(cls, *scenario)) {
+      std::fprintf(stderr,
+                   "%s: %s does not apply to scenario '%s' (no deviation "
+                   "point)\n",
+                   prog, taxonomy::failureClassName(cls), scenario->name);
+      return 2;
+    }
+    inject::InjectionPlan plan = inject::defaultPlanFor(cls, *scenario);
+    if (!monitor.empty()) plan.monitor = monitor;
+    if (haveVictim) plan.victim = victim;
+    if (haveAfter) plan.after = after;
+    if (haveCount) plan.count = count;
+
+    const inject::MatrixCell cell = inject::runCell(*scenario, plan, opts);
+    if (json) {
+      std::printf("%s\n", cellJson(cell).c_str());
+    } else {
+      printCell(cell);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", prog, e.what());
+    return 1;
+  }
+}
+
+}  // namespace confail::cli

@@ -1,155 +1,8 @@
-// confail_obs_check: validate the files the observability layer emits.
-//
-// Usage:
-//   confail_obs_check metrics <metrics.json> [required-key ...]
-//   confail_obs_check chrome  <trace.json> [min-threads]
-//
-// `metrics` parses the snapshot document, requires the counters/gauges/
-// histograms sections, and checks each extra argument resolves as a dotted
-// path (e.g. gauges.explorer.runs_per_sec is spelled
-// "gauges/explorer.runs_per_sec" — one '/' separates the section from the
-// metric name, which itself contains dots).
-//
-// `chrome` parses a Chrome trace_event document and checks that every
-// thread named by a thread_name metadata record has at least one non-
-// metadata event on its track (min-threads defaults to 1).
-//
-// Exit status: 0 when valid, 1 when a check fails, 2 on usage errors.
-// Used by the metrics-check ctest entries; prints OBS CHECK OK on success.
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <map>
-#include <set>
-#include <sstream>
-#include <string>
-
-#include "confail/obs/json.hpp"
-
-namespace obs = confail::obs;
-
-namespace {
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: confail_obs_check metrics <file> [section/key ...]\n"
-               "       confail_obs_check chrome <file> [min-threads]\n");
-  return 2;
-}
-
-bool readFile(const std::string& path, std::string& out) {
-  std::ifstream in(path);
-  if (!in) return false;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  out = ss.str();
-  return true;
-}
-
-int checkMetrics(const std::string& path, int argc, char** argv, int from) {
-  std::string text;
-  if (!readFile(path, text)) {
-    std::fprintf(stderr, "confail_obs_check: cannot read %s\n", path.c_str());
-    return 1;
-  }
-  obs::JsonValue doc;
-  try {
-    doc = obs::parseJson(text);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "confail_obs_check: %s: %s\n", path.c_str(),
-                 e.what());
-    return 1;
-  }
-  int failures = 0;
-  for (const char* section : {"counters", "gauges", "histograms"}) {
-    const obs::JsonValue* v = doc.get(section);
-    if (v == nullptr || !v->isObject()) {
-      std::fprintf(stderr, "MISSING section: %s\n", section);
-      ++failures;
-    }
-  }
-  for (int i = from; i < argc; ++i) {
-    const std::string spec = argv[i];
-    const std::size_t slash = spec.find('/');
-    if (slash == std::string::npos) {
-      std::fprintf(stderr, "bad key spec (want section/name): %s\n",
-                   spec.c_str());
-      ++failures;
-      continue;
-    }
-    const obs::JsonValue* section = doc.get(spec.substr(0, slash));
-    const obs::JsonValue* v =
-        section != nullptr ? section->get(spec.substr(slash + 1)) : nullptr;
-    if (v == nullptr) {
-      std::fprintf(stderr, "MISSING metric: %s\n", spec.c_str());
-      ++failures;
-    }
-  }
-  if (failures > 0) return 1;
-  std::printf("OBS CHECK OK (%s)\n", path.c_str());
-  return 0;
-}
-
-int checkChrome(const std::string& path, long minThreads) {
-  std::string text;
-  if (!readFile(path, text)) {
-    std::fprintf(stderr, "confail_obs_check: cannot read %s\n", path.c_str());
-    return 1;
-  }
-  obs::JsonValue doc;
-  try {
-    doc = obs::parseJson(text);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "confail_obs_check: %s: %s\n", path.c_str(),
-                 e.what());
-    return 1;
-  }
-  const obs::JsonValue* evs = doc.get("traceEvents");
-  if (evs == nullptr || !evs->isArray()) {
-    std::fprintf(stderr, "MISSING traceEvents array\n");
-    return 1;
-  }
-  std::set<double> namedThreads;
-  std::map<double, std::size_t> eventsPerThread;
-  for (const obs::JsonValue& e : evs->array) {
-    const obs::JsonValue* ph = e.get("ph");
-    const obs::JsonValue* tid = e.get("tid");
-    if (ph == nullptr || tid == nullptr || !tid->isNumber()) continue;
-    if (ph->string == "M") {
-      namedThreads.insert(tid->number);
-    } else {
-      ++eventsPerThread[tid->number];
-    }
-  }
-  if (static_cast<long>(namedThreads.size()) < minThreads) {
-    std::fprintf(stderr, "expected >= %ld named threads, found %zu\n",
-                 minThreads, namedThreads.size());
-    return 1;
-  }
-  int failures = 0;
-  for (double t : namedThreads) {
-    if (eventsPerThread[t] == 0) {
-      std::fprintf(stderr, "thread tid=%.0f has a name but no events\n", t);
-      ++failures;
-    }
-  }
-  if (failures > 0) return 1;
-  std::printf("OBS CHECK OK (%s: %zu threads, all with events)\n",
-              path.c_str(), namedThreads.size());
-  return 0;
-}
-
-}  // namespace
+// confail_obs_check: forwarding shim kept for script compatibility.  The
+// implementation moved to the unified CLI (`confail obs-check`); see
+// obs_check_cmd.cpp.  Flags and output are unchanged.
+#include "cli.hpp"
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string mode = argv[1];
-  const std::string path = argv[2];
-  if (mode == "metrics") return checkMetrics(path, argc, argv, 3);
-  if (mode == "chrome") {
-    long minThreads = 1;
-    if (argc > 3) minThreads = std::strtol(argv[3], nullptr, 10);
-    return checkChrome(path, minThreads);
-  }
-  return usage();
+  return confail::cli::cmdObsCheck("confail_obs_check", argc - 1, argv + 1);
 }

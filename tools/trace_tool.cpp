@@ -1,220 +1,8 @@
-// confail_trace: command-line analysis of serialized execution traces.
-//
-// Usage:
-//   confail_trace render   <trace-file>          pretty-print the events
-//   confail_trace stats    <trace-file>          event/thread/monitor counts
-//   confail_trace validate <trace-file> [mon]    replay against the Figure 1
-//                                                net (all monitors or one)
-//   confail_trace detect   <trace-file> [--metrics-out <file>]
-//                                                run the detector battery
-//                                                and classify per Table 1;
-//                                                optionally dump the suite's
-//                                                metrics snapshot as JSON
-//   confail_trace chrome   <trace-file> <out>    export as Chrome trace_event
-//                                                JSON (chrome://tracing)
-//   confail_trace jsonl    <trace-file> <out>    export as one-JSON-object-
-//                                                per-line for jq pipelines
-//   confail_trace selftest                       generate a demo trace,
-//                                                round-trip it, run all modes
-//
-// Trace files are produced by events::Trace::serialize(); any component run
-// can be captured, shipped, and analyzed offline with this tool.
-#include <cstdio>
-#include <fstream>
-#include <map>
-#include <set>
-#include <sstream>
-#include <string>
-
-#include "confail/detect/suite.hpp"
-#include "confail/events/trace.hpp"
-#include "confail/monitor/monitor.hpp"
-#include "confail/monitor/runtime.hpp"
-#include "confail/monitor/shared_var.hpp"
-#include "confail/obs/metrics.hpp"
-#include "confail/obs/trace_export.hpp"
-#include "confail/petri/trace_validator.hpp"
-#include "confail/sched/virtual_scheduler.hpp"
-#include "confail/taxonomy/classifier.hpp"
-
-namespace ev = confail::events;
-
-namespace {
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: confail_trace render|stats|validate <file>\n"
-               "       confail_trace detect <file> [--metrics-out <file>]\n"
-               "       confail_trace chrome|jsonl <file> <out-file>\n"
-               "       confail_trace selftest\n");
-  return 2;
-}
-
-ev::Trace load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    throw confail::UsageError("cannot open trace file: " + path);
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return ev::Trace::deserialize(buf.str());
-}
-
-int cmdRender(const ev::Trace& trace) {
-  trace.render([](const std::string& line) { std::printf("%s\n", line.c_str()); });
-  return 0;
-}
-
-int cmdStats(const ev::Trace& trace) {
-  std::map<ev::EventKind, std::size_t> byKind;
-  std::set<ev::ThreadId> threads;
-  std::set<ev::MonitorId> monitors;
-  std::set<ev::VarId> vars;
-  for (const ev::Event& e : trace.events()) {
-    ++byKind[e.kind];
-    if (e.thread != ev::kNoThread) threads.insert(e.thread);
-    if (e.monitor != ev::kNoMonitor) monitors.insert(e.monitor);
-    if (e.kind == ev::EventKind::Read || e.kind == ev::EventKind::Write) {
-      vars.insert(static_cast<ev::VarId>(e.aux));
-    }
-  }
-  std::printf("events: %zu  threads: %zu  monitors: %zu  variables: %zu\n",
-              trace.size(), threads.size(), monitors.size(), vars.size());
-  for (const auto& [kind, count] : byKind) {
-    std::printf("  %-14s %zu\n", ev::kindName(kind), count);
-  }
-  return 0;
-}
-
-int cmdValidate(const ev::Trace& trace, int argc, char** argv) {
-  std::set<ev::MonitorId> monitors;
-  if (argc >= 4) {
-    monitors.insert(static_cast<ev::MonitorId>(std::stoul(argv[3])));
-  } else {
-    for (const ev::Event& e : trace.events()) {
-      if (e.monitor != ev::kNoMonitor) monitors.insert(e.monitor);
-    }
-  }
-  int bad = 0;
-  for (ev::MonitorId m : monitors) {
-    auto v = confail::petri::validateTraceAgainstModel(trace, m);
-    std::printf("monitor %s: %s (%zu transitions)\n",
-                trace.monitorName(m).c_str(),
-                v.ok ? "legal firing sequence" : v.message.c_str(),
-                v.eventsChecked);
-    bad += v.ok ? 0 : 1;
-  }
-  if (monitors.empty()) std::printf("no monitor events in trace\n");
-  return bad == 0 ? 0 : 1;
-}
-
-int cmdDetect(const ev::Trace& trace, const std::string& metricsOut = "") {
-  confail::obs::Registry metrics;
-  confail::detect::DetectorSuite suite;
-  suite.setMetrics(&metrics);
-  auto findings = suite.analyze(trace);
-  if (!metricsOut.empty() &&
-      !metrics.snapshot().writeFile(metricsOut)) {
-    std::fprintf(stderr, "confail_trace: cannot write %s\n",
-                 metricsOut.c_str());
-    return 1;
-  }
-  if (findings.empty()) {
-    std::printf("no findings\n");
-    return 0;
-  }
-  confail::taxonomy::FailureReport report;
-  confail::taxonomy::Classifier::addFindings(report, findings, trace);
-  for (const auto& f : findings) {
-    std::printf("%s\n", f.describe(trace).c_str());
-  }
-  std::printf("\nclassified per Table 1:\n%s", report.describe().c_str());
-  return 0;
-}
-
-int cmdExport(const ev::Trace& trace, const std::string& kind,
-              const std::string& outPath) {
-  const bool ok = kind == "chrome"
-                      ? confail::obs::writeChromeTraceFile(trace, outPath)
-                      : confail::obs::writeJsonlFile(trace, outPath);
-  if (!ok) {
-    std::fprintf(stderr, "confail_trace: cannot write %s\n", outPath.c_str());
-    return 1;
-  }
-  std::printf("wrote %s (%zu events)\n", outPath.c_str(), trace.size());
-  return 0;
-}
-
-int cmdSelftest() {
-  // Build a demo trace with a seeded fault, round-trip it through the
-  // serialized form, and run every command over the copy.
-  ev::Trace trace;
-  confail::sched::RoundRobinStrategy strategy;
-  confail::sched::VirtualScheduler s(strategy);
-  confail::monitor::Runtime rt(trace, s, 1);
-  confail::monitor::Monitor m(rt, "demo");
-  confail::monitor::SharedVar<int> x(rt, "x", 0);
-  rt.spawn("locked", [&] {
-    confail::monitor::Synchronized sync(m);
-    x.set(x.get() + 1);
-  });
-  rt.spawn("racy", [&] { x.set(x.get() + 1); });
-  auto run = s.run();
-  std::printf("demo run: %s, %zu events\n",
-              confail::sched::outcomeName(run.outcome), trace.size());
-
-  ev::Trace copy = ev::Trace::deserialize(trace.serialize());
-  if (copy.events() != trace.events()) {
-    std::printf("serialization round-trip FAILED\n");
-    return 1;
-  }
-  std::printf("-- stats --\n");
-  cmdStats(copy);
-  std::printf("-- validate --\n");
-  char* noArgs[1] = {nullptr};
-  cmdValidate(copy, 0, noArgs);
-  std::printf("-- detect --\n");
-  cmdDetect(copy);
-  std::printf("-- export --\n");
-  const std::string chrome = confail::obs::toChromeTrace(copy);
-  const std::string jsonl = confail::obs::toJsonl(copy);
-  if (chrome.find("\"traceEvents\"") == std::string::npos ||
-      jsonl.find("\"kind\"") == std::string::npos) {
-    std::printf("exporters FAILED\n");
-    return 1;
-  }
-  std::printf("chrome export: %zu bytes, jsonl export: %zu bytes\n",
-              chrome.size(), jsonl.size());
-  std::printf("SELFTEST OK\n");
-  return 0;
-}
-
-}  // namespace
+// confail_trace: forwarding shim kept for script compatibility.  The
+// implementation moved to the unified CLI (`confail trace`); see
+// trace_cmd.cpp.  Flags and output are unchanged.
+#include "cli.hpp"
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  try {
-    if (cmd == "selftest") return cmdSelftest();
-    if (argc < 3) return usage();
-    ev::Trace trace = load(argv[2]);
-    if (cmd == "render") return cmdRender(trace);
-    if (cmd == "stats") return cmdStats(trace);
-    if (cmd == "validate") return cmdValidate(trace, argc, argv);
-    if (cmd == "detect") {
-      std::string metricsOut;
-      if (argc >= 5 && std::string(argv[3]) == "--metrics-out") {
-        metricsOut = argv[4];
-      }
-      return cmdDetect(trace, metricsOut);
-    }
-    if (cmd == "chrome" || cmd == "jsonl") {
-      if (argc < 4) return usage();
-      return cmdExport(trace, cmd, argv[3]);
-    }
-    return usage();
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "confail_trace: %s\n", e.what());
-    return 1;
-  }
+  return confail::cli::cmdTrace("confail_trace", argc - 1, argv + 1);
 }
