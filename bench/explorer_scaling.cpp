@@ -1,6 +1,7 @@
-// Explorer throughput: worker scaling and fingerprint-pruning reduction.
+// Explorer throughput: worker scaling, fingerprint pruning, and the
+// reduction ladder (none / sleep sets / source-set DPOR).
 //
-// Two questions, measured on the canonical scenarios
+// Three questions, measured on the canonical scenarios
 // (components/scenarios.hpp) and emitted as BENCH_explorer.json:
 //
 //   1. Scaling — how does runs/sec grow with worker threads?  The same
@@ -16,8 +17,16 @@
 //      of distinct deadlock states?  The >= 30% reduction bar is asserted
 //      in full mode (measured: ~95%+ on both trees).
 //
-// `--smoke` shrinks every tree so the whole binary finishes in a couple of
-// seconds; the bench_smoke ctest entry runs that mode.
+//   3. Reductions — the Figure-2 tree at branch depth 6 under each
+//      Reduction level, at 1/2/8 workers.  DPOR must explore at most 50%
+//      of the sleep-set run count (measured: ~12%), with run counts
+//      identical across worker counts, and it must preserve the distinct
+//      deadlock-state set of full enumeration on a deadlocking companion
+//      scenario.  This section runs full-size even under --smoke: the
+//      whole ladder is ~5k runs.
+//
+// `--smoke` shrinks the scaling/pruning trees so the whole binary finishes
+// in a couple of seconds; the bench_smoke ctest entry runs that mode.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -53,14 +62,17 @@ struct Measured {
   double ms = 0.0;
 };
 
+using Reduction = sched::ExhaustiveExplorer::Reduction;
+
 Measured run(Scenario scenario, std::size_t workers, std::size_t branchDepth,
-             bool prune) {
+             bool prune, Reduction reduction = Reduction::None) {
   sched::ExhaustiveExplorer::Options eo;
   eo.maxRuns = 2000000;
   eo.maxSteps = 20000;
   eo.maxBranchDepth = branchDepth;
   eo.workers = workers;
   eo.fingerprintPruning = prune;
+  eo.reduction = reduction;
   sched::ExhaustiveExplorer explorer(eo);
   Measured m;
   const auto t0 = std::chrono::steady_clock::now();
@@ -199,13 +211,119 @@ int main(int argc, char** argv) {
   json.field("deadlock_states", dlPlain.deadlockSigs.size());
   json.field("deadlock_sets_equal", setsEqual);
   json.endObject();
-  json.endObject();
 
   ok = ok && fig2Plain.stats.exhausted && fig2Pruned.stats.exhausted &&
        setsEqual && reduction >= 30.0;
   if (reduction < 30.0) {
     std::printf("FAIL: pruning reduction %.1f%% < 30%%\n", reduction);
   }
+
+  // ---- 3. reduction ladder: none vs sleep sets vs source-set DPOR ---------
+  // Full-size in both modes (the ladder is small): Figure-2 at branch
+  // depth 6, every reduction level at 1/2/8 workers.
+  const std::size_t redDepth = 6;
+  struct Level {
+    const char* name;
+    Reduction reduction;
+  };
+  const Level levels[] = {{"none", Reduction::None},
+                          {"sleep", Reduction::Sleep},
+                          {"dpor", Reduction::Dpor}};
+
+  std::printf("\nreductions (figure2, depth %zu):\n", redDepth);
+  std::printf("%8s %8s %10s %10s %12s\n", "level", "workers", "runs", "ms",
+              "backtracks");
+
+  json.key("reductions");
+  json.beginObject();
+  json.field("scenario", "figure2");
+  json.field("branch_depth", redDepth);
+  json.key("rows");
+  json.beginArray();
+
+  std::uint64_t runsByLevel[3] = {0, 0, 0};
+  double serialMsByLevel[3] = {0.0, 0.0, 0.0};
+  for (std::size_t li = 0; li < 3; ++li) {
+    for (std::size_t workers : {1u, 2u, 8u}) {
+      Measured m =
+          run(scenarios::figure2, workers, redDepth, /*prune=*/false,
+              levels[li].reduction);
+      if (workers == 1) {
+        runsByLevel[li] = m.stats.runs;
+        serialMsByLevel[li] = m.ms;
+      }
+      // Run counts must be a function of the scenario, not of scheduling
+      // luck: the prefix tree's atomic claim masks make every worker count
+      // explore the identical frontier.
+      ok = ok && m.stats.exhausted && m.stats.runs == runsByLevel[li];
+      std::printf("%8s %8zu %10llu %10.1f %12llu\n", levels[li].name, workers,
+                  static_cast<unsigned long long>(m.stats.runs), m.ms,
+                  static_cast<unsigned long long>(m.stats.dporBacktracks));
+      json.beginObject();
+      json.field("reduction", levels[li].name);
+      json.field("workers", workers);
+      json.field("runs", m.stats.runs);
+      json.field("ms", m.ms);
+      json.field("dpor_backtracks", m.stats.dporBacktracks);
+      json.endObject();
+    }
+  }
+  json.endArray();
+
+  const double dporVsSleepPct = pct(runsByLevel[2], runsByLevel[1]);
+  std::printf("dpor explores %.1f%% of the sleep-set run count "
+              "(%llu vs %llu; full enumeration %llu)\n",
+              dporVsSleepPct,
+              static_cast<unsigned long long>(runsByLevel[2]),
+              static_cast<unsigned long long>(runsByLevel[1]),
+              static_cast<unsigned long long>(runsByLevel[0]));
+  if (runsByLevel[2] * 2 > runsByLevel[1]) {
+    std::printf("FAIL: dpor %.1f%% of sleep runs > 50%%\n", dporVsSleepPct);
+    ok = false;
+  }
+
+  // Failure-set preservation on a deadlocking companion: DPOR owes the
+  // exact distinct-deadlock-state set of full enumeration.  Full mode uses
+  // the FF-T5 tree at depth 7 (calibrated in tests/sched_dpor_test.cpp —
+  // bounded POR genuinely diverges at tighter bounds); smoke uses the
+  // unbounded lock-order tree, where no bound caveat applies at all.
+  const Scenario redDlScenario =
+      smoke ? static_cast<Scenario>(scenarios::lockOrder)
+            : static_cast<Scenario>(scenarios::ffT5Small);
+  const std::size_t redDlDepth = smoke ? static_cast<std::size_t>(-1) : 7;
+  const char* redDlName = smoke ? "lock_order" : "ff_t5_small";
+  Measured redDlFull =
+      run(redDlScenario, 1, redDlDepth, false, Reduction::None);
+  Measured redDlDpor =
+      run(redDlScenario, 1, redDlDepth, false, Reduction::Dpor);
+  const bool redSetsEqual = redDlFull.deadlockSigs == redDlDpor.deadlockSigs &&
+                            !redDlFull.deadlockSigs.empty();
+  std::printf("deadlock set (%s): %zu distinct state(s), %s under dpor "
+              "(%llu -> %llu runs)\n",
+              redDlName, redDlFull.deadlockSigs.size(),
+              redSetsEqual ? "preserved" : "CHANGED",
+              static_cast<unsigned long long>(redDlFull.stats.runs),
+              static_cast<unsigned long long>(redDlDpor.stats.runs));
+  ok = ok && redSetsEqual;
+
+  // Wall-clock: DPOR must not be slower than sleep sets on the tree it
+  // reduces ~8x.  Only asserted on hosts with >= 8 hardware threads —
+  // single-core CI boxes timeshare the worker rows and the serial
+  // measurements get too noisy to gate on.
+  if (!smoke && hw >= 8 && serialMsByLevel[2] > serialMsByLevel[1] * 1.25) {
+    std::printf("FAIL: dpor serial %.1fms > 1.25x sleep serial %.1fms\n",
+                serialMsByLevel[2], serialMsByLevel[1]);
+    ok = false;
+  }
+
+  json.field("dpor_vs_sleep_runs_pct", dporVsSleepPct);
+  json.field("sleep_serial_ms", serialMsByLevel[1]);
+  json.field("dpor_serial_ms", serialMsByLevel[2]);
+  json.field("deadlock_scenario", redDlName);
+  json.field("deadlock_states", redDlFull.deadlockSigs.size());
+  json.field("deadlock_sets_equal", redSetsEqual);
+  json.endObject();
+  json.endObject();
 
   if (!json.writeFile("BENCH_explorer.json")) {
     std::printf("FAIL: could not write BENCH_explorer.json\n");

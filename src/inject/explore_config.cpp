@@ -199,7 +199,9 @@ ExploreConfig::Outcome ExploreConfig::explore(const RunObserver& onRun) const {
   Outcome out;
   out.scenario = sc_;
   out.instrumented = metrics_ != nullptr || progress_;
-  out.reductionsEnabled = eo.fingerprintPruning || eo.sleepSets;
+  out.reductionsEnabled =
+      eo.fingerprintPruning ||
+      eo.reduction != sched::ExhaustiveExplorer::Reduction::None;
   const auto t0 = std::chrono::steady_clock::now();
   out.stats = explorer.explore(
       program, [&deadlockSigs, &onRun, capsules](

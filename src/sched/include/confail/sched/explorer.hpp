@@ -10,18 +10,32 @@
 //
 // The tree is explored by `workers` OS threads pulling prefixes from a
 // work-stealing queue; each worker owns its own scheduler replay, so runs
-// proceed fully in parallel.  Two optional reductions cut the tree:
+// proceed fully in parallel.  Queued prefixes are nodes of an immutable
+// parent-pointer tree bump-allocated per worker (see prefix_tree.hpp), so
+// enqueueing a child is O(1) instead of an O(depth) vector copy.
+//
+// Optional reductions cut the tree:
 //
 //   * fingerprintPruning — hash the full execution state (thread statuses,
 //     lock owners, wait sets, shared-variable contents, policy-RNG stream)
 //     at every decision point and branch from a (depth, fingerprint) pair
 //     at most once, JPF-style;
-//   * sleepSets — skip the transposed sibling of two adjacent independent
-//     steps (their footprints touch disjoint state), a one-shot sleep-set
-//     reduction.
+//   * Reduction::Sleep — skip the transposed sibling of two adjacent
+//     independent steps (their footprints touch disjoint state), a one-shot
+//     sleep-set reduction;
+//   * Reduction::Dpor — footprint-driven dynamic partial-order reduction
+//     (source-set backtracking, Flanagan–Godefroid lineage): instead of
+//     enqueueing every untried sibling at every branch point, each executed
+//     run is scanned for races (pairs of dependent steps by different
+//     threads) and only the schedule reversals those races demand are
+//     enqueued, exactly once per decision point via an atomic claim mask on
+//     the shared prefix tree.  Explores at least one representative of
+//     every Mazurkiewicz trace within bounds; failing witnesses are
+//     canonicalized to the lexicographically smallest linearization of
+//     their trace so `firstFailure` matches the one Reduction::None finds.
 //
 // See docs/exploration.md for the design, the determinism guarantees, and
-// the soundness argument for both reductions.
+// the soundness argument for the reductions.
 //
 // This is the mechanism that turns the paper's failure classes from
 // "things that may happen under some JVM scheduler" into properties that
@@ -41,8 +55,25 @@ class Registry;
 
 namespace confail::sched {
 
+/// The lexicographically smallest linearization of a run's Mazurkiewicz
+/// trace (program order + footprint dependence); requires the run to have
+/// been captured with VirtualScheduler::Options::captureState.  Two runs of
+/// the same trace canonicalize identically, so this is a trace-class
+/// identity usable for cross-reduction comparisons; ExhaustiveExplorer uses
+/// it to report DPOR failure witnesses.  Returns the schedule unchanged for
+/// very long runs or when footprints are missing.
+std::vector<ThreadId> canonicalTraceWitness(const RunResult& result);
+
 class ExhaustiveExplorer {
  public:
+  /// Schedule-tree reduction level (orthogonal to fingerprintPruning,
+  /// except that Dpor ignores the fingerprint dedup table — see below).
+  enum class Reduction : std::uint8_t {
+    None,   ///< branch on every untried sibling (full enumeration)
+    Sleep,  ///< one-shot sleep-set skip of transposed independent steps
+    Dpor,   ///< source-set dynamic partial-order reduction
+  };
+
   /// Periodic heartbeat snapshot passed to Options::onProgress.
   struct Progress {
     std::uint64_t runs = 0;        ///< runs claimed so far
@@ -67,23 +98,31 @@ class ExhaustiveExplorer {
     /// Branch from each (depth, state-fingerprint) pair at most once.
     /// Cuts re-exploration of converged interleavings; Stats counters stay
     /// deterministic across worker counts (see docs/exploration.md).
+    /// Ignored under Reduction::Dpor: a state's backtrack set depends on
+    /// the races seen along the path that reached it, so deduping by state
+    /// alone could skip a reversal DPOR still needs.
     bool fingerprintPruning = false;
 
-    /// Skip the transposed sibling of two adjacent independent steps.
-    bool sleepSets = false;
+    /// Which schedule-tree reduction to apply (see Reduction).  Sleep with
+    /// workers == 1 stays byte-identical to the historical sleep-set
+    /// explorer output; Dpor preserves the failure set and the
+    /// lexicographic-min witness but explores far fewer runs.
+    Reduction reduction = Reduction::None;
 
     /// Optional metrics sink.  When set, explore() publishes throughput
     /// (explorer.runs_per_sec), reduction effectiveness
-    /// (explorer.dedup_hit_rate), work-stealing traffic (explorer.steals),
-    /// per-run schedule lengths (explorer.run_steps histogram), per-worker
-    /// run counts and utilization, and the outcome counters.  Recording is
-    /// batched per worker and written once at merge time, so the hot loop
-    /// is untouched; the registry must outlive explore().
+    /// (explorer.dedup_hit_rate, explorer.dpor_backtracks), work-stealing
+    /// traffic (explorer.steals), per-run schedule lengths
+    /// (explorer.run_steps histogram), per-worker run counts and
+    /// utilization, memory pressure (explorer.prefix_arena_bytes,
+    /// explorer.visited_load_factor) and the outcome counters.  Recording
+    /// is batched per worker and written once at merge time, so the hot
+    /// loop is untouched; the registry must outlive explore().
     obs::Registry* metrics = nullptr;
 
     /// Invoke onProgress roughly every this many runs (0 disables).  The
     /// callback fires from whichever worker crosses the boundary, serialized
-    /// with the run callback; keep it cheap.
+    /// under its own mutex (independent of the run callback); keep it cheap.
     std::uint64_t progressIntervalRuns = 0;
     ProgressCallback onProgress;
   };
@@ -101,6 +140,9 @@ class ExhaustiveExplorer {
   /// workers > 1 they arrive from arbitrary worker threads and in a
   /// nondeterministic order; runs already in flight when the callback
   /// returns false still complete (without further callbacks).
+  /// Under Reduction::Dpor, sleep-pruned partial runs (every runnable
+  /// thread asleep — a redundant prefix, not a leaf of the reduced tree)
+  /// consume run budget but are never reported through the callback.
   using RunCallback =
       std::function<bool(const std::vector<ThreadId>& schedule, const RunResult&)>;
 
@@ -114,6 +156,10 @@ class ExhaustiveExplorer {
     std::uint64_t prunedBranches = 0;
     /// Decision points whose (depth, fingerprint) had already been expanded.
     std::uint64_t dedupedStates = 0;
+    /// Reduction::Dpor only: schedule reversals enqueued by the race
+    /// analysis (the entire frontier past the root run, since DPOR queues
+    /// work exclusively through backtracking).
+    std::uint64_t dporBacktracks = 0;
     bool exhausted = false;   ///< true if the whole bounded tree was covered
     bool stoppedByCallback = false;
     /// Lexicographically smallest failing schedule (deadlock / step limit /
@@ -123,7 +169,10 @@ class ExhaustiveExplorer {
     /// traversal order, so it is identical across worker counts whenever
     /// the same set of runs executes (always true on an exhausted tree
     /// with reductions off), and is reported even when the run budget is
-    /// exhausted mid-tree.
+    /// exhausted mid-tree.  Under Reduction::Dpor each failing schedule is
+    /// first canonicalized to the lexicographically smallest linearization
+    /// of its Mazurkiewicz trace, so the witness matches the one
+    /// Reduction::None reports even though DPOR may never execute it.
     std::vector<ThreadId> firstFailure;
     Outcome firstFailureOutcome = Outcome::Completed;
   };

@@ -75,7 +75,7 @@ class PctStrategy final : public Strategy {
 class PrefixReplayStrategy final : public Strategy {
  public:
   explicit PrefixReplayStrategy(std::vector<ThreadId> prefix)
-      : prefix_(std::move(prefix)) {}
+      : own_(std::move(prefix)), data_(own_.data()), len_(own_.size()) {}
 
   /// `avoidAtFirstFree`: at the first decision point past the prefix,
   /// prefer the lowest-id runnable thread OTHER than this one (fall back
@@ -84,12 +84,30 @@ class PrefixReplayStrategy final : public Strategy {
   /// of the child's own spine, so the transposed schedule shows up as a
   /// prunable sibling instead.
   PrefixReplayStrategy(std::vector<ThreadId> prefix, ThreadId avoidAtFirstFree)
-      : prefix_(std::move(prefix)), avoid_(avoidAtFirstFree) {}
+      : own_(std::move(prefix)),
+        data_(own_.data()),
+        len_(own_.size()),
+        avoid_(avoidAtFirstFree) {}
+
+  /// Zero-copy form: replay `prefix[0..len)` without owning it.  The
+  /// explorer materializes each work item's prefix-tree chain into a
+  /// per-worker scratch buffer once and lends it out here; the caller
+  /// keeps the buffer alive and unchanged for the strategy's lifetime.
+  PrefixReplayStrategy(const ThreadId* prefix, std::size_t len,
+                       ThreadId avoidAtFirstFree = events::kNoThread)
+      : data_(prefix), len_(len), avoid_(avoidAtFirstFree) {}
+
+  // data_ points into own_ in the owning constructors; copying would leave
+  // the copy aliasing the original's storage.
+  PrefixReplayStrategy(const PrefixReplayStrategy&) = delete;
+  PrefixReplayStrategy& operator=(const PrefixReplayStrategy&) = delete;
 
   ThreadId pick(const std::vector<ThreadId>& runnable, std::uint64_t step) override;
 
  private:
-  std::vector<ThreadId> prefix_;
+  std::vector<ThreadId> own_;          ///< storage for the owning form
+  const ThreadId* data_ = nullptr;     ///< the prefix actually replayed
+  std::size_t len_ = 0;
   ThreadId avoid_ = events::kNoThread;
 };
 

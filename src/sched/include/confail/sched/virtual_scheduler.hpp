@@ -91,6 +91,11 @@ struct RunResult {
   /// decision point i to i+1, executed by schedule[i]).  Consumed by the
   /// explorer's adjacent-step independence (sleep-set) check.
   std::vector<Footprint> stepFootprints;
+  /// True if the run was cut short because every runnable thread was in
+  /// the DPOR sleep set (see Options::sleepSet): the executed portion is a
+  /// redundant prefix, not a leaf of the reduced tree.  outcome is
+  /// Completed in that case.
+  bool sleepPruned = false;
 
   bool ok() const { return outcome == Outcome::Completed; }
 };
@@ -119,6 +124,24 @@ class VirtualScheduler {
     /// to sched.* counters when it returns.  Published once per run, not
     /// per step; must outlive the scheduler.
     obs::Registry* metrics = nullptr;
+
+    /// DPOR sleep set carried into this run (empty for everyone but the
+    /// explorer's Reduction::Dpor mode).  Each entry names a thread whose
+    /// pending step is already covered by a sibling branch; from decision
+    /// point `sleepFilterFrom` on, sleeping threads are excluded from the
+    /// strategy's pick, and a decision point whose every runnable thread is
+    /// asleep ends the run early with RunResult::sleepPruned set (the whole
+    /// subtree is redundant).  An entry wakes when a step at index >=
+    /// `sleepProcessFrom` is dependent with its footprint (or is the
+    /// sleeping thread itself).  Filtering stops at `sleepFilterTo` (the
+    /// explorer's branch-depth bound): past it no branching happens, so
+    /// picks must match the unreduced explorer's free run for the executed
+    /// leaves to stay comparable.  Requires captureState (footprints drive
+    /// the wake rule).
+    std::vector<SleepEntry> sleepSet;
+    std::size_t sleepProcessFrom = 0;
+    std::size_t sleepFilterFrom = 0;
+    std::size_t sleepFilterTo = static_cast<std::size_t>(-1);
   };
 
   explicit VirtualScheduler(Strategy& strategy) : VirtualScheduler(strategy, Options()) {}

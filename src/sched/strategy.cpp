@@ -68,8 +68,8 @@ ThreadId PctStrategy::pick(const std::vector<ThreadId>& runnable,
 ThreadId PrefixReplayStrategy::pick(const std::vector<ThreadId>& runnable,
                                     std::uint64_t step) {
   CONFAIL_ASSERT(!runnable.empty(), "pick on empty runnable set");
-  if (step < prefix_.size()) {
-    ThreadId want = prefix_[step];
+  if (step < len_) {
+    ThreadId want = data_[step];
     if (!std::binary_search(runnable.begin(), runnable.end(), want)) {
       throw UsageError(
           "schedule replay diverged: thread " + std::to_string(want) +
@@ -77,7 +77,7 @@ ThreadId PrefixReplayStrategy::pick(const std::vector<ThreadId>& runnable,
     }
     return want;
   }
-  if (step == prefix_.size() && avoid_ != events::kNoThread) {
+  if (step == len_ && avoid_ != events::kNoThread) {
     for (ThreadId t : runnable) {
       if (t != avoid_) return t;  // lowest id among the non-avoided
     }

@@ -126,8 +126,24 @@ RunResult VirtualScheduler::run() {
   CONFAIL_CHECK(!onLogicalThread(), UsageError,
                 "run() called from a logical thread");
   RunResult result;
+  // Pre-size the per-step traces so the hot replay loop never reallocates;
+  // cap the hint so a generous step budget (the 200k default) does not
+  // preallocate megabytes for runs that finish in dozens of steps.
+  const std::size_t reserveSteps =
+      static_cast<std::size_t>(std::min<std::uint64_t>(opts_.maxSteps, 4096));
+  result.schedule.reserve(reserveSteps);
+  result.choiceSets.reserve(reserveSteps);
+  if (opts_.captureState) {
+    result.fingerprints.reserve(reserveSteps);
+    result.stepFootprints.reserve(reserveSteps);
+  }
   ThreadId lastPick = events::kNoThread;
   std::uint64_t contextSwitches = 0;
+  // Live DPOR sleep set (see Options::sleepSet); entries are erased as
+  // executed steps wake them.  Empty for every caller but the DPOR
+  // explorer, in which case all the sleep branches below are dead.
+  std::vector<SleepEntry> sleep = opts_.sleepSet;
+  std::vector<ThreadId> awake;  // reused filtered-runnable scratch
 
   for (;;) {
     std::vector<ThreadId> runnable = runnableSet();
@@ -169,9 +185,35 @@ RunResult VirtualScheduler::run() {
       break;
     }
 
+    // Sleep filtering: from sleepFilterFrom on, the strategy only sees
+    // threads that are not asleep.  An all-asleep decision point means
+    // every continuation from here is covered by a sibling branch — stop
+    // the run; the explorer treats it as a pruned (non-leaf) execution.
+    const std::vector<ThreadId>* pickable = &runnable;
+    if (!sleep.empty() && result.steps >= opts_.sleepFilterFrom &&
+        result.steps < opts_.sleepFilterTo) {
+      awake.clear();
+      for (ThreadId t : runnable) {
+        bool asleep = false;
+        for (const SleepEntry& e : sleep) {
+          if (e.tid == t) {
+            asleep = true;
+            break;
+          }
+        }
+        if (!asleep) awake.push_back(t);
+      }
+      if (awake.empty()) {
+        result.outcome = Outcome::Completed;
+        result.sleepPruned = true;
+        break;
+      }
+      pickable = &awake;
+    }
+
     ThreadId pick;
     try {
-      pick = strategy_.pick(runnable, result.steps);
+      pick = strategy_.pick(*pickable, result.steps);
     } catch (const Error& e) {
       result.outcome = Outcome::Exception;
       result.errorMessage = e.what();
@@ -196,6 +238,19 @@ RunResult VirtualScheduler::run() {
     rec.sem.release();
     controllerSem_.acquire();
     if (opts_.captureState) result.stepFootprints.push_back(stepFootprint_);
+
+    // Wake sleeping threads whose covered reordering just became
+    // observable: an executed step dependent with the entry's footprint
+    // (or the entry's own thread being scheduled) invalidates it.
+    if (!sleep.empty() && opts_.captureState &&
+        result.steps - 1 >= opts_.sleepProcessFrom) {
+      const Footprint& executed = result.stepFootprints.back();
+      for (std::size_t k = sleep.size(); k-- > 0;) {
+        if (sleep[k].tid == pick || sleep[k].fp.dependentWith(executed)) {
+          sleep.erase(sleep.begin() + static_cast<std::ptrdiff_t>(k));
+        }
+      }
+    }
 
     if (rec.state == ThreadState::Finished && rec.error) {
       result.outcome = Outcome::Exception;

@@ -188,7 +188,7 @@ TEST(ParallelExplorer, SleepSetsPruneCommutingSiblings) {
   EXPECT_EQ(plain.stats.completed, plain.stats.runs);
 
   sched::ExhaustiveExplorer::Options sleepOpts;
-  sleepOpts.sleepSets = true;
+  sleepOpts.reduction = sched::ExhaustiveExplorer::Reduction::Sleep;
   Exploration sleepy = explore(scenarios::disjointCounters, sleepOpts);
   ASSERT_TRUE(sleepy.stats.exhausted);
   EXPECT_EQ(sleepy.stats.deadlocks, 0u);
@@ -207,7 +207,7 @@ TEST(ParallelExplorer, SleepSetsPreserveDeadlockSet) {
   Exploration plain = explore(scenarios::lockOrder, plainOpts);
 
   sched::ExhaustiveExplorer::Options sleepOpts;
-  sleepOpts.sleepSets = true;
+  sleepOpts.reduction = sched::ExhaustiveExplorer::Reduction::Sleep;
   Exploration sleepy = explore(scenarios::lockOrder, sleepOpts);
   ASSERT_TRUE(sleepy.stats.exhausted);
 

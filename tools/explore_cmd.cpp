@@ -27,11 +27,13 @@ namespace {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s --scenario <name> [--workers N] "
-               "[--prune] [--sleep-sets]\n"
-               "               [--max-runs N] [--max-depth N] "
+               "[--prune] [--reduction none|sleep|dpor]\n"
+               "               [--sleep-sets] [--max-runs N] [--max-depth N] "
                "[--max-steps N] [--json]\n"
                "               [--metrics-out FILE] "
-               "[--chrome-trace FILE] [--progress]\n\nscenarios:\n",
+               "[--chrome-trace FILE] [--progress]\n\n"
+               "--sleep-sets is shorthand for --reduction sleep.\n\n"
+               "scenarios:\n",
                prog);
   for (const scenarios::NamedScenario& s : scenarios::registry()) {
     std::fprintf(stderr, "  %-12s %s\n", s.name, s.blurb);
@@ -82,7 +84,27 @@ int cmdExplore(const char* prog, int argc, char** argv) {
       } else if (arg == "--prune") {
         eo.fingerprintPruning = true;
       } else if (arg == "--sleep-sets") {
-        eo.sleepSets = true;
+        eo.reduction = sched::ExhaustiveExplorer::Reduction::Sleep;
+      } else if (arg == "--reduction" || arg.rfind("--reduction=", 0) == 0) {
+        std::string v;
+        if (arg == "--reduction") {
+          const char* n = next();
+          if (n == nullptr) return usage(prog);
+          v = n;
+        } else {
+          v = arg.substr(std::strlen("--reduction="));
+        }
+        if (v == "none") {
+          eo.reduction = sched::ExhaustiveExplorer::Reduction::None;
+        } else if (v == "sleep") {
+          eo.reduction = sched::ExhaustiveExplorer::Reduction::Sleep;
+        } else if (v == "dpor") {
+          eo.reduction = sched::ExhaustiveExplorer::Reduction::Dpor;
+        } else {
+          std::fprintf(stderr, "%s: unknown reduction '%s'\n", prog,
+                       v.c_str());
+          return usage(prog);
+        }
       } else if (arg == "--json") {
         json = true;
       } else if (arg == "--metrics-out") {
