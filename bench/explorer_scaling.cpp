@@ -25,6 +25,16 @@
 //      scenario.  This section runs full-size even under --smoke: the
 //      whole ladder is ~5k runs.
 //
+//   4. Incremental vs replay — with DPOR collapsing the run count, per-run
+//      cost is dominated by prefix replay; copy-on-write branch snapshots
+//      (Options::incremental) must deliver >= 2x runs/sec on the FF-T5
+//      tree at branch depth 8 with identical observables.  Asserted in
+//      full mode on fiber-capable hosts only.
+//
+// Speedup rows are only committed when the host has at least as many
+// hardware threads as the row has workers; otherwise the row carries an
+// explicit "skipped_reason" instead of a timesharing artifact.
+//
 // `--smoke` shrinks the scaling/pruning trees so the whole binary finishes
 // in a couple of seconds; the bench_smoke ctest entry runs that mode.
 #include <chrono>
@@ -38,6 +48,7 @@
 #include "bench_json.hpp"
 #include "confail/components/scenarios.hpp"
 #include "confail/sched/explorer.hpp"
+#include "confail/sched/virtual_scheduler.hpp"
 
 namespace sched = confail::sched;
 namespace scenarios = confail::components::scenarios;
@@ -65,7 +76,8 @@ struct Measured {
 using Reduction = sched::ExhaustiveExplorer::Reduction;
 
 Measured run(Scenario scenario, std::size_t workers, std::size_t branchDepth,
-             bool prune, Reduction reduction = Reduction::None) {
+             bool prune, Reduction reduction = Reduction::None,
+             bool incremental = true) {
   sched::ExhaustiveExplorer::Options eo;
   eo.maxRuns = 2000000;
   eo.maxSteps = 20000;
@@ -73,6 +85,7 @@ Measured run(Scenario scenario, std::size_t workers, std::size_t branchDepth,
   eo.workers = workers;
   eo.fingerprintPruning = prune;
   eo.reduction = reduction;
+  eo.incremental = incremental;
   sched::ExhaustiveExplorer explorer(eo);
   Measured m;
   const auto t0 = std::chrono::steady_clock::now();
@@ -142,17 +155,36 @@ int main(int argc, char** argv) {
     }
     ok = ok && m.stats.exhausted && m.stats.runs == serialRuns;
     const double rps = m.ms > 0.0 ? 1000.0 * static_cast<double>(m.stats.runs) / m.ms : 0.0;
+    // A speedup number is only meaningful when the host can actually run
+    // the workers in parallel; on smaller machines the rows timeshare one
+    // another and a "0.84x speedup" is measurement noise dressed up as a
+    // result.  Such rows record an explicit skip reason instead.
+    const bool speedupMeaningful = hw >= workers;
     const double speedup = m.ms > 0.0 ? serialMs / m.ms : 0.0;
     if (workers == 8) speedupAt8 = speedup;
-    std::printf("%8zu %10llu %10.1f %12.1f %9.2fx\n", workers,
-                static_cast<unsigned long long>(m.stats.runs), m.ms, rps,
-                speedup);
+    if (speedupMeaningful) {
+      std::printf("%8zu %10llu %10.1f %12.1f %9.2fx\n", workers,
+                  static_cast<unsigned long long>(m.stats.runs), m.ms, rps,
+                  speedup);
+    } else {
+      std::printf("%8zu %10llu %10.1f %12.1f %10s\n", workers,
+                  static_cast<unsigned long long>(m.stats.runs), m.ms, rps,
+                  "(skipped)");
+    }
     json.beginObject();
     json.field("workers", workers);
+    json.field("hardware_concurrency", static_cast<std::uint64_t>(hw));
     json.field("runs", m.stats.runs);
     json.field("ms", m.ms);
     json.field("runs_per_sec", rps);
-    json.field("speedup_vs_serial", speedup);
+    if (speedupMeaningful) {
+      json.field("speedup_vs_serial", speedup);
+    } else {
+      json.field("skipped_reason",
+                 "host has " + std::to_string(hw) +
+                     " hardware threads < " + std::to_string(workers) +
+                     " workers: speedup would be timesharing noise");
+    }
     json.endObject();
   }
   json.endArray();
@@ -323,7 +355,75 @@ int main(int argc, char** argv) {
   json.field("deadlock_states", redDlFull.deadlockSigs.size());
   json.field("deadlock_sets_equal", redSetsEqual);
   json.endObject();
+
+  // ---- 4. incremental vs replay -------------------------------------------
+  // The replay-bound configuration: DPOR has already collapsed the run
+  // count, so per-run cost is dominated by re-executing each branch's
+  // prefix from the root — exactly what copy-on-write checkpoints remove.
+  // Serial rows (workers=1) so the comparison is replay cost, not
+  // timesharing.  Full mode gates >= 2x runs/sec at branch depth 8; smoke
+  // keeps the tree small and reports without asserting.
+  const std::size_t incDepth = smoke ? 6 : 8;
+  Measured incReplay = run(scenarios::ffT5Small, 1, incDepth, false,
+                           Reduction::Dpor, /*incremental=*/false);
+  Measured incInc = run(scenarios::ffT5Small, 1, incDepth, false,
+                        Reduction::Dpor, /*incremental=*/true);
+  const double replayRps = incReplay.ms > 0.0
+      ? 1000.0 * static_cast<double>(incReplay.stats.runs) / incReplay.ms
+      : 0.0;
+  const double incRps = incInc.ms > 0.0
+      ? 1000.0 * static_cast<double>(incInc.stats.runs) / incInc.ms
+      : 0.0;
+  const double incSpeedup = replayRps > 0.0 ? incRps / replayRps : 0.0;
+  std::printf("\nincremental vs replay (ff_t5_small, dpor, depth %zu):\n",
+              incDepth);
+  std::printf("  replay:      %llu runs in %.1fms (%.1f runs/sec)\n",
+              static_cast<unsigned long long>(incReplay.stats.runs),
+              incReplay.ms, replayRps);
+  std::printf("  incremental: %llu runs in %.1fms (%.1f runs/sec, %.2fx), "
+              "%llu replay steps avoided, %llu restores, peak %zu snapshot "
+              "bytes\n",
+              static_cast<unsigned long long>(incInc.stats.runs), incInc.ms,
+              incRps, incSpeedup,
+              static_cast<unsigned long long>(incInc.stats.replayStepsAvoided),
+              static_cast<unsigned long long>(incInc.stats.snapshotRestores),
+              incInc.stats.snapshotPeakBytes);
+
+  json.key("incremental_vs_replay");
+  json.beginObject();
+  json.field("scenario", "ff_t5_small");
+  json.field("reduction", "dpor");
+  json.field("branch_depth", incDepth);
+  json.field("workers", std::size_t{1});
+  json.field("runs", incInc.stats.runs);
+  json.field("replay_ms", incReplay.ms);
+  json.field("incremental_ms", incInc.ms);
+  json.field("replay_runs_per_sec", replayRps);
+  json.field("incremental_runs_per_sec", incRps);
+  json.field("speedup", incSpeedup);
+  json.field("replay_steps_avoided", incInc.stats.replayStepsAvoided);
+  json.field("snapshot_restores", incInc.stats.snapshotRestores);
+  json.field("snapshot_peak_bytes", incInc.stats.snapshotPeakBytes);
+  const bool gateIncremental = !smoke && sched::fibersSupported();
+  if (!gateIncremental) {
+    json.field("skipped_reason",
+               smoke ? std::string("smoke mode: tree too small to gate")
+                     : std::string("no fiber support: incremental degrades "
+                                   "to replay by design"));
+  }
   json.endObject();
+  json.endObject();
+
+  // Identical observables is a hard invariant in every mode; the speedup
+  // bar only gates where the mechanism can actually engage.
+  ok = ok && incReplay.stats.exhausted && incInc.stats.exhausted &&
+       incInc.stats.runs == incReplay.stats.runs &&
+       incInc.deadlockSigs == incReplay.deadlockSigs;
+  if (gateIncremental && incSpeedup < 2.0) {
+    std::printf("FAIL: incremental %.2fx < 2x replay runs/sec at depth %zu\n",
+                incSpeedup, incDepth);
+    ok = false;
+  }
 
   if (!json.writeFile("BENCH_explorer.json")) {
     std::printf("FAIL: could not write BENCH_explorer.json\n");

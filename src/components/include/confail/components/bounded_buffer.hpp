@@ -12,6 +12,7 @@
 #include "confail/monitor/monitor.hpp"
 #include "confail/monitor/runtime.hpp"
 #include "confail/monitor/shared_var.hpp"
+#include "confail/monitor/snapshot_cell.hpp"
 
 namespace confail::components {
 
@@ -36,6 +37,7 @@ class BoundedBuffer {
         f_(faults),
         capacity_(capacity),
         mon_(rt, name),
+        items_(rt, {}),
         size_(rt, name + ".size", 0),
         mPut_(rt.registerMethod(name + ".put")),
         mTake_(rt.registerMethod(name + ".take")) {}
@@ -50,7 +52,7 @@ class BoundedBuffer {
     monitor::Synchronized sync(mon_);
     if (f_.dropWhenFull) {
       if (size_.get() == static_cast<int>(capacity_)) {
-        items_.pop_front();
+        items_.mut().pop_front();
         size_.set(size_.get() - 1);
       }
     } else if (f_.ifInsteadOfWhile) {
@@ -65,7 +67,7 @@ class BoundedBuffer {
         mon_.wait();
       }
     }
-    items_.push_back(std::move(item));
+    items_.mut().push_back(std::move(item));
     size_.set(size_.get() + 1);
     if (f_.notifyOneOnly) mon_.notifyOne(); else mon_.notifyAll();
   }
@@ -88,10 +90,10 @@ class BoundedBuffer {
     }
     // An if-guard mutant can reach this point with an empty deque after a
     // premature wake; surface it as a typed error rather than UB.
-    CONFAIL_CHECK(!items_.empty(), confail::Error,
+    CONFAIL_CHECK(!items_.get().empty(), confail::Error,
                   "take() proceeded on an empty buffer (premature wake)");
-    T item = std::move(items_.front());
-    items_.pop_front();
+    T item = std::move(items_.mut().front());
+    items_.mut().pop_front();
     size_.set(size_.get() - 1);
     if (!f_.skipNotifyOnTake) {
       if (f_.notifyOneOnly) mon_.notifyOne(); else mon_.notifyAll();
@@ -127,7 +129,7 @@ class BoundedBuffer {
   Faults f_;
   std::size_t capacity_;
   monitor::Monitor mon_;
-  std::deque<T> items_;  // guarded by mon_
+  monitor::SnapshotCell<std::deque<T>> items_;  // guarded by mon_
   monitor::SharedVar<int> size_;
   events::MethodId mPut_;
   events::MethodId mTake_;

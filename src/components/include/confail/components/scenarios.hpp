@@ -79,6 +79,10 @@ inline void boundedBufferScenario(confail::sched::VirtualScheduler& s,
           buf(prime(rt, i.metrics), "buf", 1, f) {}
   };
   if (ins.trace != nullptr) ins.trace->clear();
+  // Every piece of mutable state in this scenario implements the snapshot
+  // protocol (Runtime, Monitor, SharedVar, the buffer's SnapshotCell), so
+  // the explorer may use checkpoint/restore instead of prefix replay.
+  s.declareSnapshotSafe();
   auto st = std::make_shared<State>(s, faults, ins);
   for (int p = 0; p < 2; ++p) {
     st->rt.spawn("p" + std::to_string(p), [st, itemsPerThread] {
@@ -149,6 +153,7 @@ inline void lockOrder(confail::sched::VirtualScheduler& s,
           b(rt, "B") {}
   };
   if (ins.trace != nullptr) ins.trace->clear();
+  s.declareSnapshotSafe();  // Runtime + two Monitors: all snapshot sources
   auto st = std::make_shared<State>(s, ins);
   st->rt.spawn("t0", [st] {
     monitor::Synchronized ga(st->a);
@@ -180,6 +185,7 @@ inline void disjointCounters(confail::sched::VirtualScheduler& s,
           b(rt, "b", 0) {}
   };
   if (ins.trace != nullptr) ins.trace->clear();
+  s.declareSnapshotSafe();  // Runtime + two SharedVar<int>: all sources
   auto st = std::make_shared<State>(s, ins);
   st->rt.spawn("ta", [st] {
     for (int i = 0; i < 2; ++i) st->a.set(st->a.get() + 1);

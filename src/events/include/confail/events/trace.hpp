@@ -73,6 +73,21 @@ class Trace {
   /// Drop all recorded events (name tables are kept).
   void clear();
 
+  /// Keep only the first `n` events, rewinding the sequence counter so the
+  /// next record() continues from seq n.  Used by incremental exploration
+  /// to roll the trace back to a checkpoint; requires the append-only
+  /// invariant (seq == index) that record() maintains.
+  void truncate(std::size_t n);
+
+  /// Replace the event log with a checkpointed image, rewinding the
+  /// sequence counter to continue after it.  Unlike truncate(), this is
+  /// valid when runs restore checkpoints in arbitrary (non-stack) order:
+  /// after a sibling run rewound shallower and appended its own events,
+  /// the first n slots no longer hold the checkpoint's prefix, so the
+  /// content itself must be restored.  Sinks are not replayed (they are a
+  /// real-mode facility; virtual-mode analyses read the finished trace).
+  void restore(const std::vector<Event>& events);
+
   /// Serialize to the line format of Event::toString, one event per line,
   /// preceded by name-table lines.  Round-trips through deserialize().
   std::string serialize() const;

@@ -109,6 +109,18 @@ void Trace::clear() {
   nextSeq_ = 0;
 }
 
+void Trace::truncate(std::size_t n) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (events_.size() > n) events_.resize(n);
+  nextSeq_ = events_.size();
+}
+
+void Trace::restore(const std::vector<Event>& events) {
+  std::lock_guard<std::mutex> g(mu_);
+  events_ = events;
+  nextSeq_ = events_.size();
+}
+
 std::string Trace::serialize() const {
   std::lock_guard<std::mutex> g(mu_);
   std::ostringstream os;

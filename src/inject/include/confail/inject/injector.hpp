@@ -23,11 +23,13 @@
 #include "confail/monitor/injection_hooks.hpp"
 #include "confail/monitor/runtime.hpp"
 #include "confail/sched/fingerprint.hpp"
+#include "confail/sched/snapshot.hpp"
 
 namespace confail::inject {
 
 class Injector final : public monitor::InjectionHooks,
-                       public sched::FingerprintSource {
+                       public sched::FingerprintSource,
+                       public sched::SnapshotSource {
  public:
   /// Attaches to `rt` (virtual mode only) and registers with its scheduler.
   /// Throws UsageError if the plan's class is not injectable or the runtime
@@ -45,6 +47,9 @@ class Injector final : public monitor::InjectionHooks,
 
   std::uint64_t stateFingerprint() const override;
 
+  /// Snapshot payload size: counters plus the pending-unlock ledger.
+  std::size_t snapshotBytes() const override;
+
   // ---- InjectionHooks ------------------------------------------------------
   LockAction onLock(events::MonitorId m, events::ThreadId t) override;
   bool onElidedUnlock(events::MonitorId m, events::ThreadId t) override;
@@ -59,6 +64,11 @@ class Injector final : public monitor::InjectionHooks,
                            std::size_t waitSetSize) override;
 
  private:
+  // Snapshot protocol: occasion/applied counters and the pending-unlock
+  // ledger — exactly the state hashed by stateFingerprint().
+  std::shared_ptr<const void> saveState() const override;
+  void restoreState(const std::shared_ptr<const void>& payload) override;
+
   bool siteMatches(events::MonitorId m) const;
   bool victimMatches(events::ThreadId t) const;
   /// Count one applicable occasion and decide whether it deviates.

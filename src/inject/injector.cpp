@@ -19,11 +19,43 @@ Injector::Injector(monitor::Runtime& rt, const InjectionPlan& plan)
   }
   rt_.setInjection(this);
   rt_.scheduler().addFingerprintSource(this);
+  rt_.scheduler().addSnapshotSource(this);
 }
 
 Injector::~Injector() {
+  rt_.scheduler().removeSnapshotSource(this);
   rt_.scheduler().removeFingerprintSource(this);
   rt_.setInjection(nullptr);
+}
+
+namespace {
+struct InjectorSnap {
+  std::uint64_t occasions;
+  std::uint64_t applied;
+  std::map<std::pair<events::MonitorId, events::ThreadId>, std::uint32_t>
+      pendingUnlocks;
+};
+}  // namespace
+
+std::shared_ptr<const void> Injector::saveState() const {
+  return std::make_shared<InjectorSnap>(
+      InjectorSnap{occasions_, applied_, pendingUnlocks_});
+}
+
+void Injector::restoreState(const std::shared_ptr<const void>& payload) {
+  const InjectorSnap& snap = *static_cast<const InjectorSnap*>(payload.get());
+  occasions_ = snap.occasions;
+  applied_ = snap.applied;
+  pendingUnlocks_ = snap.pendingUnlocks;
+}
+
+std::size_t Injector::snapshotBytes() const {
+  return sizeof(InjectorSnap) +
+         pendingUnlocks_.size() *
+             (sizeof(std::pair<const std::pair<events::MonitorId,
+                                               events::ThreadId>,
+                               std::uint32_t>) +
+              4 * sizeof(void*));  // rb-tree node overhead estimate
 }
 
 std::uint64_t Injector::stateFingerprint() const {
@@ -47,6 +79,10 @@ bool Injector::victimMatches(events::ThreadId t) const {
 }
 
 void Injector::noteMutation() {
+  // Every mutation of injector state (fire()'s counters, the pending-unlock
+  // ledger) calls this within the same scheduler step as the mutation, so
+  // one version bump here keeps snapshot payloads coherent.
+  snapshotBump();
   rt_.scheduler().noteAccess(sched::fpTag('j', 0), /*isWrite=*/true);
 }
 

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "confail/monitor/runtime.hpp"
+#include "confail/sched/snapshot.hpp"
 
 namespace confail::obs {
 class Counter;
@@ -55,7 +56,7 @@ enum class SelectPolicy : std::uint8_t {
 
 const char* selectPolicyName(SelectPolicy p);
 
-class Monitor : public sched::FingerprintSource {
+class Monitor : public sched::FingerprintSource, public sched::SnapshotSource {
  public:
   struct Options {
     SelectPolicy grantPolicy = SelectPolicy::Fifo;  ///< entry-queue choice
@@ -74,6 +75,9 @@ class Monitor : public sched::FingerprintSource {
   /// the exact order of the entry queue and wait set — queue order is
   /// observable state under Fifo/Lifo policies.
   std::uint64_t stateFingerprint() const override;
+
+  /// Snapshot payload size (virtual mode): the VirtualState copy.
+  std::size_t snapshotBytes() const override;
 
   /// Enter the monitor (Figure 1: T1, then T2 once the lock is granted).
   /// Reentrant: a thread already owning the lock increments the depth.
@@ -112,6 +116,10 @@ class Monitor : public sched::FingerprintSource {
  private:
   struct VirtualState;
   struct RealState;
+
+  // Snapshot protocol (virtual mode): a deep copy of VirtualState.
+  std::shared_ptr<const void> saveState() const override;
+  void restoreState(const std::shared_ptr<const void>& payload) override;
 
   // Virtual-mode helpers (defined in monitor.cpp).
   void vLock(ThreadId self);

@@ -38,7 +38,7 @@ using events::MonitorId;
 using events::ThreadId;
 using events::VarId;
 
-class Runtime : public sched::FingerprintSource {
+class Runtime : public sched::FingerprintSource, public sched::SnapshotSource {
  public:
   enum class Mode { Real, Virtual };
 
@@ -57,6 +57,9 @@ class Runtime : public sched::FingerprintSource {
   /// position and the id-registration counters.  Two runs in equal states
   /// must have consumed the same policy draws, or their futures diverge.
   std::uint64_t stateFingerprint() const override;
+
+  /// Snapshot payload size (virtual mode): RNG + counters + method stacks.
+  std::size_t snapshotBytes() const override;
 
   Mode mode() const { return mode_; }
   bool isVirtual() const { return mode_ == Mode::Virtual; }
@@ -138,6 +141,13 @@ class Runtime : public sched::FingerprintSource {
   bool rngChance(double p);
 
  private:
+  // Snapshot protocol (virtual mode): policy-RNG stream, id counters, the
+  // per-thread method stacks, and the trace length (restore truncates the
+  // trace back to the checkpointed prefix).  Saves run on the controller
+  // thread with every logical thread suspended, so no locking is needed.
+  std::shared_ptr<const void> saveState() const override;
+  void restoreState(const std::shared_ptr<const void>& payload) override;
+
   ThreadId allocateThread(const std::string& name);
   /// Map an emitted event onto the current step's footprint (virtual mode).
   void noteFootprint(EventKind kind, MonitorId monitorId, std::uint64_t aux);

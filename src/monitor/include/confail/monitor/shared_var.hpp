@@ -18,22 +18,40 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 #include "confail/monitor/runtime.hpp"
+#include "confail/sched/snapshot.hpp"
 
 namespace confail::monitor {
 
 template <typename T>
-class SharedVar : public sched::FingerprintSource {
+class SharedVar : public sched::FingerprintSource, public sched::SnapshotSource {
+  // Snapshot support requires a copyable value; a SharedVar over a
+  // move-only T poisons the scheduler's snapshot safety instead, forcing
+  // the explorer onto the prefix-replay path for that program.
+  static constexpr bool kSnapshottable =
+      std::is_copy_constructible_v<T> && std::is_copy_assignable_v<T>;
+
  public:
   SharedVar(Runtime& rt, const std::string& name, T init)
       : rt_(rt), id_(rt.registerVar(name)), value_(std::move(init)) {
-    if (rt_.isVirtual()) rt_.scheduler().addFingerprintSource(this);
+    if (rt_.isVirtual()) {
+      rt_.scheduler().addFingerprintSource(this);
+      if constexpr (kSnapshottable) {
+        rt_.scheduler().addSnapshotSource(this);
+      } else {
+        rt_.scheduler().poisonSnapshotSafety();
+      }
+    }
   }
 
   ~SharedVar() override {
-    if (rt_.isVirtual()) rt_.scheduler().removeFingerprintSource(this);
+    if (rt_.isVirtual()) {
+      if constexpr (kSnapshottable) rt_.scheduler().removeSnapshotSource(this);
+      rt_.scheduler().removeFingerprintSource(this);
+    }
   }
 
   SharedVar(const SharedVar&) = delete;
@@ -67,6 +85,7 @@ class SharedVar : public sched::FingerprintSource {
     rt_.schedulePoint();
     rt_.emit(EventKind::Write, events::kNoMonitor, id_);
     std::lock_guard<std::mutex> g(mu_);
+    snapshotBump();
     value_ = std::move(v);
     if constexpr (requires(const T& t) { std::hash<T>{}(t); }) {
       // stateFingerprint() hashes the value directly.
@@ -85,7 +104,33 @@ class SharedVar : public sched::FingerprintSource {
 
   VarId id() const { return id_; }
 
+  /// Snapshot payload size: the value plus the history hash.
+  std::size_t snapshotBytes() const override { return sizeof(Snap); }
+
  private:
+  struct Snap {
+    T value;
+    std::uint64_t historyHash;
+  };
+
+  std::shared_ptr<const void> saveState() const override {
+    if constexpr (kSnapshottable) {
+      std::lock_guard<std::mutex> g(mu_);
+      return std::make_shared<Snap>(Snap{value_, historyHash_});
+    } else {
+      return nullptr;  // unreachable: non-copyable vars never register
+    }
+  }
+
+  void restoreState(const std::shared_ptr<const void>& payload) override {
+    if constexpr (kSnapshottable) {
+      const Snap& s = *static_cast<const Snap*>(payload.get());
+      std::lock_guard<std::mutex> g(mu_);
+      value_ = s.value;
+      historyHash_ = s.historyHash;
+    }
+  }
+
   Runtime& rt_;
   VarId id_;
   mutable std::mutex mu_;

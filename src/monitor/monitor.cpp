@@ -70,6 +70,7 @@ Monitor::Monitor(Runtime& rt, std::string name, Options opts)
   if (rt_.isVirtual()) {
     v_ = std::make_unique<VirtualState>();
     rt_.scheduler().addFingerprintSource(this);
+    rt_.scheduler().addSnapshotSource(this);
   } else {
     r_ = std::make_unique<RealState>();
   }
@@ -81,7 +82,25 @@ Monitor::Monitor(Runtime& rt, std::string name, Options opts)
 }
 
 Monitor::~Monitor() {
-  if (v_) rt_.scheduler().removeFingerprintSource(this);
+  if (v_) {
+    rt_.scheduler().removeSnapshotSource(this);
+    rt_.scheduler().removeFingerprintSource(this);
+  }
+}
+
+std::shared_ptr<const void> Monitor::saveState() const {
+  return std::make_shared<VirtualState>(*v_);
+}
+
+void Monitor::restoreState(const std::shared_ptr<const void>& payload) {
+  *v_ = *static_cast<const VirtualState*>(payload.get());
+}
+
+std::size_t Monitor::snapshotBytes() const {
+  if (!v_) return 0;
+  return sizeof(VirtualState) +
+         v_->entry.capacity() * sizeof(VirtualState::Entry) +
+         v_->waiters.capacity() * sizeof(VirtualState::Waiter);
 }
 
 std::uint64_t Monitor::stateFingerprint() const {
@@ -147,6 +166,7 @@ void Monitor::vLock(ThreadId self) {
   if (v.owner == self) {
     // Reentrant entry: the object lock is already held; the Figure-1 model
     // (single lock token) fires nothing.
+    snapshotBump();
     ++v.depth;
     return;
   }
@@ -186,11 +206,13 @@ void Monitor::vLock(ThreadId self) {
   rt_.emit(EventKind::LockRequest, id_, 0);  // T1
   if (v.owner == kNoThread) {
     CONFAIL_ASSERT(v.entry.empty(), "lock idle but entry queue non-empty");
+    snapshotBump();
     v.owner = self;
     v.depth = 1;
     rt_.emit(EventKind::LockAcquire, id_, 0);  // T2 (uncontended)
   } else {
     if (contentionCounter_ != nullptr) contentionCounter_->inc();
+    snapshotBump();
     v.entry.push_back(VirtualState::Entry{self, 1});
     rt_.scheduler().block(sched::BlockKind::LockAcquire, id_);
     // vGrantNext() transferred ownership to us (and emitted T2) before the
@@ -202,6 +224,7 @@ void Monitor::vLock(ThreadId self) {
     // its critical section unprotected and its eventual unlock() is
     // swallowed via onElidedUnlock().
     rt_.emit(EventKind::LockRelease, id_, 0);
+    snapshotBump();
     v.owner = kNoThread;
     v.depth = 0;
     vGrantNext();
@@ -215,6 +238,7 @@ void Monitor::vUnlock(ThreadId self) {
     // may already have finished, so no events are emitted and no handoff is
     // attempted.  Just drop ownership if we held it.
     if (v.owner == self) {
+      snapshotBump();
       v.owner = kNoThread;
       v.depth = 0;
     }
@@ -227,6 +251,7 @@ void Monitor::vUnlock(ThreadId self) {
                               "' by a thread that does not own it");
   }
   if (v.depth > 1) {
+    snapshotBump();
     --v.depth;  // inner exit of a reentrant region: lock stays held
     return;
   }
@@ -237,6 +262,7 @@ void Monitor::vUnlock(ThreadId self) {
     return;
   }
   rt_.emit(EventKind::LockRelease, id_, 0);  // T4
+  snapshotBump();
   v.owner = kNoThread;
   v.depth = 0;
   vInjectSpuriousWakes();
@@ -258,6 +284,7 @@ void Monitor::vGrantNext() {
   } else {
     idx = vSelect(v.entry.size(), opts_.grantPolicy);
   }
+  snapshotBump();
   VirtualState::Entry e = v.entry[idx];
   v.entry.erase(v.entry.begin() + static_cast<std::ptrdiff_t>(idx));
   v.owner = e.tid;
@@ -280,6 +307,7 @@ void Monitor::vWait(ThreadId self) {
   const std::uint32_t saved = v.depth;
   if (waitCounter_ != nullptr) waitCounter_->inc();
   rt_.emit(EventKind::WaitBegin, id_, 0);  // T3 (releases the lock)
+  snapshotBump();
   v.waiters.push_back(VirtualState::Waiter{self, saved});
   v.owner = kNoThread;
   v.depth = 0;
@@ -304,6 +332,7 @@ void Monitor::vNotify(ThreadId self, bool all) {
   rt_.emit(all ? EventKind::NotifyAllCall : EventKind::NotifyCall, id_,
            v.waiters.size());
   std::size_t count = all ? v.waiters.size() : std::min<std::size_t>(1, v.waiters.size());
+  if (count > 0) snapshotBump();
   for (std::size_t i = 0; i < count; ++i) {
     std::size_t idx = vSelect(v.waiters.size(), opts_.wakePolicy);
     VirtualState::Waiter w = v.waiters[idx];
@@ -322,6 +351,7 @@ void Monitor::vInjectHookWake(InjectionHooks& hooks) {
   if (w == InjectionHooks::WakeInjection::None) return;
   // Wake the oldest waiter (a fixed choice keeps the deviation
   // deterministic independent of the wake policy's RNG stream).
+  snapshotBump();
   VirtualState::Waiter waiter = v.waiters.front();
   v.waiters.erase(v.waiters.begin());
   v.entry.push_back(VirtualState::Entry{waiter.tid, waiter.savedDepth});
@@ -339,6 +369,7 @@ void Monitor::vInjectSpuriousWakes() {
   if (opts_.spuriousWakeProbability <= 0.0 || v.waiters.empty()) return;
   for (std::size_t i = v.waiters.size(); i-- > 0;) {
     if (!rt_.rngChance(opts_.spuriousWakeProbability)) continue;
+    snapshotBump();
     VirtualState::Waiter w = v.waiters[i];
     v.waiters.erase(v.waiters.begin() + static_cast<std::ptrdiff_t>(i));
     v.entry.push_back(VirtualState::Entry{w.tid, w.savedDepth});

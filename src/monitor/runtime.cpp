@@ -11,20 +11,66 @@ struct RealTls {
   ThreadId id = events::kNoThread;
 };
 thread_local RealTls realTls;
+
+// Snapshot payload for Runtime (virtual mode).  The trace image is stored
+// by value, not as a length to truncate to: checkpoints are restored in
+// arbitrary order (a cache, not a stack), so after a sibling run rewound to
+// a shallower point and appended its own events, the trace's first k slots
+// no longer hold this checkpoint's prefix — only the captured content does.
+struct RuntimeSnap {
+  Xoshiro256 rng;
+  std::uint32_t nextMonitorId;
+  std::uint32_t nextVarId;
+  std::uint32_t nextMethodId;
+  std::uint32_t nextThreadId;
+  std::vector<std::vector<MethodId>> methodStacks;
+  std::vector<events::Event> traceImage;
+};
 }  // namespace
 
 Runtime::Runtime(events::Trace& trace, sched::VirtualScheduler& sched,
                  std::uint64_t seed)
     : mode_(Mode::Virtual), trace_(trace), sched_(&sched), rng_(seed) {
   sched_->addFingerprintSource(this);
+  sched_->addSnapshotSource(this);
 }
 
 Runtime::Runtime(events::Trace& trace, std::uint64_t seed)
     : mode_(Mode::Real), trace_(trace), rng_(seed) {}
 
 Runtime::~Runtime() {
-  if (sched_ != nullptr) sched_->removeFingerprintSource(this);
+  if (sched_ != nullptr) {
+    sched_->removeSnapshotSource(this);
+    sched_->removeFingerprintSource(this);
+  }
   joinAll();
+}
+
+std::shared_ptr<const void> Runtime::saveState() const {
+  return std::make_shared<RuntimeSnap>(RuntimeSnap{
+      rng_, nextMonitorId_, nextVarId_, nextMethodId_, nextThreadId_,
+      methodStacks_, trace_.events()});
+}
+
+void Runtime::restoreState(const std::shared_ptr<const void>& payload) {
+  const RuntimeSnap& snap = *static_cast<const RuntimeSnap*>(payload.get());
+  rng_ = snap.rng;
+  nextMonitorId_ = snap.nextMonitorId;
+  nextVarId_ = snap.nextVarId;
+  nextMethodId_ = snap.nextMethodId;
+  nextThreadId_ = snap.nextThreadId;
+  methodStacks_ = snap.methodStacks;
+  trace_.restore(snap.traceImage);
+}
+
+std::size_t Runtime::snapshotBytes() const {
+  std::size_t n = sizeof(RuntimeSnap) +
+                  methodStacks_.capacity() * sizeof(std::vector<MethodId>) +
+                  trace_.size() * sizeof(events::Event);
+  for (const std::vector<MethodId>& s : methodStacks_) {
+    n += s.capacity() * sizeof(MethodId);
+  }
+  return n;
 }
 
 std::uint64_t Runtime::stateFingerprint() const {
@@ -98,6 +144,7 @@ ThreadId Runtime::spawn(std::string name, std::function<void()> fn) {
       fn();
       emit(EventKind::ThreadEnd, events::kNoMonitor, 0);
     });
+    snapshotBump();
     if (methodStacks_.size() <= id) methodStacks_.resize(id + 1);
     trace_.nameThread(id, std::move(name));
     if (parent != events::kNoThread) {
@@ -170,6 +217,7 @@ void Runtime::schedulePoint() {
 
 MonitorId Runtime::registerMonitor(const std::string& name) {
   std::lock_guard<std::mutex> g(mu_);
+  if (mode_ == Mode::Virtual) snapshotBump();
   MonitorId id = nextMonitorId_++;
   trace_.nameMonitor(id, name);
   return id;
@@ -177,6 +225,7 @@ MonitorId Runtime::registerMonitor(const std::string& name) {
 
 VarId Runtime::registerVar(const std::string& name) {
   std::lock_guard<std::mutex> g(mu_);
+  if (mode_ == Mode::Virtual) snapshotBump();
   VarId id = nextVarId_++;
   trace_.nameVar(id, name);
   return id;
@@ -184,6 +233,7 @@ VarId Runtime::registerVar(const std::string& name) {
 
 MethodId Runtime::registerMethod(const std::string& name) {
   std::lock_guard<std::mutex> g(mu_);
+  if (mode_ == Mode::Virtual) snapshotBump();
   MethodId id = nextMethodId_++;
   trace_.nameMethod(id, name);
   return id;
@@ -197,7 +247,10 @@ std::uint64_t Runtime::emit(EventKind kind, MonitorId monitorId,
 std::uint64_t Runtime::emitFor(ThreadId thread, EventKind kind,
                                MonitorId monitorId, std::uint64_t aux,
                                bool flag) {
-  if (mode_ == Mode::Virtual) noteFootprint(kind, monitorId, aux);
+  if (mode_ == Mode::Virtual) {
+    noteFootprint(kind, monitorId, aux);
+    snapshotBump();  // the trace content is snapshotted state
+  }
   events::Event e;
   e.thread = thread;
   e.kind = kind;
@@ -212,6 +265,7 @@ void Runtime::pushMethod(MethodId m) {
   ThreadId t = currentThread();
   std::lock_guard<std::mutex> g(mu_);
   CONFAIL_ASSERT(t < methodStacks_.size(), "method push on unknown thread");
+  if (mode_ == Mode::Virtual) snapshotBump();
   methodStacks_[t].push_back(m);
 }
 
@@ -220,6 +274,7 @@ void Runtime::popMethod() {
   std::lock_guard<std::mutex> g(mu_);
   CONFAIL_ASSERT(t < methodStacks_.size() && !methodStacks_[t].empty(),
                  "method pop without push");
+  if (mode_ == Mode::Virtual) snapshotBump();
   methodStacks_[t].pop_back();
 }
 
@@ -237,6 +292,7 @@ std::uint64_t Runtime::rngBelow(std::uint64_t bound) {
   // from the RNG do not commute (the stream order is the state).
   if (mode_ == Mode::Virtual) {
     sched_->noteAccess(sched::fpTag('r', 0), /*isWrite=*/true);
+    snapshotBump();
   }
   std::lock_guard<std::mutex> g(mu_);
   return rng_.below(bound);
@@ -245,6 +301,7 @@ std::uint64_t Runtime::rngBelow(std::uint64_t bound) {
 bool Runtime::rngChance(double p) {
   if (mode_ == Mode::Virtual) {
     sched_->noteAccess(sched::fpTag('r', 0), /*isWrite=*/true);
+    snapshotBump();
   }
   std::lock_guard<std::mutex> g(mu_);
   return rng_.chance(p);

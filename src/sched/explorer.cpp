@@ -12,6 +12,7 @@
 
 #include "confail/obs/metrics.hpp"
 #include "confail/sched/fingerprint.hpp"
+#include "confail/sched/incremental.hpp"
 #include "confail/sched/prefix_tree.hpp"
 #include "confail/sched/work_queue.hpp"
 
@@ -48,6 +49,7 @@ struct LocalStats {
   std::uint64_t dporBacktracks = 0;
   std::uint64_t fpLookups = 0;  ///< visited-set probes (dedup-rate denominator)
   std::uint64_t busyNs = 0;     ///< time spent executing runs (metrics only)
+  std::uint64_t incrementalFallbacks = 0;  ///< runs bounced back to replay
   bool hasFailure = false;
   std::vector<ThreadId> firstFailure;
   Outcome firstFailureOutcome = Outcome::Completed;
@@ -161,6 +163,13 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
   // depends on the races along the path that reached it).
   const bool fpPruning = opts_.fingerprintPruning && !dporMode;
   const bool captureState = fpPruning || opts_.reduction != Reduction::None;
+  // Incremental exploration needs copyable fiber stacks; without them every
+  // worker silently uses plain prefix replay.
+  const bool incrementalMode = opts_.incremental && fibersSupported();
+  // Flipped (once, by whichever worker discovers it) when the program turns
+  // out not to be snapshot-safe, or a session detects mid-run object-graph
+  // mutation: every run from then on takes the replay path.
+  std::atomic<bool> snapshotUnsafe{false};
 
   WorkStealQueue<WorkItem> queue(workers);
   PrefixArena arena(workers);
@@ -174,6 +183,12 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
   Stats stats;
   bool mergedHasFailure = false;
   std::uint64_t fpLookupsTotal = 0;
+  // Incremental-session tallies (merged under mergeMu like everything else).
+  std::uint64_t snapStores = 0;
+  std::uint64_t snapEvictions = 0;
+  std::uint64_t snapBudgetSkips = 0;
+  std::uint64_t incrementalFallbacksTotal = 0;
+  std::size_t snapRetainedBytes = 0;
 
   using Clock = std::chrono::steady_clock;
   const Clock::time_point t0 = Clock::now();
@@ -195,6 +210,12 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
 
   auto worker = [&](std::size_t self) {
     LocalStats local;
+    // The worker's incremental session, built lazily on its first run (the
+    // constructor executes the program once to build the object graph and
+    // learn whether it declared itself snapshot-safe).  Work stolen from
+    // another worker restores from whatever THIS session has checkpointed —
+    // at worst a shallower ancestor plus gap replay, never wrong.
+    std::unique_ptr<IncrementalRunner> incRunner;
     // Reusable per-worker scratch: the materialized prefix lent to
     // PrefixReplayStrategy, the executed spine's tree nodes, and (DPOR)
     // the ancestor chain of the current work item.
@@ -202,6 +223,18 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
     std::vector<const PrefixNode*> spineBuf;
     std::vector<const PrefixNode*> chainBuf;
     std::vector<char> seenTid;
+    // Children branched by the current run, published to the queue in one
+    // batch only after the whole branch analysis has finished.  This is
+    // load-bearing for DPOR counter determinism, not just a lock-traffic
+    // optimization: a child made visible mid-analysis can be stolen, run
+    // (instantly, under incremental exploration) and analyzed while its
+    // parent's analysis is still claiming branches — and whichever side
+    // wins a shared tryClaim installs ITS sleep set on the new node,
+    // making prune counts depend on thread timing.  Deferring publication
+    // guarantees every claim an analysis makes settles before any child of
+    // that analysis can contend for it, which restores the ordering the
+    // serial explorer gets for free.
+    std::vector<WorkItem> childBuf;
     // (DPOR) sleepAt[j - prefixLen] is the sleep set at decision point j of
     // the current run, re-evolved from the work item's node so backtrack
     // candidates can be tested against the state they would branch in.
@@ -237,27 +270,57 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
       // sibling branch, where the independence check can prune it.
       const std::size_t prefixLen = item->node->depth;
       materializePrefix(item->node, prefixBuf);
-      PrefixReplayStrategy strategy(
-          prefixBuf.data(), prefixBuf.size(),
-          sleepMode ? item->sleepThread : events::kNoThread);
-      VirtualScheduler::Options schedOpts;
-      schedOpts.maxSteps = opts_.maxSteps;
-      schedOpts.captureState = captureState;
-      schedOpts.metrics = metrics;
-      if (dporMode) {
-        // The node's stored sleep set is valid just before its last
-        // replayed step; the scheduler replays the wake rule from there and
-        // keeps sleeping threads out of every free pick.
-        schedOpts.sleepSet = item->node->sleep;
-        schedOpts.sleepProcessFrom = prefixLen > 0 ? prefixLen - 1 : 0;
-        schedOpts.sleepFilterFrom = prefixLen;
-        schedOpts.sleepFilterTo = opts_.maxBranchDepth;
-      }
-      VirtualScheduler sched(strategy, schedOpts);
+      const ThreadId avoid =
+          sleepMode ? item->sleepThread : events::kNoThread;
       Clock::time_point runStart;
       if (metrics != nullptr) runStart = Clock::now();
-      program(sched);
-      RunResult result = sched.run();
+      RunResult result;
+      bool ranIncremental = false;
+      if (incrementalMode &&
+          !snapshotUnsafe.load(std::memory_order_relaxed)) {
+        if (incRunner == nullptr) {
+          IncrementalRunner::Config rcfg;
+          rcfg.maxSteps = opts_.maxSteps;
+          rcfg.captureState = captureState;
+          rcfg.budgetBytes = opts_.snapshotBudgetBytes;
+          rcfg.metrics = metrics;
+          incRunner = std::make_unique<IncrementalRunner>(program, rcfg);
+        }
+        if (incRunner->usable()) {
+          std::optional<RunResult> r = incRunner->run(
+              item->node, prefixBuf, avoid, opts_.maxBranchDepth, dporMode);
+          if (r.has_value()) {
+            result = std::move(*r);
+            ranIncremental = true;
+          } else {
+            ++local.incrementalFallbacks;
+            snapshotUnsafe.store(true, std::memory_order_relaxed);
+          }
+        } else {
+          ++local.incrementalFallbacks;
+          snapshotUnsafe.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (!ranIncremental) {
+        PrefixReplayStrategy strategy(prefixBuf.data(), prefixBuf.size(),
+                                      avoid);
+        VirtualScheduler::Options schedOpts;
+        schedOpts.maxSteps = opts_.maxSteps;
+        schedOpts.captureState = captureState;
+        schedOpts.metrics = metrics;
+        if (dporMode) {
+          // The node's stored sleep set is valid just before its last
+          // replayed step; the scheduler replays the wake rule from there
+          // and keeps sleeping threads out of every free pick.
+          schedOpts.sleepSet = item->node->sleep;
+          schedOpts.sleepProcessFrom = prefixLen > 0 ? prefixLen - 1 : 0;
+          schedOpts.sleepFilterFrom = prefixLen;
+          schedOpts.sleepFilterTo = opts_.maxBranchDepth;
+        }
+        VirtualScheduler sched(strategy, schedOpts);
+        program(sched);
+        result = sched.run();
+      }
       if (metrics != nullptr) {
         local.busyNs += static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
@@ -366,6 +429,10 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
                 n->tryClaim(result.schedule[at + 1]);
               }
             }
+            // A checkpoint taken at this depth during the run was parked by
+            // depth (its node did not exist yet); key it to the node so the
+            // children branched off it can restore instead of replay.
+            if (ranIncremental) incRunner->bind(n);
             spineBuf.push_back(n);
           }
           return spineBuf[d - prefixLen];
@@ -444,7 +511,7 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
                     SleepEntry{result.schedule[j], result.stepFootprints[j]});
                 WorkItem child;
                 child.node = ch;
-                queue.push(self, std::move(child));
+                childBuf.push_back(std::move(child));
                 ++local.dporBacktracks;
               };
               if (std::find(enabled.begin(), enabled.end(), p) !=
@@ -498,10 +565,11 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
                 child.sleepThread = result.schedule[i];
                 child.sleepFp = result.stepFootprints[i];
               }
-              queue.push(self, std::move(child));
+              childBuf.push_back(std::move(child));
             }
           }
         }
+        queue.pushAll(self, childBuf);
       }
 
       queue.done();
@@ -527,6 +595,17 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
     stats.dedupedStates += local.dedupedStates;
     stats.dporBacktracks += local.dporBacktracks;
     fpLookupsTotal += local.fpLookups;
+    incrementalFallbacksTotal += local.incrementalFallbacks;
+    if (incRunner != nullptr) {
+      const IncrementalRunner::Tally& t = incRunner->tally();
+      stats.snapshotRestores += t.restores;
+      stats.replayStepsAvoided += t.replayStepsAvoided;
+      stats.snapshotPeakBytes = std::max(stats.snapshotPeakBytes, t.peakBytes);
+      snapStores += t.stores;
+      snapEvictions += t.evictions;
+      snapBudgetSkips += t.budgetSkips;
+      snapRetainedBytes += t.retainedBytes;
+    }
     if (local.hasFailure &&
         (!mergedHasFailure || local.firstFailure < stats.firstFailure)) {
       mergedHasFailure = true;
@@ -561,6 +640,7 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
     metrics->counter("explorer.deduped_states").add(stats.dedupedStates);
     metrics->counter("explorer.dpor_backtracks").add(stats.dporBacktracks);
     metrics->counter("explorer.steals").add(queue.steals());
+    metrics->counter("explorer.steal_batch").add(queue.stealBatches());
     metrics->gauge("explorer.workers").set(static_cast<double>(workers));
     metrics->gauge("explorer.elapsed_sec").set(elapsedSec);
     metrics->gauge("explorer.runs_per_sec")
@@ -578,6 +658,22 @@ ExhaustiveExplorer::Stats ExhaustiveExplorer::explore(const Program& program,
     metrics->gauge("explorer.prefix_arena_bytes")
         .set(static_cast<double>(arena.bytes()));
     metrics->gauge("explorer.visited_load_factor").set(visited.loadFactor());
+    // Companion to the aggregate: the fullest stripe's occupancy, exposing
+    // shard imbalance the mean load factor averages away.
+    metrics->gauge("explorer.visited_load_factor_peak_shard")
+        .set(visited.maxShardLoadFactor());
+    metrics->counter("explorer.snapshot_restores").add(stats.snapshotRestores);
+    metrics->counter("explorer.snapshot_stores").add(snapStores);
+    metrics->counter("explorer.snapshot_evictions").add(snapEvictions);
+    metrics->counter("explorer.snapshot_budget_skips").add(snapBudgetSkips);
+    metrics->counter("explorer.replay_steps_avoided")
+        .add(stats.replayStepsAvoided);
+    metrics->counter("explorer.incremental_fallbacks")
+        .add(incrementalFallbacksTotal);
+    metrics->gauge("explorer.snapshot_bytes")
+        .set(static_cast<double>(snapRetainedBytes));
+    metrics->gauge("explorer.snapshot_bytes_peak")
+        .set(static_cast<double>(stats.snapshotPeakBytes));
   }
   return stats;
 }

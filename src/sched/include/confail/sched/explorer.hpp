@@ -109,6 +109,23 @@ class ExhaustiveExplorer {
     /// lexicographic-min witness but explores far fewer runs.
     Reduction reduction = Reduction::None;
 
+    /// Incremental exploration: each worker keeps one long-lived fiber
+    /// scheduler, checkpoints its state at branch points (copy-on-write —
+    /// siblings share unmodified stacks and payloads) and starts each child
+    /// run by restoring its parent's checkpoint instead of replaying the
+    /// O(depth) prefix.  Produces the exact same runs, failure sets,
+    /// canonical witnesses and Stats counters as replay; silently falls
+    /// back to replay when fibers are unsupported (sanitized builds,
+    /// non-x86-64/aarch64) or the program is not snapshot-safe (see
+    /// VirtualScheduler::declareSnapshotSafe).  See docs/exploration.md.
+    bool incremental = true;
+
+    /// Per-worker cap on retained checkpoint memory (estimated fresh bytes
+    /// plus path data).  Over the cap, checkpoints are dropped oldest-first
+    /// and affected children replay the gap from the nearest retained
+    /// ancestor — graceful degradation, never failure.
+    std::size_t snapshotBudgetBytes = 256ull * 1024 * 1024;
+
     /// Optional metrics sink.  When set, explore() publishes throughput
     /// (explorer.runs_per_sec), reduction effectiveness
     /// (explorer.dedup_hit_rate, explorer.dpor_backtracks), work-stealing
@@ -160,6 +177,12 @@ class ExhaustiveExplorer {
     /// analysis (the entire frontier past the root run, since DPOR queues
     /// work exclusively through backtracking).
     std::uint64_t dporBacktracks = 0;
+    /// Incremental exploration only (all zero under replay).  These count
+    /// mechanism, not tree shape, so unlike the counters above they may
+    /// legitimately vary across worker counts and traversal orders.
+    std::uint64_t snapshotRestores = 0;   ///< runs started from a checkpoint
+    std::uint64_t replayStepsAvoided = 0; ///< prefix steps never re-executed
+    std::size_t snapshotPeakBytes = 0;    ///< max per-worker retained bytes
     bool exhausted = false;   ///< true if the whole bounded tree was covered
     bool stoppedByCallback = false;
     /// Lexicographically smallest failing schedule (deadlock / step limit /

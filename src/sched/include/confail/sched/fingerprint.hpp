@@ -27,6 +27,7 @@
 // model checkers.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -152,9 +153,12 @@ class VisitedSet {
   bool insert(std::uint64_t key) {
     if (key == 0) key = 1;  // 0 marks an empty slot
     Shard& s = *shards_[(key >> 58) & (kShards - 1)];
+    // One scramble per insert, not per probe attempt: the hash is a pure
+    // function of the key, so retries (table growth, CAS losses) reuse it.
+    const std::uint64_t h = scramble(key);
     for (;;) {
       Table* t = s.live.load(std::memory_order_seq_cst);
-      std::size_t i = static_cast<std::size_t>(scramble(key)) & t->mask;
+      std::size_t i = static_cast<std::size_t>(h) & t->mask;
       for (;;) {
         std::uint64_t cur = t->slots[i].load(std::memory_order_acquire);
         if (cur == key) return false;
@@ -195,6 +199,21 @@ class VisitedSet {
       cap += s->live.load(std::memory_order_acquire)->mask + 1;
     }
     return cap > 0 ? static_cast<double>(used) / static_cast<double>(cap) : 0.0;
+  }
+
+  /// Occupancy of the fullest shard.  The aggregate loadFactor() hides
+  /// stripe imbalance — a skewed fingerprint distribution can drive one
+  /// shard toward its growth threshold while the mean looks healthy.
+  double maxShardLoadFactor() const {
+    double worst = 0.0;
+    for (const auto& s : shards_) {
+      const double used =
+          static_cast<double>(s->size.load(std::memory_order_relaxed));
+      const double cap = static_cast<double>(
+          s->live.load(std::memory_order_acquire)->mask + 1);
+      worst = std::max(worst, used / cap);
+    }
+    return worst;
   }
 
  private:

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "confail/sched/fingerprint.hpp"
+#include "confail/sched/snapshot.hpp"
 #include "confail/sched/strategy.hpp"
 #include "confail/support/assert.hpp"
 
@@ -37,6 +38,19 @@ class Registry;
 }
 
 namespace confail::sched {
+
+class IncrementalRunner;
+
+namespace detail {
+struct Fiber;    // ucontext fiber backing a logical thread (defined in .cpp)
+struct FiberRt;  // per-scheduler controller context (defined in .cpp)
+struct StackImage;  // frozen fiber stack + register file (defined in .cpp)
+}  // namespace detail
+
+/// True when this build can back logical threads with snapshot-capable
+/// ucontext fibers: Linux on x86-64 or aarch64, sanitizers off.  When
+/// false, incremental exploration silently degrades to prefix replay.
+bool fibersSupported() noexcept;
 
 /// Why a logical thread is not runnable.
 enum class BlockKind : std::uint8_t {
@@ -142,6 +156,13 @@ class VirtualScheduler {
     std::size_t sleepProcessFrom = 0;
     std::size_t sleepFilterFrom = 0;
     std::size_t sleepFilterTo = static_cast<std::size_t>(-1);
+
+    /// Back logical threads with ucontext fibers instead of real
+    /// std::threads.  Fibers run on the controller's own thread under the
+    /// same strict alternation, but their stacks can be copied in and out,
+    /// which is what makes checkpoint/restore of mid-run threads possible.
+    /// Set only by the incremental explorer; requires fibersSupported().
+    bool fibers = false;
   };
 
   explicit VirtualScheduler(Strategy& strategy) : VirtualScheduler(strategy, Options()) {}
@@ -214,6 +235,34 @@ class VirtualScheduler {
   /// scheduler teardown.
   void removeFingerprintSource(const FingerprintSource* s);
 
+  // ---- state snapshots (incremental exploration) --------------------------
+
+  /// Register an object whose mutable state must survive checkpoint /
+  /// restore (see snapshot.hpp).  Monitors, SharedVars, the Runtime and
+  /// the Injector register themselves in virtual mode, mirroring their
+  /// fingerprint registration.
+  void addSnapshotSource(SnapshotSource* s);
+
+  /// Unregister a snapshot source (called from its destructor).
+  void removeSnapshotSource(SnapshotSource* s);
+
+  /// Declare that the program under test keeps ALL of its mutable state
+  /// either in registered SnapshotSources or in plain stack locals of its
+  /// logical threads (no heap-owning locals crossing schedule points, no
+  /// unregistered shared state).  Only declared programs are eligible for
+  /// incremental exploration; the scenario builders in
+  /// components/scenarios.hpp declare themselves.
+  void declareSnapshotSafe() { snapshotSafe_ = true; }
+
+  /// Veto snapshot safety for this scheduler (e.g. a SharedVar over a
+  /// non-copyable type cannot participate in save/restore).  Wins over any
+  /// declareSnapshotSafe() call, before or after.
+  void poisonSnapshotSafety() { snapshotPoisoned_ = true; }
+
+  /// True when the program declared itself snapshot-safe and nothing
+  /// vetoed it since.
+  bool snapshotSafe() const { return snapshotSafe_ && !snapshotPoisoned_; }
+
   /// Hash of the complete scheduler-visible state: every logical thread's
   /// (status, block kind, block resource) plus each registered source.
   /// Deterministic: equal states yield equal fingerprints across runs.
@@ -238,11 +287,14 @@ class VirtualScheduler {
   // (kept out of here on purpose: policy randomness lives in the Runtime.)
 
  private:
+  friend class IncrementalRunner;
+
   enum class ThreadState : std::uint8_t { Runnable, Running, Blocked, Finished };
 
   struct ThreadRecord {
-    explicit ThreadRecord(ThreadId id_, std::string name_)
-        : id(id_), name(std::move(name_)) {}
+    // Both out of line: detail::Fiber is incomplete here.
+    explicit ThreadRecord(ThreadId id_, std::string name_);
+    ~ThreadRecord();
     ThreadId id;
     std::string name;
     ThreadState state = ThreadState::Runnable;
@@ -250,13 +302,45 @@ class VirtualScheduler {
     std::uint64_t blockResource = 0;
     std::binary_semaphore sem{0};
     std::thread real;
+    std::unique_ptr<detail::Fiber> fiber;  // set instead of `real` w/ fibers
     std::exception_ptr error;
     std::function<void()> fn;
     std::vector<ThreadId> joiners;  // threads blocked joining on this one
   };
 
+  /// A copy-on-write checkpoint of the complete session state at one
+  /// decision point: every logical thread's scheduler state and frozen
+  /// stack, plus every registered SnapshotSource's payload.  Immutable
+  /// once built; siblings share unmodified pieces via shared_ptr.
+  struct Snapshot {
+    struct ThreadSnap {
+      ThreadState state = ThreadState::Runnable;
+      BlockKind blockKind = BlockKind::None;
+      std::uint64_t blockResource = 0;
+      std::vector<ThreadId> joiners;
+      std::shared_ptr<const detail::StackImage> stack;
+    };
+    struct SourceSnap {
+      SnapshotSource* src = nullptr;
+      std::shared_ptr<const void> payload;
+      std::uint64_t version = 0;
+    };
+    std::vector<ThreadSnap> threads;
+    std::uint64_t liveCount = 0;
+    std::vector<SourceSnap> sources;
+    std::uint64_t sourceGen = 0;
+    /// Heap bytes newly serialized for this snapshot (payloads and stack
+    /// images not shared with an earlier snapshot): the budget increment.
+    std::size_t freshBytes = 0;
+  };
+
   void workerMain(ThreadRecord& rec);
+  static void fiberTrampoline();
+  void fiberMain(ThreadRecord& rec);
   void finishSelf(ThreadRecord& rec);
+  /// Hand the CPU to `rec` until it yields/blocks/finishes (semaphore
+  /// hand-off for thread-backed records, swapcontext for fibers).
+  void resumeThread(ThreadRecord& rec);
   void switchToController(ThreadRecord& rec);
   void checkAbort() const;
   void abortRun();
@@ -264,18 +348,45 @@ class VirtualScheduler {
   ThreadRecord& recordOf(ThreadId t);
   const ThreadRecord& recordOf(ThreadId t) const;
 
+  /// The decision loop shared verbatim by run() and the incremental
+  /// runner.  Appends to `result` (which the runner pre-seeds with the
+  /// restored prefix) until the run ends; `contextSwitches` counts pick
+  /// changes across the executed portion.
+  void runLoop(RunResult& result, std::uint64_t& contextSwitches);
+
+  /// Freeze the complete session state (controller only, all fibers
+  /// suspended).  Requires Options::fibers.
+  std::shared_ptr<const Snapshot> saveSnapshot();
+
+  /// Rewind the session to `snap`.  Returns false (leaving state poisoned
+  /// for this session) if the thread set or snapshot-source registration
+  /// changed since the snapshot was taken — the caller must then abandon
+  /// incremental execution for this session.
+  bool restoreSnapshot(const Snapshot& snap);
+
   Strategy& strategy_;
   Options opts_;
   // Declared before threads_ on purpose: destroying threads_ runs the
   // program closures' destructors, which unregister monitors / shared vars
-  // from this vector — it must still be alive then.
+  // from these vectors — they must still be alive then.
   std::vector<const FingerprintSource*> fingerprintSources_;
+  std::vector<SnapshotSource*> snapshotSources_;
+  std::uint64_t snapshotSourceGen_ = 0;  // bumped on (un)registration
   Footprint stepFootprint_;
   std::vector<std::unique_ptr<ThreadRecord>> threads_;
   std::vector<IdleHandler*> idleHandlers_;
   std::binary_semaphore controllerSem_{0};
+  std::unique_ptr<detail::FiberRt> fiberRt_;  // controller context (fibers)
+  /// Invoked by runLoop at every decision point, before the pick executes
+  /// (the incremental runner installs this to store checkpoints).  Gets the
+  /// step index and the runnable-set size: only multi-choice points can
+  /// ever host a branch, so single-choice points skip the snapshot.
+  std::function<void(std::uint64_t step, std::size_t runnableCount)>
+      checkpointHook_;
   bool aborting_ = false;
   bool finished_ = false;
+  bool snapshotSafe_ = false;
+  bool snapshotPoisoned_ = false;
   std::uint64_t liveCount_ = 0;  // spawned and not finished
 };
 

@@ -1,9 +1,28 @@
 #include "confail/sched/virtual_scheduler.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 
 #include "confail/obs/metrics.hpp"
+
+// Fiber support: ucontext stack switching with raw stack-image copies is
+// only implemented where it is known sound — Linux on x86-64 / aarch64 —
+// and is incompatible with TSan/ASan shadow-stack bookkeeping.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define CONFAIL_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define CONFAIL_SANITIZED 1
+#endif
+#endif
+
+#if defined(__linux__) && (defined(__x86_64__) || defined(__aarch64__)) && \
+    !defined(CONFAIL_SANITIZED)
+#define CONFAIL_FIBERS 1
+#include <ucontext.h>
+#endif
 
 namespace confail::sched {
 
@@ -14,7 +33,76 @@ struct TlsBinding {
   void* record = nullptr;
 };
 thread_local TlsBinding tlsBinding;
+
+#ifdef CONFAIL_FIBERS
+// Stacks only need to hold the scenario bodies plus exception unwinding;
+// the *captured* portion per snapshot is just [SP - red zone, top).
+constexpr std::size_t kFiberStackBytes = 256 * 1024;
+constexpr std::size_t kRedZoneBytes = 128;
+
+std::uintptr_t contextSp(const ucontext_t& ctx) {
+#if defined(__x86_64__)
+  return static_cast<std::uintptr_t>(ctx.uc_mcontext.gregs[REG_RSP]);
+#else  // __aarch64__
+  return static_cast<std::uintptr_t>(ctx.uc_mcontext.sp);
+#endif
+}
+#endif  // CONFAIL_FIBERS
 }  // namespace
+
+namespace detail {
+
+/// One logical thread's frozen execution: the used top of its stack plus
+/// the register file at the suspend point.  Immutable; shared by every
+/// snapshot taken while the fiber stayed suspended (version match).
+struct StackImage {
+  std::uint64_t version = 0;
+  std::size_t used = 0;            ///< bytes saved at the top of the stack
+  std::unique_ptr<char[]> bytes;   ///< copy of [stackTop - used, stackTop)
+#ifdef CONFAIL_FIBERS
+  ucontext_t ctx{};
+#endif
+};
+
+/// The ucontext fiber backing a logical thread in snapshot mode.  The
+/// object (and therefore `ctx`) is heap-pinned for the scheduler's whole
+/// life: glibc's x86-64 ucontext_t holds a pointer into itself
+/// (uc_mcontext.fpregs -> __fpregs_mem), so a context must always be
+/// restored into the same ucontext_t it was captured from.
+struct Fiber {
+  std::unique_ptr<char[]> stack;
+  std::size_t stackSize = 0;
+  /// Stamp of the stack's current contents; bumped on every resume (the
+  /// stack is about to change).  An image with an equal stamp is
+  /// byte-identical to the live stack, so save and restore can skip it.
+  std::uint64_t version = 0;
+  std::shared_ptr<const StackImage> lastImage;
+#ifdef CONFAIL_FIBERS
+  ucontext_t ctx{};
+#endif
+};
+
+/// Controller-side context the running fiber swaps back into.
+struct FiberRt {
+#ifdef CONFAIL_FIBERS
+  ucontext_t controllerCtx{};
+#endif
+};
+
+}  // namespace detail
+
+bool fibersSupported() noexcept {
+#ifdef CONFAIL_FIBERS
+  return true;
+#else
+  return false;
+#endif
+}
+
+VirtualScheduler::ThreadRecord::ThreadRecord(ThreadId id_, std::string name_)
+    : id(id_), name(std::move(name_)) {}
+
+VirtualScheduler::ThreadRecord::~ThreadRecord() = default;
 
 const char* blockKindName(BlockKind k) {
   switch (k) {
@@ -39,7 +127,13 @@ const char* outcomeName(Outcome o) {
 }
 
 VirtualScheduler::VirtualScheduler(Strategy& strategy, Options opts)
-    : strategy_(strategy), opts_(opts) {}
+    : strategy_(strategy), opts_(opts) {
+  if (opts_.fibers) {
+    CONFAIL_CHECK(fibersSupported(), UsageError,
+                  "fiber mode is unsupported on this platform/build");
+    fiberRt_ = std::make_unique<detail::FiberRt>();
+  }
+}
 
 VirtualScheduler::~VirtualScheduler() {
   if (!finished_) {
@@ -66,7 +160,22 @@ ThreadId VirtualScheduler::spawn(std::string name, std::function<void()> fn) {
   threads_.push_back(std::move(rec));
   ++liveCount_;
   strategy_.onSpawn(id);
-  r.real = std::thread([this, &r] { workerMain(r); });
+  if (opts_.fibers) {
+#ifdef CONFAIL_FIBERS
+    auto f = std::make_unique<detail::Fiber>();
+    f->stackSize = kFiberStackBytes;
+    f->stack = std::make_unique<char[]>(f->stackSize);
+    f->version = nextSnapshotVersion();
+    CONFAIL_ASSERT(getcontext(&f->ctx) == 0, "getcontext failed");
+    f->ctx.uc_stack.ss_sp = f->stack.get();
+    f->ctx.uc_stack.ss_size = f->stackSize;
+    f->ctx.uc_link = nullptr;
+    makecontext(&f->ctx, &VirtualScheduler::fiberTrampoline, 0);
+    r.fiber = std::move(f);
+#endif
+  } else {
+    r.real = std::thread([this, &r] { workerMain(r); });
+  }
   return id;
 }
 
@@ -85,6 +194,38 @@ void VirtualScheduler::workerMain(ThreadRecord& rec) {
   finishSelf(rec);
 }
 
+void VirtualScheduler::fiberTrampoline() {
+  // The controller publishes {scheduler, record} through the TLS binding
+  // immediately before swapping a fiber in for the first time; fibers run
+  // on the controller's own OS thread, so the binding is already ours.
+  auto* sched = tlsBinding.sched;
+  auto* rec = static_cast<ThreadRecord*>(tlsBinding.record);
+  CONFAIL_ASSERT(sched != nullptr && rec != nullptr,
+                 "fiber started without a TLS binding");
+  sched->fiberMain(*rec);
+  // fiberMain's final swap back to the controller never returns: resuming
+  // a finished fiber is a scheduler bug.
+  std::abort();
+}
+
+void VirtualScheduler::fiberMain(ThreadRecord& rec) {
+#ifdef CONFAIL_FIBERS
+  if (!aborting_) {
+    try {
+      rec.fn();
+    } catch (const ExecutionAborted&) {
+      // Normal teardown path; nothing to record.
+    } catch (...) {
+      rec.error = std::current_exception();
+    }
+  }
+  finishSelf(rec);
+  swapcontext(&rec.fiber->ctx, &fiberRt_->controllerCtx);
+#else
+  (void)rec;
+#endif
+}
+
 void VirtualScheduler::finishSelf(ThreadRecord& rec) {
   rec.state = ThreadState::Finished;
   rec.blockKind = BlockKind::None;
@@ -99,8 +240,13 @@ void VirtualScheduler::finishSelf(ThreadRecord& rec) {
     }
   }
   rec.joiners.clear();
-  tlsBinding = TlsBinding{};
-  controllerSem_.release();
+  if (!rec.fiber) {
+    // Thread-backed workers clear their own binding and wake the
+    // controller; for fibers the controller's resumeThread() does both
+    // when the final swap returns to it.
+    tlsBinding = TlsBinding{};
+    controllerSem_.release();
+  }
 }
 
 std::vector<ThreadId> VirtualScheduler::runnableSet() const {
@@ -126,6 +272,23 @@ RunResult VirtualScheduler::run() {
   CONFAIL_CHECK(!onLogicalThread(), UsageError,
                 "run() called from a logical thread");
   RunResult result;
+  std::uint64_t contextSwitches = 0;
+  runLoop(result, contextSwitches);
+  abortRun();
+  finished_ = true;
+  for (auto& rec : threads_) {
+    if (rec->real.joinable()) rec->real.join();
+  }
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->counter("sched.runs").inc();
+    opts_.metrics->counter("sched.steps").add(result.steps);
+    opts_.metrics->counter("sched.context_switches").add(contextSwitches);
+  }
+  return result;
+}
+
+void VirtualScheduler::runLoop(RunResult& result,
+                               std::uint64_t& contextSwitches) {
   // Pre-size the per-step traces so the hot replay loop never reallocates;
   // cap the hint so a generous step budget (the 200k default) does not
   // preallocate megabytes for runs that finish in dozens of steps.
@@ -137,8 +300,11 @@ RunResult VirtualScheduler::run() {
     result.fingerprints.reserve(reserveSteps);
     result.stepFootprints.reserve(reserveSteps);
   }
-  ThreadId lastPick = events::kNoThread;
-  std::uint64_t contextSwitches = 0;
+  // The incremental runner pre-seeds `result` with a restored prefix; a
+  // fresh run() starts empty.  Context switches are counted across the
+  // seam so the tally matches a from-scratch execution of the same path.
+  ThreadId lastPick =
+      result.schedule.empty() ? events::kNoThread : result.schedule.back();
   // Live DPOR sleep set (see Options::sleepSet); entries are erased as
   // executed steps wake them.  Empty for every caller but the DPOR
   // explorer, in which case all the sleep branches below are dead.
@@ -211,6 +377,10 @@ RunResult VirtualScheduler::run() {
       pickable = &awake;
     }
 
+    // A step is definitely about to execute from this state: let the
+    // incremental runner checkpoint it as a branch-resume point.
+    if (checkpointHook_) checkpointHook_(result.steps, runnable.size());
+
     ThreadId pick;
     try {
       pick = strategy_.pick(*pickable, result.steps);
@@ -235,8 +405,7 @@ RunResult VirtualScheduler::run() {
 
     ThreadRecord& rec = recordOf(pick);
     rec.state = ThreadState::Running;
-    rec.sem.release();
-    controllerSem_.acquire();
+    resumeThread(rec);
     if (opts_.captureState) result.stepFootprints.push_back(stepFootprint_);
 
     // Wake sleeping threads whose covered reordering just became
@@ -264,18 +433,6 @@ RunResult VirtualScheduler::run() {
       break;
     }
   }
-
-  abortRun();
-  finished_ = true;
-  for (auto& rec : threads_) {
-    if (rec->real.joinable()) rec->real.join();
-  }
-  if (opts_.metrics != nullptr) {
-    opts_.metrics->counter("sched.runs").inc();
-    opts_.metrics->counter("sched.steps").add(result.steps);
-    opts_.metrics->counter("sched.context_switches").add(contextSwitches);
-  }
-  return result;
 }
 
 void VirtualScheduler::abortRun() {
@@ -286,11 +443,26 @@ void VirtualScheduler::abortRun() {
       // the user stack (RAII releases any held resources) and finish.
       // Strictly sequential: wait for each to finish before waking the next
       // so that at most one logical thread ever executes at a time.
-      rec->sem.release();
-      controllerSem_.acquire();
+      resumeThread(*rec);
       CONFAIL_ASSERT(rec->state == ThreadState::Finished,
                      "aborted thread did not finish");
     }
+  }
+}
+
+void VirtualScheduler::resumeThread(ThreadRecord& rec) {
+  if (rec.fiber) {
+#ifdef CONFAIL_FIBERS
+    // The fiber's stack is about to change: no frozen image matches it
+    // from here on.
+    rec.fiber->version = nextSnapshotVersion();
+    tlsBinding = TlsBinding{this, &rec};
+    swapcontext(&fiberRt_->controllerCtx, &rec.fiber->ctx);
+    tlsBinding = TlsBinding{};
+#endif
+  } else {
+    rec.sem.release();
+    controllerSem_.acquire();
   }
 }
 
@@ -336,8 +508,14 @@ void VirtualScheduler::block(BlockKind kind, std::uint64_t resource) {
 }
 
 void VirtualScheduler::switchToController(ThreadRecord& rec) {
-  controllerSem_.release();
-  rec.sem.acquire();
+  if (rec.fiber) {
+#ifdef CONFAIL_FIBERS
+    swapcontext(&rec.fiber->ctx, &fiberRt_->controllerCtx);
+#endif
+  } else {
+    controllerSem_.release();
+    rec.sem.acquire();
+  }
   checkAbort();
   CONFAIL_ASSERT(rec.state == ThreadState::Running,
                  "scheduled thread not marked running");
@@ -413,6 +591,114 @@ void VirtualScheduler::removeFingerprintSource(const FingerprintSource* s) {
       return;
     }
   }
+}
+
+void VirtualScheduler::addSnapshotSource(SnapshotSource* s) {
+  CONFAIL_ASSERT(s != nullptr, "null snapshot source");
+  snapshotSources_.push_back(s);
+  ++snapshotSourceGen_;
+}
+
+void VirtualScheduler::removeSnapshotSource(SnapshotSource* s) {
+  for (auto it = snapshotSources_.begin(); it != snapshotSources_.end();
+       ++it) {
+    if (*it == s) {
+      snapshotSources_.erase(it);
+      ++snapshotSourceGen_;
+      return;
+    }
+  }
+}
+
+std::shared_ptr<const VirtualScheduler::Snapshot>
+VirtualScheduler::saveSnapshot() {
+#ifdef CONFAIL_FIBERS
+  CONFAIL_ASSERT(opts_.fibers && !onLogicalThread(),
+                 "saveSnapshot outside a fiber session controller");
+  auto snap = std::make_shared<Snapshot>();
+  snap->threads.reserve(threads_.size());
+  for (auto& recPtr : threads_) {
+    ThreadRecord& rec = *recPtr;
+    CONFAIL_ASSERT(rec.fiber != nullptr, "snapshot of a non-fiber thread");
+    Snapshot::ThreadSnap ts;
+    ts.state = rec.state;
+    ts.blockKind = rec.blockKind;
+    ts.blockResource = rec.blockResource;
+    ts.joiners = rec.joiners;
+    detail::Fiber& f = *rec.fiber;
+    if (!f.lastImage || f.lastImage->version != f.version) {
+      auto img = std::make_shared<detail::StackImage>();
+      img->version = f.version;
+      img->ctx = f.ctx;
+      char* const top = f.stack.get() + f.stackSize;
+      const char* from =
+          reinterpret_cast<const char*>(contextSp(f.ctx)) - kRedZoneBytes;
+      CONFAIL_ASSERT(from >= f.stack.get() && from < top,
+                     "fiber stack pointer out of range");
+      img->used = static_cast<std::size_t>(top - from);
+      img->bytes = std::make_unique<char[]>(img->used);
+      std::memcpy(img->bytes.get(), from, img->used);
+      snap->freshBytes += img->used + sizeof(detail::StackImage);
+      f.lastImage = std::move(img);
+    }
+    ts.stack = f.lastImage;
+    snap->threads.push_back(std::move(ts));
+  }
+  snap->liveCount = liveCount_;
+  snap->sources.reserve(snapshotSources_.size());
+  for (SnapshotSource* s : snapshotSources_) {
+    Snapshot::SourceSnap ss;
+    ss.src = s;
+    ss.payload = s->snapshotSave(ss.version, snap->freshBytes);
+    snap->sources.push_back(std::move(ss));
+  }
+  snap->sourceGen = snapshotSourceGen_;
+  return snap;
+#else
+  return nullptr;
+#endif
+}
+
+bool VirtualScheduler::restoreSnapshot(const Snapshot& snap) {
+#ifdef CONFAIL_FIBERS
+  if (snap.sourceGen != snapshotSourceGen_ ||
+      snap.threads.size() != threads_.size()) {
+    // The program spawned threads or (un)registered sources mid-run: the
+    // snapshot no longer describes this session's object graph.
+    return false;
+  }
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    ThreadRecord& rec = *threads_[i];
+    const Snapshot::ThreadSnap& ts = snap.threads[i];
+    rec.state = ts.state;
+    rec.blockKind = ts.blockKind;
+    rec.blockResource = ts.blockResource;
+    rec.joiners = ts.joiners;
+    rec.error = nullptr;
+    detail::Fiber& f = *rec.fiber;
+    const detail::StackImage& img = *ts.stack;
+    if (f.version != img.version) {
+      // Restore into the fiber's OWN ucontext object: the register file
+      // was captured from it, and on x86-64 glibc it contains a pointer to
+      // its own __fpregs_mem — valid only at this address.
+      f.ctx = img.ctx;
+      char* const top = f.stack.get() + f.stackSize;
+      std::memcpy(top - img.used, img.bytes.get(), img.used);
+      f.version = img.version;
+      f.lastImage = ts.stack;
+    }
+  }
+  liveCount_ = snap.liveCount;
+  for (const Snapshot::SourceSnap& ss : snap.sources) {
+    ss.src->snapshotRestore(ss.payload, ss.version);
+  }
+  stepFootprint_.clear();
+  aborting_ = false;
+  return true;
+#else
+  (void)snap;
+  return false;
+#endif
 }
 
 std::uint64_t VirtualScheduler::fingerprint() const {

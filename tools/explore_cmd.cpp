@@ -30,9 +30,16 @@ int usage(const char* prog) {
                "[--prune] [--reduction none|sleep|dpor]\n"
                "               [--sleep-sets] [--max-runs N] [--max-depth N] "
                "[--max-steps N] [--json]\n"
+               "               [--incremental | --no-incremental] "
+               "[--snapshot-budget-mb N]\n"
                "               [--metrics-out FILE] "
                "[--chrome-trace FILE] [--progress]\n\n"
-               "--sleep-sets is shorthand for --reduction sleep.\n\n"
+               "--sleep-sets is shorthand for --reduction sleep.\n"
+               "--incremental (default) resumes each branch from a "
+               "copy-on-write snapshot\n"
+               "of its parent's state; --no-incremental replays every "
+               "prefix from the root\n"
+               "(kept for differential testing).\n\n"
                "scenarios:\n",
                prog);
   for (const scenarios::NamedScenario& s : scenarios::registry()) {
@@ -83,6 +90,14 @@ int cmdExplore(const char* prog, int argc, char** argv) {
         eo.maxSteps = std::stoull(v);
       } else if (arg == "--prune") {
         eo.fingerprintPruning = true;
+      } else if (arg == "--incremental") {
+        eo.incremental = true;
+      } else if (arg == "--no-incremental") {
+        eo.incremental = false;
+      } else if (arg == "--snapshot-budget-mb") {
+        const char* v = next();
+        if (v == nullptr) return usage(prog);
+        eo.snapshotBudgetBytes = std::stoull(v) * 1024 * 1024;
       } else if (arg == "--sleep-sets") {
         eo.reduction = sched::ExhaustiveExplorer::Reduction::Sleep;
       } else if (arg == "--reduction" || arg.rfind("--reduction=", 0) == 0) {
