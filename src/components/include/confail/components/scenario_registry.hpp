@@ -1,10 +1,17 @@
 // Scenario registry: the canonical named-scenario table, shared by the
-// unified `confail` CLI (explore/inject verbs), the injection campaign
+// unified `confail` CLI (explore/inject/fuzz verbs), the injection campaign
 // driver and the tests, so every consumer sees the same scenarios with the
 // same names, order and capability flags.  Formerly a private table inside
 // confail_explore.
+//
+// NamedScenario is a *value* type over std::function, so scenarios do not
+// have to be free functions compiled into this table: confail::gen builds
+// NamedScenario values at run time for machine-generated monitor programs
+// (gen::asScenario) and feeds them to the same ExploreConfig / runCell
+// machinery the registry entries use.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -12,22 +19,22 @@
 
 namespace confail::components::scenarios {
 
-using ScenarioFn = void (*)(confail::sched::VirtualScheduler&);
-using InstrumentedScenarioFn = void (*)(confail::sched::VirtualScheduler&,
-                                        const Instruments&);
+using ScenarioFn = std::function<void(confail::sched::VirtualScheduler&)>;
+using InstrumentedScenarioFn =
+    std::function<void(confail::sched::VirtualScheduler&, const Instruments&)>;
 
 /// One canonical scenario plus the capability flags exploration and
 /// injection drivers need to decide what applies to it.
 struct NamedScenario {
-  const char* name;
+  std::string name;
   ScenarioFn fn;
   InstrumentedScenarioFn ifn;
-  bool hasBuffer;      ///< registers buf.put/buf.take (CoFG coverage applies)
-  bool faultSeeded;    ///< carries a seeded failure even uninjected
-  bool usesMonitor;    ///< lock deviations (FF-T1/T2/T4, EF-T2/T4) apply
-  bool usesWaitNotify; ///< wait/notify deviations (FF/EF-T3/T5) apply
-  const char* starveVictim;  ///< thread name the FF-T2 starve plan targets
-  const char* blurb;
+  bool hasBuffer = false;      ///< registers buf.put/buf.take (CoFG coverage)
+  bool faultSeeded = false;    ///< carries a seeded failure even uninjected
+  bool usesMonitor = false;    ///< lock deviations (FF-T1/T2/T4, EF-T2/T4)
+  bool usesWaitNotify = false; ///< wait/notify deviations (FF/EF-T3/T5)
+  std::string starveVictim;    ///< thread name the FF-T2 starve plan targets
+  std::string blurb;
 };
 
 /// All scenarios, in the stable order the CLI lists them.

@@ -198,4 +198,115 @@ inline void disjointCounters(confail::sched::VirtualScheduler& s) {
   disjointCounters(s, Instruments{});
 }
 
+// ---------------------------------------------------------------------------
+// Fuzzer-found reproducers.  These are hand-translations of gen IR programs
+// that the `confail fuzz` differential harness shrank out of failing seeds
+// during development; they are pinned here (components cannot depend on gen)
+// so the exact shapes stay in the regression surface forever.  The IR each
+// one encodes is quoted in its comment together with the seed that produced
+// it — `confail fuzz --seeds N..N+1 ...` regenerates the original program.
+// ---------------------------------------------------------------------------
+
+/// gen IR:  t0: lock m0; wait m0; unlock m0        (1 thread, 1 monitor)
+/// The minimal deadlocking monitor program: a self-wait nobody can ever
+/// notify.  This is what the shrinker reduces *every* deadlocking seed to
+/// under the drop-deadlocks sabotage oracle (first tripping seed 0 of
+/// `confail fuzz --seeds 0..40 --sabotage drop-deadlocks`), and doubles as
+/// the known-minimal fixture of the shrinker unit tests.
+inline void genSelfWait(confail::sched::VirtualScheduler& s,
+                        const Instruments& ins) {
+  struct State {
+    events::Trace ownTrace;
+    monitor::Runtime rt;
+    std::shared_ptr<void> decoration;
+    monitor::Monitor m0;
+    State(confail::sched::VirtualScheduler& sc, const Instruments& i)
+        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1),
+          decoration(i.decorate ? i.decorate(rt) : nullptr),
+          m0(detail::prime(rt, i.metrics), "m0") {}
+  };
+  if (ins.trace != nullptr) ins.trace->clear();
+  s.declareSnapshotSafe();
+  auto st = std::make_shared<State>(s, ins);
+  st->rt.spawn("t0", [st] {
+    monitor::Synchronized g(st->m0);
+    st->m0.wait();
+  });
+}
+inline void genSelfWait(confail::sched::VirtualScheduler& s) {
+  genSelfWait(s, Instruments{});
+}
+
+/// gen IR:  t0: lock m0; wait m0; unlock m0
+///          t1: lock m0; notify m0; unlock m0      (2 threads, 1 monitor)
+/// Lost notification: schedules where t1's notify lands before t0 waits
+/// leave t0 blocked forever (the paper's FF-T5 neighborhood without the
+/// buffer plumbing).  Distilled from seed 54 of the default fuzz tier, a
+/// 2-thread/21-op program over one monitor whose bounded tree completes on
+/// exactly 1 of its 16 schedules — the one where the waiter reaches its
+/// wait before the lone notifyAll fires — and deadlocks on the other 15.
+inline void genLostSignal(confail::sched::VirtualScheduler& s,
+                          const Instruments& ins) {
+  struct State {
+    events::Trace ownTrace;
+    monitor::Runtime rt;
+    std::shared_ptr<void> decoration;
+    monitor::Monitor m0;
+    State(confail::sched::VirtualScheduler& sc, const Instruments& i)
+        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1),
+          decoration(i.decorate ? i.decorate(rt) : nullptr),
+          m0(detail::prime(rt, i.metrics), "m0") {}
+  };
+  if (ins.trace != nullptr) ins.trace->clear();
+  s.declareSnapshotSafe();
+  auto st = std::make_shared<State>(s, ins);
+  st->rt.spawn("t0", [st] {
+    monitor::Synchronized g(st->m0);
+    st->m0.wait();
+  });
+  st->rt.spawn("t1", [st] {
+    monitor::Synchronized g(st->m0);
+    st->m0.notifyOne();
+  });
+}
+inline void genLostSignal(confail::sched::VirtualScheduler& s) {
+  genLostSignal(s, Instruments{});
+}
+
+/// gen IR:  t0: lock m0; write v0; unlock m0
+///          t1: write v0                           (2 threads, 1 mon, 1 var)
+/// Inconsistent guarding: t1 touches v0 without ever holding m0, so every
+/// interleaving carries a data race (empty lock-set intersection + no
+/// happens-before edge) while all runs still complete — the FF-T1 shape the
+/// lockset/hb detectors exist for.  Distilled from seed 7 of the default
+/// fuzz tier (2 threads, 18 ops: t1 writes v0 with an empty lock stack
+/// while t0 accesses it under m0); the clean-tier fuzz oracle proves
+/// generated *guarded* programs never trip these detectors.
+inline void genUnguardedWrite(confail::sched::VirtualScheduler& s,
+                              const Instruments& ins) {
+  struct State {
+    events::Trace ownTrace;
+    monitor::Runtime rt;
+    std::shared_ptr<void> decoration;
+    monitor::Monitor m0;
+    monitor::SharedVar<int> v0;
+    State(confail::sched::VirtualScheduler& sc, const Instruments& i)
+        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1),
+          decoration(i.decorate ? i.decorate(rt) : nullptr),
+          m0(detail::prime(rt, i.metrics), "m0"),
+          v0(rt, "v0", 0) {}
+  };
+  if (ins.trace != nullptr) ins.trace->clear();
+  s.declareSnapshotSafe();
+  auto st = std::make_shared<State>(s, ins);
+  st->rt.spawn("t0", [st] {
+    monitor::Synchronized g(st->m0);
+    st->v0.set(st->v0.peek() + 1);
+  });
+  st->rt.spawn("t1", [st] { st->v0.set(st->v0.peek() + 1); });
+}
+inline void genUnguardedWrite(confail::sched::VirtualScheduler& s) {
+  genUnguardedWrite(s, Instruments{});
+}
+
 }  // namespace confail::components::scenarios

@@ -1,0 +1,223 @@
+#include "confail/gen/generator.hpp"
+
+#include <algorithm>
+
+#include "confail/support/rng.hpp"
+
+namespace confail::gen {
+
+namespace {
+
+struct LoopFrame {
+  std::size_t lockBase;
+  bool nonEmpty;
+};
+
+/// Mutable per-thread draw state.
+struct ThreadDraw {
+  std::vector<std::uint8_t> lockStack;
+  std::vector<LoopFrame> loops;
+  ThreadIR ir;
+
+  void emit(Op op) {
+    // Mirror validate(): any op but LoopEnd makes the innermost body
+    // non-empty (LoopBegin marks the *enclosing* frame before pushing).
+    if (!loops.empty() && op.kind != OpKind::LoopEnd) {
+      loops.back().nonEmpty = true;
+    }
+    switch (op.kind) {
+      case OpKind::Lock:
+        lockStack.push_back(op.obj);
+        break;
+      case OpKind::Unlock:
+        lockStack.pop_back();
+        break;
+      case OpKind::LoopBegin:
+        loops.push_back(LoopFrame{lockStack.size(), false});
+        break;
+      case OpKind::LoopEnd:
+        loops.pop_back();
+        break;
+      default:
+        break;
+    }
+    ir.ops.push_back(op);
+  }
+};
+
+}  // namespace
+
+std::uint64_t GenConfig::streamTag() const {
+  confail::SplitMix64 mix(0x67656e2d69723031ull);  // "gen-ir01"
+  std::uint64_t h = mix.next();
+  auto fold = [&h](std::uint64_t v) {
+    confail::SplitMix64 m(h ^ v);
+    h = m.next();
+  };
+  fold(static_cast<std::uint64_t>(minThreads));
+  fold(static_cast<std::uint64_t>(maxThreads));
+  fold(static_cast<std::uint64_t>(maxMonitors));
+  fold(static_cast<std::uint64_t>(maxVars));
+  fold(static_cast<std::uint64_t>(maxOpsPerThread));
+  fold(static_cast<std::uint64_t>(maxLoopIters));
+  fold(static_cast<std::uint64_t>(maxLockDepth));
+  fold((allowWaitNotify ? 1ull : 0ull) | (allowLoops ? 2ull : 0ull) |
+       (cleanOnly ? 4ull : 0ull));
+  return h;
+}
+
+Program generate(std::uint64_t seed, const GenConfig& cfg) {
+  confail::Xoshiro256 rng(seed ^ cfg.streamTag());
+
+  Program p;
+  p.seed = seed;
+  const int nThreads =
+      cfg.minThreads +
+      static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(cfg.maxThreads - cfg.minThreads + 1)));
+  p.monitors = static_cast<std::uint8_t>(
+      1 + rng.below(static_cast<std::uint64_t>(cfg.maxMonitors)));
+  p.vars = static_cast<std::uint8_t>(
+      1 + rng.below(static_cast<std::uint64_t>(cfg.maxVars)));
+  const std::size_t lockDepthCap = std::min<std::size_t>(
+      static_cast<std::size_t>(cfg.maxLockDepth), kMaxLockNest);
+
+  for (int ti = 0; ti < nThreads; ++ti) {
+    ThreadDraw d;
+    const std::size_t target =
+        3 + rng.below(static_cast<std::uint64_t>(
+                std::max(1, cfg.maxOpsPerThread - 2)));
+    while (d.ir.ops.size() < target) {
+      // Weighted candidate kinds, assembled in a fixed order so the draw
+      // sequence is a pure function of (seed, cfg).
+      struct Cand {
+        OpKind kind;
+        int weight;
+      };
+      std::vector<Cand> cands;
+      const bool inLoop = !d.loops.empty();
+      const std::size_t lockBase = inLoop ? d.loops.back().lockBase : 0;
+
+      // Lock: in clean mode, only in ascending monitor order (deadlock
+      // freedom by a global lock hierarchy).
+      bool canLock = d.lockStack.size() < lockDepthCap;
+      if (cfg.cleanOnly && canLock) {
+        canLock = d.lockStack.empty() || d.lockStack.back() + 1 < p.monitors;
+      }
+      if (canLock) cands.push_back({OpKind::Lock, 4});
+      if (!d.lockStack.empty() && d.lockStack.size() > lockBase) {
+        cands.push_back({OpKind::Unlock, 3});
+      }
+      if (cfg.allowWaitNotify && !cfg.cleanOnly && !d.lockStack.empty()) {
+        cands.push_back({OpKind::Wait, 1});
+        cands.push_back({OpKind::Notify, 1});
+        cands.push_back({OpKind::NotifyAll, 1});
+      }
+      // Read/Write: in clean mode, var v is guarded by monitor v % monitors
+      // and may only be touched while that monitor is held.
+      bool canAccess = true;
+      if (cfg.cleanOnly) {
+        canAccess = false;
+        for (std::uint8_t v = 0; v < p.vars && !canAccess; ++v) {
+          const auto guard = static_cast<std::uint8_t>(v % p.monitors);
+          canAccess = std::find(d.lockStack.begin(), d.lockStack.end(),
+                                guard) != d.lockStack.end();
+        }
+      }
+      if (canAccess) {
+        cands.push_back({OpKind::Read, 3});
+        cands.push_back({OpKind::Write, 3});
+      }
+      cands.push_back({OpKind::Yield, 1});
+      if (cfg.allowLoops && d.loops.size() < 2 &&
+          d.ir.ops.size() + 3 <= target) {
+        cands.push_back({OpKind::LoopBegin, 1});
+      }
+      if (inLoop && d.loops.back().nonEmpty &&
+          d.lockStack.size() == lockBase) {
+        cands.push_back({OpKind::LoopEnd, 2});
+      }
+
+      int total = 0;
+      for (const Cand& c : cands) total += c.weight;
+      auto pick = static_cast<int>(rng.below(static_cast<std::uint64_t>(total)));
+      OpKind kind = cands.back().kind;
+      for (const Cand& c : cands) {
+        if (pick < c.weight) {
+          kind = c.kind;
+          break;
+        }
+        pick -= c.weight;
+      }
+
+      Op op;
+      op.kind = kind;
+      switch (kind) {
+        case OpKind::Lock:
+          if (cfg.cleanOnly) {
+            const std::uint8_t lo =
+                d.lockStack.empty()
+                    ? std::uint8_t{0}
+                    : static_cast<std::uint8_t>(d.lockStack.back() + 1);
+            op.obj = static_cast<std::uint8_t>(
+                lo + rng.below(static_cast<std::uint64_t>(p.monitors - lo)));
+          } else {
+            op.obj = static_cast<std::uint8_t>(rng.below(p.monitors));
+          }
+          break;
+        case OpKind::Unlock:
+          op.obj = d.lockStack.back();
+          break;
+        case OpKind::Wait:
+        case OpKind::Notify:
+        case OpKind::NotifyAll:
+          op.obj = d.lockStack[rng.pickIndex(d.lockStack)];
+          break;
+        case OpKind::Read:
+        case OpKind::Write:
+          if (cfg.cleanOnly) {
+            std::vector<std::uint8_t> guarded;
+            for (std::uint8_t v = 0; v < p.vars; ++v) {
+              const auto guard = static_cast<std::uint8_t>(v % p.monitors);
+              if (std::find(d.lockStack.begin(), d.lockStack.end(), guard) !=
+                  d.lockStack.end()) {
+                guarded.push_back(v);
+              }
+            }
+            op.obj = guarded[rng.pickIndex(guarded)];
+          } else {
+            op.obj = static_cast<std::uint8_t>(rng.below(p.vars));
+          }
+          break;
+        case OpKind::LoopBegin:
+          op.iters = static_cast<std::uint8_t>(
+              1 + rng.below(static_cast<std::uint64_t>(
+                      std::max(1, cfg.maxLoopIters))));
+          break;
+        default:
+          break;
+      }
+      d.emit(op);
+    }
+
+    // Close the thread: drain open loops (lock-balanced) and the lock stack.
+    while (!d.loops.empty() || !d.lockStack.empty()) {
+      if (!d.loops.empty()) {
+        LoopFrame& f = d.loops.back();
+        if (d.lockStack.size() > f.lockBase) {
+          d.emit(Op{OpKind::Unlock, d.lockStack.back(), 0});
+        } else if (!f.nonEmpty) {
+          d.emit(Op{OpKind::Yield, 0, 0});
+        } else {
+          d.emit(Op{OpKind::LoopEnd, 0, 0});
+        }
+      } else {
+        d.emit(Op{OpKind::Unlock, d.lockStack.back(), 0});
+      }
+    }
+    p.threads.push_back(std::move(d.ir));
+  }
+  return p;
+}
+
+}  // namespace confail::gen

@@ -1,0 +1,50 @@
+// Seed-deterministic monitor-program generator.
+//
+// generate(seed, cfg) draws a well-formed gen::Program from a Xoshiro256
+// stream seeded by (seed, cfg) alone — same seed + same config is
+// byte-identical IR on every host, every build, every run (the determinism
+// property tests compare render() bytes).  All randomness flows through
+// confail's seeded RNG; nothing here consults std::random_device, rand()
+// or the wall clock.
+//
+// Two tiers share the machinery:
+//
+//   * the default tier emits arbitrary well-formed programs — lock nesting,
+//     wait/notify placement, loops, unguarded accesses — the food for the
+//     differential oracles (incremental == replay, reductions == full
+//     enumeration, worker determinism, injection campaigns);
+//   * cleanOnly restricts the draw to programs that are deadlock-free and
+//     race-free *by construction* (ascending lock order, every var guarded
+//     by its designated monitor, no wait/notify), the food for the
+//     detector negative-control oracle.
+#pragma once
+
+#include <cstdint>
+
+#include "confail/gen/ir.hpp"
+
+namespace confail::gen {
+
+struct GenConfig {
+  /// Thread count is drawn from [minThreads, maxThreads].
+  int minThreads = 2;
+  int maxThreads = 3;
+  int maxMonitors = 2;
+  int maxVars = 2;
+  /// Per-thread op budget is drawn from [3, maxOpsPerThread] (structural
+  /// closers — unlocks, loop ends — may exceed it by the open nesting).
+  int maxOpsPerThread = 10;
+  int maxLoopIters = 2;
+  int maxLockDepth = 2;
+  bool allowWaitNotify = true;
+  bool allowLoops = true;
+  /// Deadlock- and race-free by construction (see file comment).
+  bool cleanOnly = false;
+
+  /// Mixed into the seed so distinct configs draw distinct streams.
+  std::uint64_t streamTag() const;
+};
+
+Program generate(std::uint64_t seed, const GenConfig& cfg);
+
+}  // namespace confail::gen

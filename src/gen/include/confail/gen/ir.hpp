@@ -1,0 +1,97 @@
+// The gen IR: a tiny structured language of monitor programs.
+//
+// A Program is N logical threads over M monitors and V shared ints; each
+// thread is a flat op vector with structured (balanced) control:
+//
+//   op     := lock m | unlock m | wait m | notify m | notifyAll m
+//           | read v | write v | yield
+//           | loop k { op* }            (k >= 1 bounded iterations)
+//
+// Well-formedness (validate()) guarantees the program maps onto the monitor
+// substrate without tripping its usage contracts: unlocks match the
+// innermost held lock, wait/notify require the monitor held, loop bodies
+// are lock-balanced (so iteration preserves the lock stack), nesting is
+// bounded, and every thread ends with an empty lock stack.  Deadlocks,
+// lost notifications and races remain fully expressible — well-formedness
+// constrains *syntax*, not schedules.
+//
+// The IR is deliberately value-semantic and order-deterministic: render()
+// is the canonical byte-exact text form the determinism properties compare,
+// and equality is structural.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace confail::gen {
+
+enum class OpKind : std::uint8_t {
+  Lock,
+  Unlock,
+  Wait,
+  Notify,
+  NotifyAll,
+  Read,
+  Write,
+  Yield,
+  LoopBegin,
+  LoopEnd,
+};
+
+/// Short mnemonic ("lock", "notifyAll", ...).
+const char* opKindName(OpKind k);
+
+struct Op {
+  OpKind kind = OpKind::Yield;
+  /// Monitor index (Lock..NotifyAll) or shared-var index (Read/Write);
+  /// unused otherwise.
+  std::uint8_t obj = 0;
+  /// LoopBegin only: iteration count (>= 1).
+  std::uint8_t iters = 0;
+
+  bool operator==(const Op&) const = default;
+};
+
+struct ThreadIR {
+  std::vector<Op> ops;
+
+  bool operator==(const ThreadIR&) const = default;
+};
+
+/// Interpreter bound honored by validate(): max depth of nested loops.
+inline constexpr std::size_t kMaxLoopNest = 4;
+/// Max depth of the per-thread lock stack validate() allows.
+inline constexpr std::size_t kMaxLockNest = 6;
+
+struct Program {
+  std::uint8_t monitors = 1;
+  std::uint8_t vars = 1;
+  /// Provenance only (which fuzz seed generated this); not part of
+  /// structural equality.
+  std::uint64_t seed = 0;
+  std::vector<ThreadIR> threads;
+
+  /// Total op count across threads (loop bodies counted once).
+  std::size_t opCount() const;
+
+  /// Any op of this kind anywhere in the program?
+  bool has(OpKind k) const;
+
+  /// Do at least two distinct threads contain a Lock of the same monitor?
+  bool monitorShared() const;
+
+  /// Canonical multi-line text form; byte-identical iff the programs are
+  /// structurally identical (seed included, as a header comment).
+  std::string render() const;
+
+  /// Well-formedness (see file comment).  On failure, *why (when non-null)
+  /// receives a one-line reason.
+  bool validate(std::string* why = nullptr) const;
+
+  bool operator==(const Program& o) const {
+    return monitors == o.monitors && vars == o.vars && threads == o.threads;
+  }
+};
+
+}  // namespace confail::gen

@@ -1,0 +1,44 @@
+// Greedy IR shrinking: reduce a failing program to a minimal reproducer.
+//
+// shrink() repeatedly proposes structurally smaller candidate programs in a
+// fixed, deterministic order — drop a whole thread, drop a loop, unroll a
+// loop to a single iteration, drop a lock/unlock region or just the pair,
+// drop a single leaf op, shrink the declared monitor/var counts — keeping a
+// candidate only when it still validates AND the caller's failure predicate
+// still holds, then restarts from the accepted program.  The process runs
+// to a fixpoint (no candidate accepted in a full pass) or until the attempt
+// budget is spent.
+//
+// Determinism: the candidate order is a pure function of the program, and
+// the predicate is assumed deterministic (everything in confail is), so
+// shrinking the same program twice yields byte-identical results — the
+// shrinker unit tests assert exactly that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "confail/gen/ir.hpp"
+
+namespace confail::gen {
+
+struct ShrinkOptions {
+  /// Cap on predicate evaluations (each candidate that validates costs 1).
+  std::size_t maxAttempts = 500;
+};
+
+struct ShrinkResult {
+  Program program;          ///< the smallest still-failing program found
+  std::size_t attempts = 0; ///< predicate evaluations spent
+  std::size_t accepted = 0; ///< candidates that kept the failure
+  bool fixpoint = false;    ///< a full pass proposed nothing acceptable
+};
+
+/// `fails` must return true when the candidate still exhibits the failure.
+/// The input program is assumed to fail (it is returned unchanged if no
+/// smaller candidate does).
+ShrinkResult shrink(const Program& p,
+                    const std::function<bool(const Program&)>& fails,
+                    const ShrinkOptions& opts = {});
+
+}  // namespace confail::gen

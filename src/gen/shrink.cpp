@@ -1,0 +1,218 @@
+#include "confail/gen/shrink.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace confail::gen {
+
+namespace {
+
+Program dropThread(const Program& p, std::size_t ti) {
+  Program c = p;
+  c.threads.erase(c.threads.begin() +
+                  static_cast<std::ptrdiff_t>(ti));
+  return c;
+}
+
+Program dropRange(const Program& p, std::size_t ti, std::size_t i,
+                  std::size_t j) {
+  Program c = p;
+  auto& ops = c.threads[ti].ops;
+  ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i),
+            ops.begin() + static_cast<std::ptrdiff_t>(j + 1));
+  return c;
+}
+
+Program dropPair(const Program& p, std::size_t ti, std::size_t i,
+                 std::size_t j) {
+  Program c = p;
+  auto& ops = c.threads[ti].ops;
+  ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(j));
+  ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+  return c;
+}
+
+Program dropOne(const Program& p, std::size_t ti, std::size_t i) {
+  Program c = p;
+  auto& ops = c.threads[ti].ops;
+  ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+  return c;
+}
+
+/// Matched (begin, end) index pairs of `kind` begin ops in one thread.
+std::vector<std::pair<std::size_t, std::size_t>> loopPairs(
+    const ThreadIR& t) {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < t.ops.size(); ++i) {
+    if (t.ops[i].kind == OpKind::LoopBegin) {
+      stack.push_back(i);
+    } else if (t.ops[i].kind == OpKind::LoopEnd && !stack.empty()) {
+      pairs.emplace_back(stack.back(), i);
+      stack.pop_back();
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> lockPairs(
+    const ThreadIR& t) {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < t.ops.size(); ++i) {
+    if (t.ops[i].kind == OpKind::Lock) {
+      stack.push_back(i);
+    } else if (t.ops[i].kind == OpKind::Unlock && !stack.empty()) {
+      pairs.emplace_back(stack.back(), i);
+      stack.pop_back();
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+/// Renumber monitors/vars to the used subset (shrinks the declared counts).
+bool compact(Program& c) {
+  std::vector<std::uint8_t> monMap(c.monitors, 255);
+  std::vector<std::uint8_t> varMap(c.vars, 255);
+  std::uint8_t nextMon = 0;
+  std::uint8_t nextVar = 0;
+  for (const ThreadIR& t : c.threads) {
+    for (const Op& op : t.ops) {
+      switch (op.kind) {
+        case OpKind::Lock:
+        case OpKind::Unlock:
+        case OpKind::Wait:
+        case OpKind::Notify:
+        case OpKind::NotifyAll:
+          if (monMap[op.obj] == 255) monMap[op.obj] = nextMon++;
+          break;
+        case OpKind::Read:
+        case OpKind::Write:
+          if (varMap[op.obj] == 255) varMap[op.obj] = nextVar++;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  const std::uint8_t newMons = std::max<std::uint8_t>(1, nextMon);
+  const std::uint8_t newVars = std::max<std::uint8_t>(1, nextVar);
+  if (newMons == c.monitors && newVars == c.vars) return false;
+  for (ThreadIR& t : c.threads) {
+    for (Op& op : t.ops) {
+      switch (op.kind) {
+        case OpKind::Lock:
+        case OpKind::Unlock:
+        case OpKind::Wait:
+        case OpKind::Notify:
+        case OpKind::NotifyAll:
+          op.obj = monMap[op.obj];
+          break;
+        case OpKind::Read:
+        case OpKind::Write:
+          op.obj = varMap[op.obj];
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  c.monitors = newMons;
+  c.vars = newVars;
+  return true;
+}
+
+/// All shrink candidates of `p`, in the fixed greedy order.
+std::vector<Program> candidates(const Program& p) {
+  std::vector<Program> out;
+  // 1. Whole threads, cheapest first win.
+  if (p.threads.size() > 1) {
+    for (std::size_t ti = 0; ti < p.threads.size(); ++ti) {
+      out.push_back(dropThread(p, ti));
+    }
+  }
+  for (std::size_t ti = 0; ti < p.threads.size(); ++ti) {
+    // 2. Loops: drop entirely, then unroll to a single pass, then iters=1.
+    for (const auto& [i, j] : loopPairs(p.threads[ti])) {
+      out.push_back(dropRange(p, ti, i, j));
+      out.push_back(dropPair(p, ti, i, j));
+      if (p.threads[ti].ops[i].iters > 1) {
+        Program c = p;
+        c.threads[ti].ops[i].iters = 1;
+        out.push_back(std::move(c));
+      }
+    }
+    // 3. Lock regions: drop the whole critical section, then just the pair.
+    for (const auto& [i, j] : lockPairs(p.threads[ti])) {
+      out.push_back(dropRange(p, ti, i, j));
+      out.push_back(dropPair(p, ti, i, j));
+    }
+    // 4. Single leaf ops.
+    for (std::size_t i = 0; i < p.threads[ti].ops.size(); ++i) {
+      switch (p.threads[ti].ops[i].kind) {
+        case OpKind::Wait:
+        case OpKind::Notify:
+        case OpKind::NotifyAll:
+        case OpKind::Read:
+        case OpKind::Write:
+        case OpKind::Yield:
+          out.push_back(dropOne(p, ti, i));
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  // 5. Declared-object compaction.
+  {
+    Program c = p;
+    if (compact(c)) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+/// Strictly-decreasing size measure, so greedy acceptance terminates.
+std::uint64_t measure(const Program& p) {
+  std::uint64_t iters = 0;
+  for (const ThreadIR& t : p.threads) {
+    for (const Op& op : t.ops) {
+      if (op.kind == OpKind::LoopBegin) iters += op.iters;
+    }
+  }
+  return (static_cast<std::uint64_t>(p.opCount()) << 24) + (iters << 10) +
+         p.monitors + p.vars + p.threads.size();
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Program& p,
+                    const std::function<bool(const Program&)>& fails,
+                    const ShrinkOptions& opts) {
+  ShrinkResult r;
+  r.program = p;
+  while (r.attempts < opts.maxAttempts) {
+    bool acceptedThisPass = false;
+    for (Program& cand : candidates(r.program)) {
+      if (r.attempts >= opts.maxAttempts) break;
+      if (measure(cand) >= measure(r.program)) continue;
+      if (!cand.validate()) continue;
+      ++r.attempts;
+      if (fails(cand)) {
+        cand.seed = p.seed;  // provenance survives shrinking
+        r.program = std::move(cand);
+        ++r.accepted;
+        acceptedThisPass = true;
+        break;  // restart candidate enumeration on the smaller program
+      }
+    }
+    if (!acceptedThisPass) {
+      r.fixpoint = r.attempts < opts.maxAttempts;
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace confail::gen

@@ -105,8 +105,14 @@ class JsonWriter {
   }
   void escape(const std::string& s) {
     for (char c : s) {
-      if (c == '"' || c == '\\') out_ += '\\';
-      out_ += c;
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default: out_ += c; break;
+      }
     }
   }
 

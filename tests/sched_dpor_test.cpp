@@ -111,7 +111,20 @@ std::size_t depthFor(const std::string& name) {
   if (name == "ff_t5_small") return 7;
   if (name == "lock_order") return 8;
   if (name == "disjoint") return 8;
+  // The fuzzer-found reproducers: trees of a handful of steps, effectively
+  // unbounded at depth 8.
+  if (name == "gen_selfwait") return 8;
+  if (name == "gen_lost_signal") return 8;
+  if (name == "gen_unguarded_write") return 8;
   return 0;
+}
+
+/// The gen_* reproducers are deliberately minimal — every pair of steps
+/// touches the same monitor or variable (or there is only one thread), so
+/// DPOR has nothing independent to elide and may legitimately explore the
+/// whole (tiny) tree.  Strict reduction is asserted everywhere else.
+bool expectStrictReduction(const std::string& name) {
+  return name.rfind("gen_", 0) != 0;
 }
 
 constexpr std::size_t kWorkerCounts[] = {1, 2, 8};
@@ -139,7 +152,11 @@ TEST(SchedDporTest, MatchesFullEnumerationPerScenario) {
       ASSERT_TRUE(dpor.stats.exhausted);
       EXPECT_EQ(dpor.deadlockSigs, none.deadlockSigs);
       EXPECT_EQ(dpor.stats.firstFailure, none.minCanonicalFailure);
-      EXPECT_LT(dpor.stats.runs, none.stats.runs);
+      if (expectStrictReduction(sc.name)) {
+        EXPECT_LT(dpor.stats.runs, none.stats.runs);
+      } else {
+        EXPECT_LE(dpor.stats.runs, none.stats.runs);
+      }
       if (!none.minCanonicalFailure.empty()) {
         EXPECT_EQ(dpor.stats.firstFailureOutcome,
                   none.stats.firstFailureOutcome);

@@ -26,6 +26,9 @@ int cmdObsCheck(const char* prog, int argc, char** argv);
 /// confail inject — deviation injection: single plan or full campaign.
 int cmdInject(const char* prog, int argc, char** argv);
 
+/// confail fuzz — seeded program generation + differential oracles.
+int cmdFuzz(const char* prog, int argc, char** argv);
+
 // ---- shared flag parsing ---------------------------------------------------
 
 /// The value of a flag: advances `i`; nullptr when the argument is missing.

@@ -21,6 +21,8 @@ int usage() {
                "  trace      analyze a serialized execution trace\n"
                "  inject     inject Table 1 deviations; build the detection "
                "matrix\n"
+               "  fuzz       generate seeded programs; run differential "
+               "oracles\n"
                "  obs-check  validate emitted metrics/trace files\n"
                "\nrun `confail <verb>` with no arguments for per-verb usage.\n");
   return 2;
@@ -41,6 +43,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(verb, "inject") == 0) {
     return confail::cli::cmdInject("confail inject", rest, restv);
+  }
+  if (std::strcmp(verb, "fuzz") == 0) {
+    return confail::cli::cmdFuzz("confail fuzz", rest, restv);
   }
   if (std::strcmp(verb, "obs-check") == 0) {
     return confail::cli::cmdObsCheck("confail obs-check", rest, restv);

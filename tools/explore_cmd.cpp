@@ -43,7 +43,7 @@ int usage(const char* prog) {
                "scenarios:\n",
                prog);
   for (const scenarios::NamedScenario& s : scenarios::registry()) {
-    std::fprintf(stderr, "  %-12s %s\n", s.name, s.blurb);
+    std::fprintf(stderr, "  %-12s %s\n", s.name.c_str(), s.blurb.c_str());
   }
   return 2;
 }

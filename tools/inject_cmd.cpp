@@ -226,7 +226,8 @@ int cmdInject(const char* prog, int argc, char** argv) {
       std::fprintf(stderr,
                    "%s: %s does not apply to scenario '%s' (no deviation "
                    "point)\n",
-                   prog, taxonomy::failureClassName(cls), scenario->name);
+                   prog, taxonomy::failureClassName(cls),
+                   scenario->name.c_str());
       return 2;
     }
     inject::InjectionPlan plan = inject::defaultPlanFor(cls, *scenario);
