@@ -1,0 +1,59 @@
+# Allocation audit: the ingest ring (and any other hot-path TU passed in)
+# promises zero heap allocation on its steady-state paths — that is the
+# "bounded-cost" half of the streaming-ingest contract.  This script greps
+# the named sources for allocating constructs and fails on any hit, so the
+# promise is enforced at build time rather than trusted to review.
+#
+# One-time construction cost is allowed: std::make_unique at construction
+# does not match any pattern below, and that is deliberate — the audit
+# bans *growth* (operator new, malloc, growable containers), not the
+# fixed up-front buffer.
+#
+# Invoked as:  cmake -DAUDIT_FILES=<f1;f2;...> -P alloc_audit.cmake
+if(NOT DEFINED AUDIT_FILES)
+  message(FATAL_ERROR "alloc_audit: pass -DAUDIT_FILES=<files>")
+endif()
+
+set(forbidden
+  "[^a-zA-Z0-9_]new[ \t(]"      # operator new / new-expressions
+  "malloc[ \t]*\\("
+  "calloc[ \t]*\\("
+  "realloc[ \t]*\\("
+  "push_back"
+  "emplace_back"
+  "emplace[ \t]*\\("
+  "\\.resize[ \t]*\\("
+  "\\.reserve[ \t]*\\("
+  "std::vector"
+  "std::string"
+  "std::deque"
+  "std::list"
+  "std::map"
+  "std::unordered")
+
+set(violations "")
+foreach(src ${AUDIT_FILES})
+  if(NOT EXISTS "${src}")
+    message(FATAL_ERROR "alloc_audit: no such file: ${src}")
+  endif()
+  file(READ "${src}" contents)
+  # Comments are allowed to *talk* about allocation (this policy has to be
+  # documented somewhere); only code counts.
+  string(REGEX REPLACE "//[^\n]*" "" contents "${contents}")
+  foreach(pattern ${forbidden})
+    string(REGEX MATCH "${pattern}" hit "${contents}")
+    if(hit)
+      string(APPEND violations "  ${src}: matches '${pattern}'\n")
+    endif()
+  endforeach()
+endforeach()
+
+if(violations)
+  message(FATAL_ERROR "ALLOC AUDIT FAILED: heap allocation in a hot-path TU\n"
+                      "${violations}"
+                      "hot-path transport must stay allocation-free; "
+                      "allocate at construction instead")
+endif()
+
+list(LENGTH AUDIT_FILES n)
+message(STATUS "ALLOC AUDIT OK (${n} hot-path sources scanned)")

@@ -24,6 +24,14 @@ const char* findingKindName(FindingKind k) {
   return "?";
 }
 
+std::vector<Finding> analyzeWithCore(StreamCore& core,
+                                     const events::Trace& trace) {
+  std::vector<Finding> out;
+  for (const events::Event& e : trace.events()) core.feed(e, out);
+  core.finish(TraceNames(trace), out);
+  return out;
+}
+
 std::string Finding::describe(const events::Trace& trace) const {
   std::ostringstream os;
   os << findingKindName(kind) << ": " << message;

@@ -46,6 +46,61 @@ struct Finding {
   std::string describe(const events::Trace& trace) const;
 };
 
+/// Read-only name lookup.  Incremental cores need it at finish time (cycle
+/// messages embed monitor names) and report sinks need it to render
+/// findings; events::Trace satisfies it via TraceNames, and the streaming
+/// ingest pipeline via its own table rebuilt from the event stream.
+class NameSource {
+ public:
+  virtual ~NameSource() = default;
+  virtual std::string threadName(events::ThreadId id) const = 0;
+  virtual std::string monitorName(events::MonitorId id) const = 0;
+  virtual std::string varName(events::VarId id) const = 0;
+  virtual std::string methodName(events::MethodId id) const = 0;
+};
+
+/// NameSource over a Trace's registered name tables.
+class TraceNames final : public NameSource {
+ public:
+  explicit TraceNames(const events::Trace& t) : t_(t) {}
+  std::string threadName(events::ThreadId id) const override {
+    return t_.threadName(id);
+  }
+  std::string monitorName(events::MonitorId id) const override {
+    return t_.monitorName(id);
+  }
+  std::string varName(events::VarId id) const override {
+    return t_.varName(id);
+  }
+  std::string methodName(events::MethodId id) const override {
+    return t_.methodName(id);
+  }
+
+ private:
+  const events::Trace& t_;
+};
+
+/// Incremental detector core: the single-pass state machine behind every
+/// detector in the battery.  feed() consumes events in global seq order and
+/// appends findings whose evidence is already complete; finish() appends
+/// the findings only end-of-stream can certify (hung waiters, never-granted
+/// requests, whole-run structural critiques) and must be called exactly
+/// once, after the last feed().
+///
+/// The offline Detector::analyze implementations drive these same cores
+/// over trace.events(), so an online analysis that feeds a recorded run's
+/// event stream through a core produces a byte-identical finding vector —
+/// the differential contract the streaming ingest pipeline is tested
+/// against.
+class StreamCore {
+ public:
+  virtual ~StreamCore() = default;
+  virtual const char* name() const = 0;
+  virtual std::vector<FindingKind> detectableKinds() const = 0;
+  virtual void feed(const events::Event& e, std::vector<Finding>& out) = 0;
+  virtual void finish(const NameSource& names, std::vector<Finding>& out) = 0;
+};
+
 /// Uniform detector interface: analyze a completed trace.
 class Detector {
  public:
@@ -59,5 +114,10 @@ class Detector {
   /// checked against (a class a detector *could* indicate but did not).
   virtual std::vector<FindingKind> detectableKinds() const = 0;
 };
+
+/// Drive a core over a completed trace: feed every event, then finish.
+/// The shared body of every Detector::analyze.
+std::vector<Finding> analyzeWithCore(StreamCore& core,
+                                     const events::Trace& trace);
 
 }  // namespace confail::detect

@@ -26,13 +26,23 @@
 //                               the ground-truth oracle for the simulated
 //                               broken-JVM EF-T2 deviation and only sound
 //                               against FIFO-policy monitors.
+//
+// ProtocolDeviationCore: every check is a running state machine whose
+// evidence completes at the deviating event, so all findings emit inline
+// from feed().
 #pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
 
 #include "confail/detect/finding.hpp"
 
 namespace confail::detect {
 
-class ProtocolDeviationDetector final : public Detector {
+class ProtocolDeviationCore final : public StreamCore {
  public:
   struct Options {
     /// Flag non-FIFO grants (EF-T2 oracle).  Leave off for components
@@ -41,11 +51,10 @@ class ProtocolDeviationDetector final : public Detector {
     bool flagBarging = false;
   };
 
-  ProtocolDeviationDetector() : ProtocolDeviationDetector(Options()) {}
-  explicit ProtocolDeviationDetector(Options opts) : opts_(opts) {}
+  ProtocolDeviationCore() : ProtocolDeviationCore(Options()) {}
+  explicit ProtocolDeviationCore(Options opts) : opts_(opts) {}
 
   const char* name() const override { return "protocol-deviation"; }
-  std::vector<Finding> analyze(const events::Trace& trace) override;
   std::vector<FindingKind> detectableKinds() const override {
     if (opts_.flagBarging) {
       return {FindingKind::MissedWait, FindingKind::SpuriousWakeup,
@@ -53,6 +62,41 @@ class ProtocolDeviationDetector final : public Detector {
     }
     return {FindingKind::MissedWait, FindingKind::SpuriousWakeup,
             FindingKind::PhantomNotify};
+  }
+  void feed(const events::Event& e, std::vector<Finding>& out) override;
+  void finish(const NameSource& names, std::vector<Finding>& out) override;
+
+ private:
+  Options opts_;
+  // SpuriousWakeup (EF-T3): one finding per woken (thread, monitor).
+  std::set<std::pair<events::ThreadId, events::MonitorId>> spuriousReported_;
+  // PhantomNotify (EF-T5): permit counting per monitor — notify() grants one
+  // wake, notifyAll() one per waiter present; both are emitted atomically
+  // with the wakes they cause, so a running balance is exact.
+  std::map<events::MonitorId, std::uint64_t> permits_;
+  std::set<events::MonitorId> phantomReported_;
+  // MissedWait (FF-T3): (method, seq) of a blocking-guard evaluation that
+  // came out true; a wait() must follow before the same guard holds again.
+  std::map<events::ThreadId, std::pair<events::MethodId, std::uint64_t>>
+      pendingTrueGuard_;
+  std::set<std::pair<events::ThreadId, events::MethodId>> missedReported_;
+  // BargingAcquire (EF-T2, opt-in): arrival order of lock contenders per
+  // monitor; a grant to anyone but the oldest arrival is an overtake.
+  std::map<events::MonitorId, std::deque<events::ThreadId>> arrivals_;
+  std::set<events::MonitorId> bargeReported_;
+};
+
+class ProtocolDeviationDetector final : public Detector {
+ public:
+  using Options = ProtocolDeviationCore::Options;
+
+  ProtocolDeviationDetector() : ProtocolDeviationDetector(Options()) {}
+  explicit ProtocolDeviationDetector(Options opts) : opts_(opts) {}
+
+  const char* name() const override { return "protocol-deviation"; }
+  std::vector<Finding> analyze(const events::Trace& trace) override;
+  std::vector<FindingKind> detectableKinds() const override {
+    return ProtocolDeviationCore(opts_).detectableKinds();
   }
 
  private:

@@ -5,11 +5,45 @@
 // Within each component-method invocation (MethodEnter..MethodExit) that
 // used a monitor, any shared-variable access performed after the thread's
 // last lock release — while holding no lock at all — is flagged.
+//
+// ReleaseDisciplineCore: evidence is complete at the offending access, so
+// all findings emit inline from feed(); finish() has nothing to add.
 #pragma once
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
 
 #include "confail/detect/finding.hpp"
 
 namespace confail::detect {
+
+class ReleaseDisciplineCore final : public StreamCore {
+ public:
+  const char* name() const override { return "release-discipline"; }
+  std::vector<FindingKind> detectableKinds() const override {
+    return {FindingKind::EarlyRelease};
+  }
+  void feed(const events::Event& e, std::vector<Finding>& out) override;
+  void finish(const NameSource& names, std::vector<Finding>& out) override;
+
+ private:
+  struct ThreadState {
+    int locksHeld = 0;
+    // Per innermost active method invocation: did it ever hold a lock, and
+    // has it released since?
+    struct Frame {
+      events::MethodId method;
+      bool usedLock = false;
+      bool releasedAll = false;
+    };
+    std::vector<Frame> frames;
+  };
+
+  std::map<events::ThreadId, ThreadState> state_;
+  std::set<std::pair<events::ThreadId, events::MethodId>> reported_;
+};
 
 class ReleaseDisciplineDetector final : public Detector {
  public:

@@ -7,11 +7,45 @@
 // as starvation.  A request still pending at the end of the trace with any
 // intervening grants is reported as LockHeldForever/Starvation depending on
 // whether the lock holder ever released.
+//
+// StarvationCore: threshold crossings are reported inline as they happen
+// (complete evidence mid-stream); still-pending requests are reported at
+// finish(), since "never granted" needs the end of the stream.
 #pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
 
 #include "confail/detect/finding.hpp"
 
 namespace confail::detect {
+
+class StarvationCore final : public StreamCore {
+ public:
+  explicit StarvationCore(std::uint64_t grantThreshold = 50)
+      : grantThreshold_(grantThreshold) {}
+
+  const char* name() const override { return "starvation"; }
+  std::vector<FindingKind> detectableKinds() const override {
+    return {FindingKind::Starvation, FindingKind::LockHeldForever};
+  }
+  void feed(const events::Event& e, std::vector<Finding>& out) override;
+  void finish(const NameSource& names, std::vector<Finding>& out) override;
+
+ private:
+  struct Pending {
+    std::uint64_t requestSeq;
+    std::uint64_t grantsWhilePending = 0;
+    bool reported = false;
+  };
+
+  std::uint64_t grantThreshold_;
+  std::map<std::pair<events::ThreadId, events::MonitorId>, Pending> pending_;
+  // Current holder per monitor and whether it ever released.
+  std::map<events::MonitorId, events::ThreadId> holder_;
+  std::map<events::MonitorId, std::uint64_t> releases_;
+};
 
 class StarvationDetector final : public Detector {
  public:

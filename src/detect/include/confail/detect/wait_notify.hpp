@@ -17,11 +17,57 @@
 //   * GuardNotRechecked    — a woken thread proceeded without re-evaluating
 //                            its wait-loop guard (an `if` around wait():
 //                            vulnerable to premature wake, EF-T5).
+//
+// WaitNotifyCore fuses the analyzer's two passes into one incremental scan:
+// the wait-set bookkeeping and the guard-recheck state machine both advance
+// per event in feed().  Everything here is end-of-stream evidence ("never
+// woken" is only decidable when the stream ends), so the protocol findings
+// are assembled at finish(); guard findings are detected mid-stream but
+// buffered so the emitted order matches the offline analyzer exactly
+// (LostNotify, NotifySingleInsufficient, WaitingForever, GuardNotRechecked).
 #pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
 
 #include "confail/detect/finding.hpp"
 
 namespace confail::detect {
+
+class WaitNotifyCore final : public StreamCore {
+ public:
+  const char* name() const override { return "wait-notify"; }
+  std::vector<FindingKind> detectableKinds() const override {
+    return {FindingKind::WaitingForever, FindingKind::LostNotify,
+            FindingKind::NotifySingleInsufficient,
+            FindingKind::GuardNotRechecked};
+  }
+  void feed(const events::Event& e, std::vector<Finding>& out) override;
+  void finish(const NameSource& names, std::vector<Finding>& out) override;
+
+ private:
+  struct OpenWait {
+    std::uint64_t seq;
+  };
+  struct PartialNotify {
+    std::uint64_t seq;
+    std::uint64_t waitersBefore;
+  };
+
+  // pass-1 bookkeeping: open waits and wake coverage per monitor
+  std::map<std::pair<events::ThreadId, events::MonitorId>, OpenWait> open_;
+  std::map<events::MonitorId, std::vector<std::uint64_t>> emptyNotifies_;
+  std::map<events::MonitorId, std::vector<PartialNotify>> partialNotifies_;
+
+  // pass-2 guard-recheck machine
+  std::map<events::ThreadId, std::pair<std::uint64_t, events::MethodId>>
+      pendingWake_;
+  std::set<std::pair<events::ThreadId, events::MethodId>> reportedGuard_;
+  std::vector<Finding> guardFindings_;  // buffered to preserve offline order
+};
 
 class WaitNotifyAnalyzer final : public Detector {
  public:

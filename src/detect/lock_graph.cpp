@@ -1,5 +1,6 @@
 #include "confail/detect/lock_graph.hpp"
 
+#include <functional>
 #include <map>
 #include <set>
 #include <sstream>
@@ -12,45 +13,41 @@ using events::EventKind;
 using events::MonitorId;
 using events::ThreadId;
 
-std::vector<Finding> LockOrderGraph::analyze(const events::Trace& trace) {
-  std::vector<Finding> findings;
-  std::map<ThreadId, std::vector<MonitorId>> held;  // acquisition order
-  // edge -> (thread, seq) of the first witness
-  std::map<std::pair<MonitorId, MonitorId>, std::pair<ThreadId, std::uint64_t>> edges;
-
-  for (const Event& e : trace.events()) {
-    switch (e.kind) {
-      case EventKind::LockAcquire: {
-        auto& stack = held[e.thread];
-        for (MonitorId outer : stack) {
-          if (outer != e.monitor) {
-            edges.emplace(std::make_pair(outer, e.monitor),
-                          std::make_pair(e.thread, e.seq));
-          }
+void LockOrderCore::feed(const Event& e, std::vector<Finding>&) {
+  switch (e.kind) {
+    case EventKind::LockAcquire: {
+      auto& stack = held_[e.thread];
+      for (MonitorId outer : stack) {
+        if (outer != e.monitor) {
+          edges_.emplace(std::make_pair(outer, e.monitor),
+                         std::make_pair(e.thread, e.seq));
         }
-        stack.push_back(e.monitor);
-        break;
       }
-      case EventKind::LockRelease:
-      case EventKind::WaitBegin: {
-        auto& stack = held[e.thread];
-        for (std::size_t i = stack.size(); i-- > 0;) {
-          if (stack[i] == e.monitor) {
-            stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
-            break;
-          }
-        }
-        break;
-      }
-      default:
-        break;
+      stack.push_back(e.monitor);
+      break;
     }
+    case EventKind::LockRelease:
+    case EventKind::WaitBegin: {
+      auto& stack = held_[e.thread];
+      for (std::size_t i = stack.size(); i-- > 0;) {
+        if (stack[i] == e.monitor) {
+          stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      break;
+    }
+    default:
+      break;
   }
+}
 
+void LockOrderCore::finish(const NameSource& names,
+                           std::vector<Finding>& out) {
   // Cycle detection over the collected edges (iterative DFS, coloring).
   std::map<MonitorId, std::vector<MonitorId>> adj;
   std::set<MonitorId> nodes;
-  for (const auto& [edge, witness] : edges) {
+  for (const auto& [edge, witness] : edges_) {
     adj[edge.first].push_back(edge.second);
     nodes.insert(edge.first);
     nodes.insert(edge.second);
@@ -94,20 +91,24 @@ std::vector<Finding> LockOrderGraph::analyze(const events::Trace& trace) {
     os << "inconsistent lock acquisition order: ";
     for (std::size_t i = 0; i < cycle.size(); ++i) {
       if (i) os << " -> ";
-      os << trace.monitorName(cycle[i]);
+      os << names.monitorName(cycle[i]);
     }
     Finding f;
     f.kind = FindingKind::DeadlockCycle;
     f.message = os.str();
     f.monitor = cycle.front();
-    auto w = edges.find(std::make_pair(cycle[0], cycle[1]));
-    if (w != edges.end()) {
+    auto w = edges_.find(std::make_pair(cycle[0], cycle[1]));
+    if (w != edges_.end()) {
       f.thread = w->second.first;
       f.seq = w->second.second;
     }
-    findings.push_back(std::move(f));
+    out.push_back(std::move(f));
   }
-  return findings;
+}
+
+std::vector<Finding> LockOrderGraph::analyze(const events::Trace& trace) {
+  LockOrderCore core;
+  return analyzeWithCore(core, trace);
 }
 
 }  // namespace confail::detect

@@ -14,132 +14,113 @@ using events::MethodId;
 using events::MonitorId;
 using events::ThreadId;
 
-std::vector<Finding> ProtocolDeviationDetector::analyze(
-    const events::Trace& trace) {
-  std::vector<Finding> findings;
-  const std::vector<Event> events = trace.events();
-
-  // --- SpuriousWakeup (EF-T3): one finding per woken (thread, monitor) ------
-  std::set<std::pair<ThreadId, MonitorId>> spuriousReported;
-  // --- PhantomNotify (EF-T5): permit counting per monitor -------------------
-  // notify() grants one wake, notifyAll() one per waiter present; both are
-  // emitted atomically with the wakes they cause, so a running balance is
-  // exact: a Notified that drives the balance negative had no call behind it.
-  std::map<MonitorId, std::uint64_t> permits;
-  std::set<MonitorId> phantomReported;
-  // --- MissedWait (FF-T3): guard held twice with no wait between ------------
-  // pendingTrueGuard[t] = (method, seq) of a blocking-guard evaluation that
-  // came out true; a wait() must follow before the same guard holds again.
-  std::map<ThreadId, std::pair<MethodId, std::uint64_t>> pendingTrueGuard;
-  std::set<std::pair<ThreadId, MethodId>> missedReported;
-  // --- BargingAcquire (EF-T2, opt-in): FIFO overtake tracking ---------------
-  // Arrival order of lock contenders per monitor; a grant to anyone but the
-  // oldest arrival is an overtake.
-  std::map<MonitorId, std::deque<ThreadId>> arrivals;
-  std::set<MonitorId> bargeReported;
-
+void ProtocolDeviationCore::feed(const Event& e, std::vector<Finding>& out) {
   auto enqueueArrival = [&](MonitorId m, ThreadId t) {
-    std::deque<ThreadId>& q = arrivals[m];
+    std::deque<ThreadId>& q = arrivals_[m];
     if (std::find(q.begin(), q.end(), t) == q.end()) q.push_back(t);
   };
 
-  for (const Event& e : events) {
-    switch (e.kind) {
-      case EventKind::SpuriousWake: {
-        if (spuriousReported.insert({e.thread, e.monitor}).second) {
+  switch (e.kind) {
+    case EventKind::SpuriousWake: {
+      if (spuriousReported_.insert({e.thread, e.monitor}).second) {
+        Finding f;
+        f.kind = FindingKind::SpuriousWakeup;
+        f.message = "waiter woke spuriously (no notification was executed)";
+        f.thread = e.thread;
+        f.monitor = e.monitor;
+        f.seq = e.seq;
+        out.push_back(std::move(f));
+      }
+      if (opts_.flagBarging) enqueueArrival(e.monitor, e.thread);
+      break;
+    }
+    case EventKind::NotifyCall:
+      if (e.aux > 0) permits_[e.monitor] += 1;
+      break;
+    case EventKind::NotifyAllCall:
+      permits_[e.monitor] += e.aux;
+      break;
+    case EventKind::Notified: {
+      std::uint64_t& p = permits_[e.monitor];
+      if (p == 0) {
+        if (phantomReported_.insert(e.monitor).second) {
           Finding f;
-          f.kind = FindingKind::SpuriousWakeup;
-          f.message = "waiter woke spuriously (no notification was executed)";
+          f.kind = FindingKind::PhantomNotify;
+          f.message =
+              "waiter observed a notification no notify()/notifyAll() "
+              "call granted";
           f.thread = e.thread;
           f.monitor = e.monitor;
           f.seq = e.seq;
-          findings.push_back(std::move(f));
+          out.push_back(std::move(f));
         }
-        if (opts_.flagBarging) enqueueArrival(e.monitor, e.thread);
-        break;
+      } else {
+        --p;
       }
-      case EventKind::NotifyCall:
-        if (e.aux > 0) permits[e.monitor] += 1;
-        break;
-      case EventKind::NotifyAllCall:
-        permits[e.monitor] += e.aux;
-        break;
-      case EventKind::Notified: {
-        std::uint64_t& p = permits[e.monitor];
-        if (p == 0) {
-          if (phantomReported.insert(e.monitor).second) {
+      if (opts_.flagBarging) enqueueArrival(e.monitor, e.thread);
+      break;
+    }
+    case EventKind::GuardEval: {
+      const MethodId method = static_cast<MethodId>(e.aux);
+      auto it = pendingTrueGuard_.find(e.thread);
+      if (e.flag) {
+        if (it != pendingTrueGuard_.end() && it->second.first == method) {
+          if (missedReported_.insert({e.thread, method}).second) {
             Finding f;
-            f.kind = FindingKind::PhantomNotify;
+            f.kind = FindingKind::MissedWait;
             f.message =
-                "waiter observed a notification no notify()/notifyAll() "
-                "call granted";
+                "blocking guard held twice with no wait() between the "
+                "evaluations (the wait was skipped; the guard loop spins)";
             f.thread = e.thread;
-            f.monitor = e.monitor;
-            f.seq = e.seq;
-            findings.push_back(std::move(f));
+            f.seq = it->second.second;
+            out.push_back(std::move(f));
           }
         } else {
-          --p;
+          pendingTrueGuard_[e.thread] = {method, e.seq};
         }
-        if (opts_.flagBarging) enqueueArrival(e.monitor, e.thread);
-        break;
+      } else if (it != pendingTrueGuard_.end() && it->second.first == method) {
+        pendingTrueGuard_.erase(it);
       }
-      case EventKind::GuardEval: {
-        const MethodId method = static_cast<MethodId>(e.aux);
-        auto it = pendingTrueGuard.find(e.thread);
-        if (e.flag) {
-          if (it != pendingTrueGuard.end() && it->second.first == method) {
-            if (missedReported.insert({e.thread, method}).second) {
-              Finding f;
-              f.kind = FindingKind::MissedWait;
-              f.message =
-                  "blocking guard held twice with no wait() between the "
-                  "evaluations (the wait was skipped; the guard loop spins)";
-              f.thread = e.thread;
-              f.seq = it->second.second;
-              findings.push_back(std::move(f));
-            }
-          } else {
-            pendingTrueGuard[e.thread] = {method, e.seq};
-          }
-        } else if (it != pendingTrueGuard.end() && it->second.first == method) {
-          pendingTrueGuard.erase(it);
-        }
-        break;
-      }
-      case EventKind::WaitBegin:
-        pendingTrueGuard.erase(e.thread);
-        break;
-      case EventKind::LockRequest:
-        if (opts_.flagBarging) enqueueArrival(e.monitor, e.thread);
-        break;
-      case EventKind::LockAcquire: {
-        if (!opts_.flagBarging) break;
-        auto qit = arrivals.find(e.monitor);
-        if (qit == arrivals.end()) break;
-        std::deque<ThreadId>& q = qit->second;
-        auto pos = std::find(q.begin(), q.end(), e.thread);
-        if (pos == q.end()) break;  // re-entrant or untracked: ignore
-        if (pos != q.begin() && bargeReported.insert(e.monitor).second) {
-          Finding f;
-          f.kind = FindingKind::BargingAcquire;
-          f.message = "lock grant overtook an older entry-queue request "
-                      "(non-FIFO grant)";
-          f.thread = e.thread;
-          f.thread2 = q.front();
-          f.monitor = e.monitor;
-          f.seq = e.seq;
-          findings.push_back(std::move(f));
-        }
-        q.erase(pos);
-        break;
-      }
-      default:
-        break;
+      break;
     }
+    case EventKind::WaitBegin:
+      pendingTrueGuard_.erase(e.thread);
+      break;
+    case EventKind::LockRequest:
+      if (opts_.flagBarging) enqueueArrival(e.monitor, e.thread);
+      break;
+    case EventKind::LockAcquire: {
+      if (!opts_.flagBarging) break;
+      auto qit = arrivals_.find(e.monitor);
+      if (qit == arrivals_.end()) break;
+      std::deque<ThreadId>& q = qit->second;
+      auto pos = std::find(q.begin(), q.end(), e.thread);
+      if (pos == q.end()) break;  // re-entrant or untracked: ignore
+      if (pos != q.begin() && bargeReported_.insert(e.monitor).second) {
+        Finding f;
+        f.kind = FindingKind::BargingAcquire;
+        f.message = "lock grant overtook an older entry-queue request "
+                    "(non-FIFO grant)";
+        f.thread = e.thread;
+        f.thread2 = q.front();
+        f.monitor = e.monitor;
+        f.seq = e.seq;
+        out.push_back(std::move(f));
+      }
+      q.erase(pos);
+      break;
+    }
+    default:
+      break;
   }
+}
 
-  return findings;
+void ProtocolDeviationCore::finish(const NameSource&, std::vector<Finding>&) {}
+
+std::vector<Finding> ProtocolDeviationDetector::analyze(
+    const events::Trace& trace) {
+  ProtocolDeviationCore core(opts_);
+  return analyzeWithCore(core, trace);
 }
 
 }  // namespace confail::detect

@@ -9,71 +9,60 @@ using events::Event;
 using events::EventKind;
 using events::ThreadId;
 
-std::vector<Finding> ReleaseDisciplineDetector::analyze(const events::Trace& trace) {
-  std::vector<Finding> findings;
-
-  struct ThreadState {
-    int locksHeld = 0;
-    // Per innermost active method invocation: did it ever hold a lock, and
-    // has it released since?
-    struct Frame {
-      events::MethodId method;
-      bool usedLock = false;
-      bool releasedAll = false;
-    };
-    std::vector<Frame> frames;
-  };
-  std::map<ThreadId, ThreadState> state;
-  std::set<std::pair<ThreadId, events::MethodId>> reported;
-
-  for (const Event& e : trace.events()) {
-    ThreadState& ts = state[e.thread];
-    switch (e.kind) {
-      case EventKind::MethodEnter:
-        ts.frames.push_back(ThreadState::Frame{
-            static_cast<events::MethodId>(e.aux), false, false});
-        break;
-      case EventKind::MethodExit:
-        if (!ts.frames.empty()) ts.frames.pop_back();
-        break;
-      case EventKind::LockAcquire:
-        ++ts.locksHeld;
-        if (!ts.frames.empty()) {
-          ts.frames.back().usedLock = true;
-          ts.frames.back().releasedAll = false;
-        }
-        break;
-      case EventKind::LockRelease:
-        if (ts.locksHeld > 0) --ts.locksHeld;
-        if (!ts.frames.empty() && ts.locksHeld == 0 &&
-            ts.frames.back().usedLock) {
-          ts.frames.back().releasedAll = true;
-        }
-        break;
-      case EventKind::Read:
-      case EventKind::Write: {
-        if (ts.frames.empty()) break;
-        const auto& f = ts.frames.back();
-        if (f.usedLock && f.releasedAll && ts.locksHeld == 0 &&
-            !reported.count({e.thread, f.method})) {
-          reported.insert({e.thread, f.method});
-          Finding fd;
-          fd.kind = FindingKind::EarlyRelease;
-          fd.message =
-              "shared variable accessed after the method released its lock "
-              "(premature lock release)";
-          fd.thread = e.thread;
-          fd.var = static_cast<events::VarId>(e.aux);
-          fd.seq = e.seq;
-          findings.push_back(std::move(fd));
-        }
-        break;
+void ReleaseDisciplineCore::feed(const Event& e, std::vector<Finding>& out) {
+  ThreadState& ts = state_[e.thread];
+  switch (e.kind) {
+    case EventKind::MethodEnter:
+      ts.frames.push_back(ThreadState::Frame{
+          static_cast<events::MethodId>(e.aux), false, false});
+      break;
+    case EventKind::MethodExit:
+      if (!ts.frames.empty()) ts.frames.pop_back();
+      break;
+    case EventKind::LockAcquire:
+      ++ts.locksHeld;
+      if (!ts.frames.empty()) {
+        ts.frames.back().usedLock = true;
+        ts.frames.back().releasedAll = false;
       }
-      default:
-        break;
+      break;
+    case EventKind::LockRelease:
+      if (ts.locksHeld > 0) --ts.locksHeld;
+      if (!ts.frames.empty() && ts.locksHeld == 0 &&
+          ts.frames.back().usedLock) {
+        ts.frames.back().releasedAll = true;
+      }
+      break;
+    case EventKind::Read:
+    case EventKind::Write: {
+      if (ts.frames.empty()) break;
+      const auto& f = ts.frames.back();
+      if (f.usedLock && f.releasedAll && ts.locksHeld == 0 &&
+          !reported_.count({e.thread, f.method})) {
+        reported_.insert({e.thread, f.method});
+        Finding fd;
+        fd.kind = FindingKind::EarlyRelease;
+        fd.message =
+            "shared variable accessed after the method released its lock "
+            "(premature lock release)";
+        fd.thread = e.thread;
+        fd.var = static_cast<events::VarId>(e.aux);
+        fd.seq = e.seq;
+        out.push_back(std::move(fd));
+      }
+      break;
     }
+    default:
+      break;
   }
-  return findings;
+}
+
+void ReleaseDisciplineCore::finish(const NameSource&, std::vector<Finding>&) {}
+
+std::vector<Finding> ReleaseDisciplineDetector::analyze(
+    const events::Trace& trace) {
+  ReleaseDisciplineCore core;
+  return analyzeWithCore(core, trace);
 }
 
 }  // namespace confail::detect

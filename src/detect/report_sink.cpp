@@ -1,0 +1,213 @@
+#include "confail/detect/report_sink.hpp"
+
+#include <cstdio>
+#include <set>
+
+#include "confail/obs/json.hpp"
+
+namespace confail::detect {
+
+const char* sarifLevel(FindingKind k) {
+  switch (k) {
+    // Functional failures: wrong results or hangs (the paper's FF rows).
+    case FindingKind::DataRace:
+    case FindingKind::DeadlockCycle:
+    case FindingKind::LockHeldForever:
+    case FindingKind::Starvation:
+    case FindingKind::WaitingForever:
+    case FindingKind::LostNotify:
+    case FindingKind::NotifySingleInsufficient:
+    case FindingKind::MissedWait:
+      return "error";
+    // Efficiency failures and protocol oddities that are legal but costly
+    // or fragile (EF rows).
+    case FindingKind::UnnecessarySync:
+    case FindingKind::GuardNotRechecked:
+    case FindingKind::EarlyRelease:
+    case FindingKind::SpuriousWakeup:
+    case FindingKind::PhantomNotify:
+    case FindingKind::BargingAcquire:
+      return "warning";
+  }
+  return "note";
+}
+
+bool ReportSink::add(const std::string& detector, const Finding& f) {
+  if (maxFindings_ != 0 && entries_.size() >= maxFindings_) {
+    ++dropped_;
+    return false;
+  }
+  entries_.push_back(Entry{detector, f});
+  return true;
+}
+
+void ReportSink::addAll(const std::string& detector,
+                        const std::vector<Finding>& fs) {
+  for (const Finding& f : fs) add(detector, f);
+}
+
+std::string ReportSink::toJson(const NameSource& names) const {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.field("schema", "confail.findings.v1");
+  if (!source_.empty()) w.field("source", source_);
+  w.field("count", static_cast<std::uint64_t>(entries_.size()));
+  w.field("dropped", dropped_);
+  w.key("findings");
+  w.beginArray();
+  for (const Entry& e : entries_) {
+    const Finding& f = e.finding;
+    w.beginObject();
+    w.field("detector", e.detector);
+    w.field("kind", findingKindName(f.kind));
+    w.field("message", f.message);
+    if (f.thread != events::kNoThread) {
+      w.field("thread_id", static_cast<std::uint64_t>(f.thread));
+      w.field("thread", names.threadName(f.thread));
+    }
+    if (f.thread2 != events::kNoThread) {
+      w.field("thread2_id", static_cast<std::uint64_t>(f.thread2));
+      w.field("thread2", names.threadName(f.thread2));
+    }
+    if (f.monitor != events::kNoMonitor) {
+      w.field("monitor_id", static_cast<std::uint64_t>(f.monitor));
+      w.field("monitor", names.monitorName(f.monitor));
+    }
+    if (f.var != events::kNoVar) {
+      w.field("var_id", static_cast<std::uint64_t>(f.var));
+      w.field("var", names.varName(f.var));
+    }
+    w.field("seq", f.seq);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  return w.str();
+}
+
+std::string ReportSink::toSarif(const NameSource& names) const {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.field("$schema",
+          "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+          "Schemata/sarif-schema-2.1.0.json");
+  w.field("version", "2.1.0");
+  w.key("runs");
+  w.beginArray();
+  w.beginObject();
+  w.key("tool");
+  w.beginObject();
+  w.key("driver");
+  w.beginObject();
+  w.field("name", "confail");
+  w.field("informationUri", "https://example.invalid/confail");
+  w.field("version", "1.0.0");
+  w.key("rules");
+  w.beginArray();
+  // One reporting rule per finding kind actually present, first-use order.
+  std::set<FindingKind> seen;
+  std::vector<FindingKind> ruleOrder;
+  for (const Entry& e : entries_) {
+    if (seen.insert(e.finding.kind).second) ruleOrder.push_back(e.finding.kind);
+  }
+  for (FindingKind k : ruleOrder) {
+    w.beginObject();
+    w.field("id", findingKindName(k));
+    w.key("shortDescription");
+    w.beginObject();
+    w.field("text", findingKindName(k));
+    w.endObject();
+    w.key("defaultConfiguration");
+    w.beginObject();
+    w.field("level", sarifLevel(k));
+    w.endObject();
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();  // driver
+  w.endObject();  // tool
+  if (!source_.empty()) {
+    w.key("properties");
+    w.beginObject();
+    w.field("source", source_);
+    w.field("droppedFindings", dropped_);
+    w.endObject();
+  }
+  w.key("results");
+  w.beginArray();
+  for (const Entry& e : entries_) {
+    const Finding& f = e.finding;
+    w.beginObject();
+    w.field("ruleId", findingKindName(f.kind));
+    w.field("level", sarifLevel(f.kind));
+    w.key("message");
+    w.beginObject();
+    w.field("text", f.message);
+    w.endObject();
+    w.key("locations");
+    w.beginArray();
+    w.beginObject();
+    w.key("logicalLocations");
+    w.beginArray();
+    if (f.thread != events::kNoThread) {
+      w.beginObject();
+      w.field("name", names.threadName(f.thread));
+      w.field("kind", "thread");
+      w.endObject();
+    }
+    if (f.thread2 != events::kNoThread) {
+      w.beginObject();
+      w.field("name", names.threadName(f.thread2));
+      w.field("kind", "thread");
+      w.endObject();
+    }
+    if (f.monitor != events::kNoMonitor) {
+      w.beginObject();
+      w.field("name", names.monitorName(f.monitor));
+      w.field("kind", "resource");
+      w.endObject();
+    }
+    if (f.var != events::kNoVar) {
+      w.beginObject();
+      w.field("name", names.varName(f.var));
+      w.field("kind", "variable");
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.endArray();
+    w.key("properties");
+    w.beginObject();
+    w.field("detector", e.detector);
+    w.field("seq", f.seq);
+    w.endObject();
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();  // run
+  w.endArray();
+  w.endObject();
+  return w.str();
+}
+
+namespace {
+bool writeDoc(const std::string& doc, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs(doc.c_str(), f);
+  std::fputc('\n', f);
+  return std::fclose(f) == 0;
+}
+}  // namespace
+
+bool ReportSink::writeJsonFile(const NameSource& names,
+                               const std::string& path) const {
+  return writeDoc(toJson(names), path);
+}
+
+bool ReportSink::writeSarifFile(const NameSource& names,
+                                const std::string& path) const {
+  return writeDoc(toSarif(names), path);
+}
+
+}  // namespace confail::detect

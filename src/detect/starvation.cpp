@@ -9,60 +9,48 @@ using events::EventKind;
 using events::MonitorId;
 using events::ThreadId;
 
-std::vector<Finding> StarvationDetector::analyze(const events::Trace& trace) {
-  std::vector<Finding> findings;
-
-  struct Pending {
-    std::uint64_t requestSeq;
-    std::uint64_t grantsWhilePending = 0;
-    bool reported = false;
-  };
-  std::map<std::pair<ThreadId, MonitorId>, Pending> pending;
-  // Current holder per monitor and whether it ever released.
-  std::map<MonitorId, ThreadId> holder;
-  std::map<MonitorId, std::uint64_t> releases;
-
-  for (const Event& e : trace.events()) {
-    switch (e.kind) {
-      case EventKind::LockRequest:
-        pending[{e.thread, e.monitor}] = Pending{e.seq};
-        break;
-      case EventKind::LockAcquire: {
-        pending.erase({e.thread, e.monitor});
-        holder[e.monitor] = e.thread;
-        for (auto& [key, p] : pending) {
-          if (key.second != e.monitor || p.reported) continue;
-          if (++p.grantsWhilePending >= grantThreshold_) {
-            p.reported = true;
-            Finding f;
-            f.kind = FindingKind::Starvation;
-            f.message = "lock request starved: " +
-                        std::to_string(p.grantsWhilePending) +
-                        " grants to other threads while this request pended";
-            f.thread = key.first;
-            f.thread2 = e.thread;
-            f.monitor = e.monitor;
-            f.seq = p.requestSeq;
-            findings.push_back(std::move(f));
-          }
+void StarvationCore::feed(const Event& e, std::vector<Finding>& out) {
+  switch (e.kind) {
+    case EventKind::LockRequest:
+      pending_[{e.thread, e.monitor}] = Pending{e.seq};
+      break;
+    case EventKind::LockAcquire: {
+      pending_.erase({e.thread, e.monitor});
+      holder_[e.monitor] = e.thread;
+      for (auto& [key, p] : pending_) {
+        if (key.second != e.monitor || p.reported) continue;
+        if (++p.grantsWhilePending >= grantThreshold_) {
+          p.reported = true;
+          Finding f;
+          f.kind = FindingKind::Starvation;
+          f.message = "lock request starved: " +
+                      std::to_string(p.grantsWhilePending) +
+                      " grants to other threads while this request pended";
+          f.thread = key.first;
+          f.thread2 = e.thread;
+          f.monitor = e.monitor;
+          f.seq = p.requestSeq;
+          out.push_back(std::move(f));
         }
-        break;
       }
-      case EventKind::LockRelease:
-      case EventKind::WaitBegin:
-        holder.erase(e.monitor);
-        ++releases[e.monitor];
-        break;
-      default:
-        break;
+      break;
     }
+    case EventKind::LockRelease:
+    case EventKind::WaitBegin:
+      holder_.erase(e.monitor);
+      ++releases_[e.monitor];
+      break;
+    default:
+      break;
   }
+}
 
+void StarvationCore::finish(const NameSource&, std::vector<Finding>& out) {
   // Requests still pending at the end of the trace.
-  for (const auto& [key, p] : pending) {
+  for (const auto& [key, p] : pending_) {
     if (p.reported) continue;
-    auto h = holder.find(key.second);
-    if (h != holder.end()) {
+    auto h = holder_.find(key.second);
+    if (h != holder_.end()) {
       Finding f;
       f.kind = FindingKind::LockHeldForever;
       f.message = "lock request never granted: holder never released";
@@ -70,7 +58,7 @@ std::vector<Finding> StarvationDetector::analyze(const events::Trace& trace) {
       f.thread2 = h->second;
       f.monitor = key.second;
       f.seq = p.requestSeq;
-      findings.push_back(std::move(f));
+      out.push_back(std::move(f));
     } else if (p.grantsWhilePending > 0) {
       Finding f;
       f.kind = FindingKind::Starvation;
@@ -79,10 +67,14 @@ std::vector<Finding> StarvationDetector::analyze(const events::Trace& trace) {
       f.thread = key.first;
       f.monitor = key.second;
       f.seq = p.requestSeq;
-      findings.push_back(std::move(f));
+      out.push_back(std::move(f));
     }
   }
-  return findings;
+}
+
+std::vector<Finding> StarvationDetector::analyze(const events::Trace& trace) {
+  StarvationCore core(grantThreshold_);
+  return analyzeWithCore(core, trace);
 }
 
 }  // namespace confail::detect

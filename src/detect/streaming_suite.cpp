@@ -1,0 +1,115 @@
+#include "confail/detect/streaming_suite.hpp"
+
+#include <string>
+
+#include "confail/detect/hb_detector.hpp"
+#include "confail/detect/lock_graph.hpp"
+#include "confail/detect/lockset.hpp"
+#include "confail/detect/protocol_deviation.hpp"
+#include "confail/detect/release_discipline.hpp"
+#include "confail/detect/starvation.hpp"
+#include "confail/detect/unnecessary_sync.hpp"
+#include "confail/detect/wait_notify.hpp"
+#include "confail/obs/metrics.hpp"
+
+namespace confail::detect {
+
+StreamingSuite::StreamingSuite(Options opts) {
+  auto push = [&](std::unique_ptr<StreamCore> core) {
+    slots_.push_back(Slot{std::move(core), {}});
+  };
+  push(std::make_unique<LocksetCore>());
+  HbCore::Options hb;
+  hb.maxVarHistory = opts.hbMaxVarHistory;
+  auto hbCore = std::make_unique<HbCore>(hb);
+  hb_ = hbCore.get();
+  push(std::move(hbCore));
+  push(std::make_unique<LockOrderCore>());
+  push(std::make_unique<WaitNotifyCore>());
+  push(std::make_unique<StarvationCore>(opts.starvationGrantThreshold));
+  if (opts.includeUnnecessarySync) {
+    push(std::make_unique<UnnecessarySyncCore>());
+  }
+  push(std::make_unique<ReleaseDisciplineCore>());
+  ProtocolDeviationCore::Options pd;
+  pd.flagBarging = opts.flagBarging;
+  push(std::make_unique<ProtocolDeviationCore>(pd));
+}
+
+StreamingSuite::~StreamingSuite() = default;
+
+void StreamingSuite::feed(const events::Event& e) {
+  ++eventsFed_;
+  for (Slot& s : slots_) {
+    const std::size_t before = s.findings.size();
+    if (metrics_ != nullptr) {
+      const std::string prefix = std::string("ingest.") + s.core->name();
+      obs::ScopedTimer timer(&metrics_->histogram(prefix + ".feed_ns"));
+      s.core->feed(e, s.findings);
+    } else {
+      s.core->feed(e, s.findings);
+    }
+    if (s.findings.size() != before) {
+      if (metrics_ != nullptr) {
+        metrics_->counter(std::string("ingest.") + s.core->name() +
+                          ".findings")
+            .add(s.findings.size() - before);
+      }
+      if (onFinding_) {
+        for (std::size_t i = before; i < s.findings.size(); ++i) {
+          onFinding_(s.core->name(), s.findings[i]);
+        }
+      }
+    }
+  }
+}
+
+void StreamingSuite::finish(const NameSource& names) {
+  if (finished_) return;
+  finished_ = true;
+  for (Slot& s : slots_) {
+    const std::size_t before = s.findings.size();
+    s.core->finish(names, s.findings);
+    if (s.findings.size() != before) {
+      if (metrics_ != nullptr) {
+        metrics_->counter(std::string("ingest.") + s.core->name() +
+                          ".findings")
+            .add(s.findings.size() - before);
+      }
+      if (onFinding_) {
+        for (std::size_t i = before; i < s.findings.size(); ++i) {
+          onFinding_(s.core->name(), s.findings[i]);
+        }
+      }
+    }
+  }
+}
+
+std::vector<Finding> StreamingSuite::findings() const {
+  std::vector<Finding> all;
+  for (const Slot& s : slots_) {
+    all.insert(all.end(), s.findings.begin(), s.findings.end());
+  }
+  return all;
+}
+
+std::vector<StreamingSuite::CoreReport> StreamingSuite::reports() const {
+  std::vector<CoreReport> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    out.push_back(CoreReport{s.core->name(), s.findings});
+  }
+  return out;
+}
+
+std::vector<const char*> StreamingSuite::coreNames() const {
+  std::vector<const char*> names;
+  for (const Slot& s : slots_) names.push_back(s.core->name());
+  return names;
+}
+
+std::uint64_t StreamingSuite::hbEvictions() const {
+  return hb_ != nullptr ? hb_->evictions() : 0;
+}
+
+}  // namespace confail::detect

@@ -11,65 +11,52 @@ using events::MonitorId;
 using events::ThreadId;
 using events::VarId;
 
-std::vector<Finding> UnnecessarySyncDetector::analyze(const events::Trace& trace) {
-  std::vector<Finding> findings;
-
-  struct MonUse {
-    std::set<ThreadId> lockers;
-    bool waitedOrNotified = false;
-    std::uint64_t firstSeq = 0;
-    bool seen = false;
-    std::set<VarId> varsUnder;  // variables accessed while this lock was held
-  };
-  std::map<MonitorId, MonUse> mons;
-  std::map<ThreadId, std::vector<MonitorId>> held;
-  std::map<VarId, std::set<ThreadId>> varThreads;
-
-  for (const Event& e : trace.events()) {
-    switch (e.kind) {
-      case EventKind::LockAcquire: {
-        MonUse& mu = mons[e.monitor];
-        mu.lockers.insert(e.thread);
-        if (!mu.seen) {
-          mu.seen = true;
-          mu.firstSeq = e.seq;
-        }
-        held[e.thread].push_back(e.monitor);
-        break;
+void UnnecessarySyncCore::feed(const Event& e, std::vector<Finding>&) {
+  switch (e.kind) {
+    case EventKind::LockAcquire: {
+      MonUse& mu = mons_[e.monitor];
+      mu.lockers.insert(e.thread);
+      if (!mu.seen) {
+        mu.seen = true;
+        mu.firstSeq = e.seq;
       }
-      case EventKind::LockRelease: {
-        auto& stack = held[e.thread];
-        for (std::size_t i = stack.size(); i-- > 0;) {
-          if (stack[i] == e.monitor) {
-            stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
-            break;
-          }
-        }
-        break;
-      }
-      case EventKind::WaitBegin:
-      case EventKind::Notified:
-      case EventKind::NotifyCall:
-      case EventKind::NotifyAllCall:
-        mons[e.monitor].waitedOrNotified = true;
-        break;
-      case EventKind::Read:
-      case EventKind::Write: {
-        const VarId v = static_cast<VarId>(e.aux);
-        varThreads[v].insert(e.thread);
-        for (MonitorId m : held[e.thread]) mons[m].varsUnder.insert(v);
-        break;
-      }
-      default:
-        break;
+      held_[e.thread].push_back(e.monitor);
+      break;
     }
+    case EventKind::LockRelease: {
+      auto& stack = held_[e.thread];
+      for (std::size_t i = stack.size(); i-- > 0;) {
+        if (stack[i] == e.monitor) {
+          stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      break;
+    }
+    case EventKind::WaitBegin:
+    case EventKind::Notified:
+    case EventKind::NotifyCall:
+    case EventKind::NotifyAllCall:
+      mons_[e.monitor].waitedOrNotified = true;
+      break;
+    case EventKind::Read:
+    case EventKind::Write: {
+      const VarId v = static_cast<VarId>(e.aux);
+      varThreads_[v].insert(e.thread);
+      for (MonitorId m : held_[e.thread]) mons_[m].varsUnder.insert(v);
+      break;
+    }
+    default:
+      break;
   }
+}
 
-  for (const auto& [mon, mu] : mons) {
+void UnnecessarySyncCore::finish(const NameSource&, std::vector<Finding>& out) {
+  for (const auto& [mon, mu] : mons_) {
     if (!mu.seen || mu.lockers.size() != 1 || mu.waitedOrNotified) continue;
     bool varsSingleThreaded = true;
     for (VarId v : mu.varsUnder) {
-      varsSingleThreaded = varsSingleThreaded && varThreads[v].size() <= 1;
+      varsSingleThreaded = varsSingleThreaded && varThreads_[v].size() <= 1;
     }
     if (!varsSingleThreaded) continue;
     Finding f;
@@ -81,9 +68,14 @@ std::vector<Finding> UnnecessarySyncDetector::analyze(const events::Trace& trace
     f.thread = *mu.lockers.begin();
     f.monitor = mon;
     f.seq = mu.firstSeq;
-    findings.push_back(std::move(f));
+    out.push_back(std::move(f));
   }
-  return findings;
+}
+
+std::vector<Finding> UnnecessarySyncDetector::analyze(
+    const events::Trace& trace) {
+  UnnecessarySyncCore core;
+  return analyzeWithCore(core, trace);
 }
 
 }  // namespace confail::detect

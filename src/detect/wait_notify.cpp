@@ -10,52 +10,78 @@ using events::EventKind;
 using events::MonitorId;
 using events::ThreadId;
 
-std::vector<Finding> WaitNotifyAnalyzer::analyze(const events::Trace& trace) {
-  std::vector<Finding> findings;
-  const std::vector<Event> events = trace.events();
-
-  // --- pass 1: per-(thread, monitor) open waits; wake bookkeeping ----------
-  struct OpenWait {
-    std::uint64_t seq;
-  };
-  std::map<std::pair<ThreadId, MonitorId>, OpenWait> open;
-  std::vector<Finding> waitingForever;
-
-  // notify-with-empty-waitset calls per monitor (seq positions)
-  std::map<MonitorId, std::vector<std::uint64_t>> emptyNotifies;
-  // notify() calls that left waiters behind: monitor -> (seq, waitersLeft)
-  struct PartialNotify {
-    std::uint64_t seq;
-    std::uint64_t waitersBefore;
-  };
-  std::map<MonitorId, std::vector<PartialNotify>> partialNotifies;
-
-  for (const Event& e : events) {
-    switch (e.kind) {
-      case EventKind::WaitBegin:
-        open[{e.thread, e.monitor}] = OpenWait{e.seq};
-        break;
-      case EventKind::Notified:
-      case EventKind::SpuriousWake:
-        open.erase({e.thread, e.monitor});
-        break;
-      case EventKind::NotifyCall:
-        if (e.aux == 0) {
-          emptyNotifies[e.monitor].push_back(e.seq);
-        } else if (e.aux > 1) {
-          partialNotifies[e.monitor].push_back(PartialNotify{e.seq, e.aux});
-        }
-        break;
-      case EventKind::NotifyAllCall:
-        if (e.aux == 0) emptyNotifies[e.monitor].push_back(e.seq);
-        break;
-      default:
-        break;
-    }
+void WaitNotifyCore::feed(const Event& e, std::vector<Finding>&) {
+  // --- wait-set bookkeeping -------------------------------------------------
+  switch (e.kind) {
+    case EventKind::WaitBegin:
+      open_[{e.thread, e.monitor}] = OpenWait{e.seq};
+      break;
+    case EventKind::Notified:
+    case EventKind::SpuriousWake:
+      open_.erase({e.thread, e.monitor});
+      break;
+    case EventKind::NotifyCall:
+      if (e.aux == 0) {
+        emptyNotifies_[e.monitor].push_back(e.seq);
+      } else if (e.aux > 1) {
+        partialNotifies_[e.monitor].push_back(PartialNotify{e.seq, e.aux});
+      }
+      break;
+    case EventKind::NotifyAllCall:
+      if (e.aux == 0) emptyNotifies_[e.monitor].push_back(e.seq);
+      break;
+    default:
+      break;
   }
 
+  // --- guard re-check discipline --------------------------------------------
+  // After a Notified/SpuriousWake, the next *relevant* event of that thread
+  // inside the same method should be a GuardEval (the wait-loop condition).
+  // Seeing a different concurrency event or the method exit first means the
+  // component proceeded without re-testing its guard.
+  auto it = pendingWake_.find(e.thread);
+  if (it != pendingWake_.end()) {
+    const auto [wakeSeq, method] = it->second;
+    switch (e.kind) {
+      case EventKind::GuardEval:
+        pendingWake_.erase(it);  // disciplined: guard re-evaluated
+        break;
+      case EventKind::LockAcquire:
+      case EventKind::Notified:
+      case EventKind::SpuriousWake:
+        break;  // part of the wake-up protocol itself
+      case EventKind::Read:
+        // Evaluating the guard reads the shared state first; reads are
+        // not evidence of proceeding past the guard.  (A mutant that
+        // skips the re-check still trips on its first Write/wait/exit.)
+        break;
+      default: {
+        if (!reportedGuard_.count({e.thread, method})) {
+          reportedGuard_.insert({e.thread, method});
+          Finding f;
+          f.kind = FindingKind::GuardNotRechecked;
+          f.message =
+              "thread proceeded after a wake without re-evaluating its "
+              "wait guard (if-around-wait instead of while)";
+          f.thread = e.thread;
+          f.monitor = e.monitor;
+          f.seq = wakeSeq;
+          guardFindings_.push_back(std::move(f));
+        }
+        pendingWake_.erase(it);
+        break;
+      }
+    }
+  }
+  if (e.kind == EventKind::Notified || e.kind == EventKind::SpuriousWake) {
+    pendingWake_[e.thread] = {e.seq, e.method};
+  }
+}
+
+void WaitNotifyCore::finish(const NameSource&, std::vector<Finding>& out) {
   std::set<MonitorId> monitorsWithHungWaiters;
-  for (const auto& [key, ow] : open) {
+  std::vector<Finding> waitingForever;
+  for (const auto& [key, ow] : open_) {
     Finding f;
     f.kind = FindingKind::WaitingForever;
     f.message = "wait was never followed by a notification";
@@ -68,9 +94,9 @@ std::vector<Finding> WaitNotifyAnalyzer::analyze(const events::Trace& trace) {
 
   // LostNotify: an empty-wait-set notify on a monitor that later had a
   // hung waiter whose wait started after that notify.
-  for (const auto& [mon, seqs] : emptyNotifies) {
+  for (const auto& [mon, seqs] : emptyNotifies_) {
     if (!monitorsWithHungWaiters.count(mon)) continue;
-    for (const auto& [key, ow] : open) {
+    for (const auto& [key, ow] : open_) {
       if (key.second != mon) continue;
       for (std::uint64_t nseq : seqs) {
         if (nseq < ow.seq) {
@@ -82,7 +108,7 @@ std::vector<Finding> WaitNotifyAnalyzer::analyze(const events::Trace& trace) {
           f.thread = key.first;
           f.monitor = mon;
           f.seq = nseq;
-          findings.push_back(std::move(f));
+          out.push_back(std::move(f));
           break;
         }
       }
@@ -91,7 +117,7 @@ std::vector<Finding> WaitNotifyAnalyzer::analyze(const events::Trace& trace) {
 
   // NotifySingleInsufficient: notify() with >1 waiters on a monitor where
   // some waiter hung.
-  for (const auto& [mon, calls] : partialNotifies) {
+  for (const auto& [mon, calls] : partialNotifies_) {
     if (!monitorsWithHungWaiters.count(mon)) continue;
     for (const PartialNotify& pn : calls) {
       Finding f;
@@ -100,61 +126,18 @@ std::vector<Finding> WaitNotifyAnalyzer::analyze(const events::Trace& trace) {
                   " waiters; notifyAll() was needed (a waiter hung)";
       f.monitor = mon;
       f.seq = pn.seq;
-      findings.push_back(std::move(f));
+      out.push_back(std::move(f));
       break;  // one finding per monitor suffices
     }
   }
 
-  findings.insert(findings.end(), waitingForever.begin(), waitingForever.end());
+  out.insert(out.end(), waitingForever.begin(), waitingForever.end());
+  out.insert(out.end(), guardFindings_.begin(), guardFindings_.end());
+}
 
-  // --- pass 2: guard re-check discipline ------------------------------------
-  // After a Notified/SpuriousWake, the next *relevant* event of that thread
-  // inside the same method should be a GuardEval (the wait-loop condition).
-  // Seeing a different concurrency event or the method exit first means the
-  // component proceeded without re-testing its guard.
-  std::map<ThreadId, std::pair<std::uint64_t, events::MethodId>> pendingWake;
-  std::set<std::pair<ThreadId, events::MethodId>> reportedGuard;
-  for (const Event& e : events) {
-    auto it = pendingWake.find(e.thread);
-    if (it != pendingWake.end()) {
-      const auto [wakeSeq, method] = it->second;
-      switch (e.kind) {
-        case EventKind::GuardEval:
-          pendingWake.erase(it);  // disciplined: guard re-evaluated
-          break;
-        case EventKind::LockAcquire:
-        case EventKind::Notified:
-        case EventKind::SpuriousWake:
-          break;  // part of the wake-up protocol itself
-        case EventKind::Read:
-          // Evaluating the guard reads the shared state first; reads are
-          // not evidence of proceeding past the guard.  (A mutant that
-          // skips the re-check still trips on its first Write/wait/exit.)
-          break;
-        default: {
-          if (!reportedGuard.count({e.thread, method})) {
-            reportedGuard.insert({e.thread, method});
-            Finding f;
-            f.kind = FindingKind::GuardNotRechecked;
-            f.message =
-                "thread proceeded after a wake without re-evaluating its "
-                "wait guard (if-around-wait instead of while)";
-            f.thread = e.thread;
-            f.monitor = e.monitor;
-            f.seq = wakeSeq;
-            findings.push_back(std::move(f));
-          }
-          pendingWake.erase(it);
-          break;
-        }
-      }
-    }
-    if (e.kind == EventKind::Notified || e.kind == EventKind::SpuriousWake) {
-      pendingWake[e.thread] = {e.seq, e.method};
-    }
-  }
-
-  return findings;
+std::vector<Finding> WaitNotifyAnalyzer::analyze(const events::Trace& trace) {
+  WaitNotifyCore core;
+  return analyzeWithCore(core, trace);
 }
 
 }  // namespace confail::detect

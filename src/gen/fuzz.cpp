@@ -50,10 +50,12 @@ FuzzReport runFuzz(const FuzzOptions& opts) {
   cleanOracle.checkReductions = false;
   cleanOracle.checkWorkers = false;
   cleanOracle.checkInjection = false;
+  cleanOracle.checkStreaming = false;
 
   const bool anyDefault =
       defaultOracle.checkIncremental || defaultOracle.checkReductions ||
-      defaultOracle.checkWorkers || defaultOracle.checkInjection;
+      defaultOracle.checkWorkers || defaultOracle.checkInjection ||
+      defaultOracle.checkStreaming;
 
   for (std::uint64_t seed = opts.seedBegin;
        seed < opts.seedEnd && report.failures.size() < opts.maxFailures;

@@ -30,7 +30,12 @@
 //                            (campaign's contract): FF-T4 on programs
 //                            where >= 2 threads lock a common monitor and
 //                            nobody waits, EF-T3 on programs with a wait,
-//                            EF-T5 on programs with a wait and no notify.
+//                            EF-T5 on programs with a wait and no notify;
+//   streaming-equivalence    replaying a recorded run's JSONL export
+//                            through the streaming ingest pipeline yields a
+//                            findings document byte-identical to the
+//                            offline DetectorSuite's on the same trace
+//                            (the ingest pipeline's differential contract).
 //
 // Sabotage deliberately breaks a guarantee to prove the harness can see
 // failures (the ISSUE's broken-oracle acceptance test): DropDeadlocks makes
@@ -68,6 +73,10 @@ struct OracleConfig {
   bool checkReductions = true;
   bool checkWorkers = true;
   bool checkInjection = true;
+  bool checkStreaming = true;
+  /// Runs per program the streaming oracle differentials (each costs an
+  /// offline battery pass plus a full encode/decode/streaming pass).
+  std::size_t streamingRunCap = 5;
   /// Off by default: only meaningful for cleanOnly-generated programs
   /// (the fuzz harness runs it on the clean tier).
   bool checkClean = false;

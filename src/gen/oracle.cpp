@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
 #include <string>
 
+#include "confail/detect/report_sink.hpp"
 #include "confail/detect/suite.hpp"
 #include "confail/gen/interpret.hpp"
+#include "confail/ingest/pipeline.hpp"
 #include "confail/inject/campaign.hpp"
 #include "confail/inject/explore_config.hpp"
+#include "confail/obs/trace_export.hpp"
 #include "confail/sched/explorer.hpp"
 #include "confail/taxonomy/taxonomy.hpp"
 
@@ -393,12 +397,78 @@ OracleOutcome injectionDetection(const Program& p, const OracleConfig& oc,
   return out;
 }
 
+OracleOutcome streamingEquivalence(const Program& p, const OracleConfig& oc,
+                                   std::uint64_t& tally) {
+  OracleOutcome out;
+  out.oracle = "streaming-equivalence";
+  const auto sc = asScenario(p, "gen_stream");
+
+  sched::ExhaustiveExplorer::Options eo;
+  eo.maxRuns = oc.maxRuns;
+  eo.maxSteps = oc.maxSteps;
+  eo.maxBranchDepth = oc.maxBranchDepth;
+  eo.workers = 1;
+  inject::ExploreConfig cfg;
+  cfg.scenario(sc).captureRuns().explorer(eo);
+
+  std::size_t checked = 0;
+  const auto outcome = cfg.explore([&](const inject::RunView& v) {
+    if (v.trace == nullptr) return true;
+    const events::Trace& trace = *v.trace;
+
+    detect::DetectorSuite suite;
+    detect::ReportSink offline;
+    offline.setSource("differential");
+    for (const auto& report : suite.analyzeEach(trace)) {
+      offline.addAll(report.detector, report.findings);
+    }
+
+    ingest::IngestPipeline pipe(ingest::IngestOptions{});
+    detect::ReportSink online;
+    online.setSource("differential");
+    std::istringstream in(obs::toJsonl(trace));
+    const ingest::IngestStats st = pipe.run(in, online);
+
+    if (st.malformed != 0 || st.truncated != 0) {
+      out.ok = false;
+      out.detail = "lossless JSONL export decoded with " +
+                   std::to_string(st.malformed) + " malformed lines, " +
+                   std::to_string(st.truncated) + " truncated tails";
+      return false;
+    }
+    if (st.eventsAnalyzed != trace.size()) {
+      out.ok = false;
+      out.detail = "streamed " + std::to_string(st.eventsAnalyzed) +
+                   " events, trace recorded " + std::to_string(trace.size());
+      return false;
+    }
+    const std::string offDoc = offline.toJson(detect::TraceNames(trace));
+    const std::string onDoc = online.toJson(pipe.names());
+    if (offDoc != onDoc) {
+      out.ok = false;
+      out.detail = "offline and streaming findings documents differ (" +
+                   std::to_string(offline.size()) + " vs " +
+                   std::to_string(online.size()) + " findings)";
+      return false;
+    }
+    ++checked;
+    return checked < oc.streamingRunCap;
+  });
+  tally += outcome.stats.runs;
+  if (out.ok && checked == 0) {
+    out.skipped = true;
+    out.detail = "no captured runs within budget";
+  }
+  return out;
+}
+
 }  // namespace
 
 const std::vector<std::string>& oracleNames() {
   static const std::vector<std::string> kNames = {
       "incremental-vs-replay", "reduction-equivalence", "worker-determinism",
-      "clean-negative-control", "injection-detection"};
+      "clean-negative-control", "injection-detection",
+      "streaming-equivalence"};
   return kNames;
 }
 
@@ -409,6 +479,7 @@ OracleConfig onlyOracle(const OracleConfig& oc, const std::string& name) {
   c.checkWorkers = name == "worker-determinism";
   c.checkClean = name == "clean-negative-control";
   c.checkInjection = name == "injection-detection";
+  c.checkStreaming = name == "streaming-equivalence";
   return c;
 }
 
@@ -429,6 +500,9 @@ OracleReport runOracles(const Program& p, const OracleConfig& oc) {
   }
   if (oc.checkInjection) {
     report.outcomes.push_back(injectionDetection(p, oc, report.exploreRuns));
+  }
+  if (oc.checkStreaming) {
+    report.outcomes.push_back(streamingEquivalence(p, oc, report.exploreRuns));
   }
   return report;
 }

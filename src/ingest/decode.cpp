@@ -1,0 +1,425 @@
+#include "confail/ingest/decode.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "confail/obs/json.hpp"
+#include "confail/support/assert.hpp"
+
+namespace confail::ingest {
+
+using events::Event;
+using events::EventKind;
+
+// ---------------------------------------------------------------------------
+// NameTable
+
+void NameTable::store(std::vector<std::string>& table, std::uint32_t id,
+                      const std::string& name) {
+  if (id == 0xffffffffu) return;  // sentinel ids are never named
+  if (table.size() <= id) table.resize(id + 1);
+  if (table[id].empty()) table[id] = name;
+}
+
+std::uint32_t NameTable::intern(std::vector<std::string>& table,
+                                const std::string& name) {
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  table.push_back(name);
+  return static_cast<std::uint32_t>(table.size() - 1);
+}
+
+std::string NameTable::lookup(const std::vector<std::string>& table,
+                              std::uint32_t id, const char* prefix) {
+  if (id < table.size() && !table[id].empty()) return table[id];
+  return std::string(prefix) + std::to_string(id);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL
+
+namespace {
+
+std::uint64_t asU64(const obs::JsonValue* v) {
+  return v != nullptr && v->isNumber() ? static_cast<std::uint64_t>(v->number)
+                                       : 0;
+}
+
+const std::string* asString(const obs::JsonValue* v) {
+  return v != nullptr && v->kind == obs::JsonValue::Kind::String ? &v->string
+                                                                 : nullptr;
+}
+
+}  // namespace
+
+bool JsonlDecoder::decodeLine(const std::string& line, events::Event& out) {
+  obs::JsonValue v;
+  try {
+    v = obs::parseJson(line);
+  } catch (const confail::UsageError&) {
+    return false;
+  }
+  if (!v.isObject()) return false;
+  const obs::JsonValue* kindV = v.get("kind");
+  const obs::JsonValue* seqV = v.get("seq");
+  const std::string* kindName = asString(kindV);
+  if (kindName == nullptr || seqV == nullptr || !seqV->isNumber()) {
+    return false;
+  }
+  EventKind kind;
+  try {
+    kind = events::kindFromName(*kindName);
+  } catch (const confail::UsageError&) {
+    return false;
+  }
+
+  Event e;
+  e.kind = kind;
+  e.seq = asU64(seqV);
+  if (const obs::JsonValue* t = v.get("thread"); t != nullptr && t->isNumber()) {
+    e.thread = static_cast<events::ThreadId>(t->number);
+    if (const std::string* n = asString(v.get("thread_name"))) {
+      names_.thread(e.thread, *n);
+    }
+  }
+  if (const obs::JsonValue* m = v.get("monitor");
+      m != nullptr && m->isNumber()) {
+    e.monitor = static_cast<events::MonitorId>(m->number);
+    if (const std::string* n = asString(v.get("monitor_name"))) {
+      names_.monitor(e.monitor, *n);
+    }
+  }
+  // Method context: v2 writes the numeric id next to the name; v1 wrote the
+  // name only, so fall back to first-seen interning.
+  if (const obs::JsonValue* mc = v.get("method_ctx");
+      mc != nullptr && mc->isNumber()) {
+    e.method = static_cast<events::MethodId>(mc->number);
+    if (const std::string* n = asString(v.get("method"))) {
+      names_.method(e.method, *n);
+    }
+  } else if (const std::string* n = asString(v.get("method"));
+             n != nullptr && kind != EventKind::MethodEnter &&
+             kind != EventKind::MethodExit) {
+    e.method = names_.internMethod(*n);
+  }
+
+  switch (kind) {
+    case EventKind::Read:
+    case EventKind::Write: {
+      const obs::JsonValue* id = v.get("var_id");
+      const std::string* name = asString(v.get("var"));
+      if (id != nullptr && id->isNumber()) {
+        e.aux = asU64(id);
+        if (name != nullptr) {
+          names_.var(static_cast<events::VarId>(e.aux), *name);
+        }
+      } else if (name != nullptr) {
+        e.aux = names_.internVar(*name);
+      }
+      break;
+    }
+    case EventKind::NotifyCall:
+    case EventKind::NotifyAllCall:
+      e.aux = asU64(v.get("waiters"));
+      break;
+    case EventKind::ThreadSpawn: {
+      const obs::JsonValue* id = v.get("child_id");
+      const std::string* name = asString(v.get("child"));
+      if (id != nullptr && id->isNumber()) {
+        e.aux = asU64(id);
+        if (name != nullptr) {
+          names_.thread(static_cast<events::ThreadId>(e.aux), *name);
+        }
+      } else if (name != nullptr) {
+        e.aux = names_.internThread(*name);
+      }
+      break;
+    }
+    case EventKind::GuardEval: {
+      const obs::JsonValue* id = v.get("guard_method_id");
+      const std::string* name = asString(v.get("guard_method"));
+      if (id != nullptr && id->isNumber()) {
+        e.aux = asU64(id);
+        if (name != nullptr) {
+          names_.method(static_cast<events::MethodId>(e.aux), *name);
+        }
+      } else if (name != nullptr) {
+        e.aux = names_.internMethod(*name);
+      }
+      if (const obs::JsonValue* fl = v.get("value");
+          fl != nullptr && fl->kind == obs::JsonValue::Kind::Bool) {
+        e.flag = fl->boolean;
+      }
+      break;
+    }
+    case EventKind::MethodEnter:
+    case EventKind::MethodExit: {
+      const obs::JsonValue* id = v.get("method_id");
+      if (id != nullptr && id->isNumber()) {
+        e.aux = asU64(id);
+      } else {
+        e.aux = asU64(v.get("aux"));  // v1 wrote the raw aux when nonzero
+      }
+      if (const std::string* n = asString(v.get("method"))) {
+        names_.method(static_cast<events::MethodId>(e.aux), *n);
+      }
+      break;
+    }
+    case EventKind::ClockAwait:
+    case EventKind::ClockTick:
+      e.aux = asU64(v.get("t"));
+      break;
+    default:
+      e.aux = asU64(v.get("aux"));
+      break;
+  }
+  out = e;
+  return true;
+}
+
+void JsonlDecoder::feed(std::string_view chunk, const Emit& emit) {
+  stats_.bytes += chunk.size();
+  std::size_t start = 0;
+  while (start < chunk.size()) {
+    const std::size_t nl = chunk.find('\n', start);
+    if (nl == std::string_view::npos) {
+      pending_.append(chunk.substr(start));
+      return;
+    }
+    pending_.append(chunk.substr(start, nl - start));
+    start = nl + 1;
+    if (!pending_.empty()) {
+      ++stats_.lines;
+      events::Event e;
+      if (decodeLine(pending_, e)) {
+        ++stats_.events;
+        emit(e);
+      } else {
+        ++stats_.malformed;
+      }
+    }
+    pending_.clear();
+  }
+}
+
+void JsonlDecoder::flush(const Emit& emit) {
+  if (pending_.empty()) return;
+  events::Event e;
+  if (decodeLine(pending_, e)) {
+    // Complete object, just missing its newline: accept it.
+    ++stats_.lines;
+    ++stats_.events;
+    emit(e);
+  } else {
+    // A write was cut mid-line; drop the fragment rather than invent data.
+    ++stats_.truncated;
+  }
+  pending_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event
+
+namespace {
+
+struct Rebuilt {
+  std::uint64_t ts;
+  std::uint64_t order;  // stable tiebreak: emission index
+  Event e;
+};
+
+std::uint64_t argU64(const obs::JsonValue& entry, const char* key) {
+  const obs::JsonValue* args = entry.get("args");
+  if (args == nullptr) return 0;
+  const obs::JsonValue* v = args->get(key);
+  if (v == nullptr) return 0;
+  if (v->isNumber()) return static_cast<std::uint64_t>(v->number);
+  if (v->kind == obs::JsonValue::Kind::String) {
+    return static_cast<std::uint64_t>(
+        std::strtoull(v->string.c_str(), nullptr, 10));
+  }
+  return 0;
+}
+
+const std::string* argStr(const obs::JsonValue& entry, const char* key) {
+  const obs::JsonValue* args = entry.get("args");
+  if (args == nullptr) return nullptr;
+  const obs::JsonValue* v = args->get(key);
+  return v != nullptr && v->kind == obs::JsonValue::Kind::String ? &v->string
+                                                                 : nullptr;
+}
+
+/// "acquire buf (never granted)" -> op "acquire", operand "buf".
+void splitSliceName(const std::string& name, std::string& op,
+                    std::string& operand) {
+  std::string s = name;
+  const std::size_t paren = s.find(" (");
+  if (paren != std::string::npos) s.resize(paren);
+  const std::size_t space = s.find(' ');
+  if (space == std::string::npos) {
+    op = s;
+    operand.clear();
+  } else {
+    op = s.substr(0, space);
+    operand = s.substr(space + 1);
+  }
+}
+
+}  // namespace
+
+std::uint64_t decodeChromeTrace(const std::string& text, NameTable& names,
+                                std::vector<events::Event>& out) {
+  obs::JsonValue doc;
+  try {
+    doc = obs::parseJson(text);
+  } catch (const confail::UsageError&) {
+    return 1;  // the whole document is unmappable
+  }
+  const obs::JsonValue* evs = doc.get("traceEvents");
+  if (evs == nullptr || !evs->isArray()) return 1;
+
+  std::uint64_t unmapped = 0;
+  std::vector<Rebuilt> rebuilt;
+  std::uint64_t order = 0;
+  auto emit = [&](std::uint64_t ts, Event e) {
+    e.seq = ts;
+    rebuilt.push_back(Rebuilt{ts, order++, e});
+  };
+
+  for (const obs::JsonValue& entry : evs->array) {
+    const std::string* ph = asString(entry.get("ph"));
+    if (ph == nullptr) {
+      ++unmapped;
+      continue;
+    }
+    const events::ThreadId tid =
+        static_cast<events::ThreadId>(asU64(entry.get("tid")));
+    if (*ph == "M") {
+      if (const std::string* n = argStr(entry, "name")) {
+        names.thread(tid, *n);
+      }
+      continue;
+    }
+    const std::uint64_t ts = asU64(entry.get("ts"));
+    const std::string* name = asString(entry.get("name"));
+    if (name == nullptr) {
+      ++unmapped;
+      continue;
+    }
+    Event base;
+    base.thread = tid;
+    if (*ph == "X") {
+      const std::uint64_t dur = asU64(entry.get("dur"));
+      const std::string* cat = asString(entry.get("cat"));
+      const bool open = name->find(" (never") != std::string::npos ||
+                        name->find(" (unfinished)") != std::string::npos;
+      if (cat != nullptr && *cat == "method") {
+        std::string mname = *name;
+        const std::size_t paren = mname.find(" (");
+        if (paren != std::string::npos) mname.resize(paren);
+        Event e = base;
+        e.kind = EventKind::MethodEnter;
+        e.aux = names.internMethod(mname);
+        e.method = static_cast<events::MethodId>(e.aux);
+        emit(ts, e);
+        if (!open) {
+          e.kind = EventKind::MethodExit;
+          emit(ts + dur, e);
+        }
+        continue;
+      }
+      std::string op;
+      std::string mon;
+      splitSliceName(*name, op, mon);
+      const events::MonitorId monitor =
+          mon.empty() ? events::kNoMonitor : names.internMonitor(mon);
+      if (op == "acquire") {
+        Event e = base;
+        e.kind = EventKind::LockRequest;
+        e.monitor = monitor;
+        emit(ts, e);
+      } else if (op == "hold") {
+        Event e = base;
+        e.kind = EventKind::LockAcquire;
+        e.monitor = monitor;
+        emit(ts, e);
+        if (!open) {
+          e.kind = EventKind::LockRelease;
+          emit(ts + dur, e);
+        }
+      } else if (op == "wait") {
+        Event e = base;
+        e.kind = EventKind::WaitBegin;
+        e.monitor = monitor;
+        emit(ts, e);
+        // A spurious wake ends the slice but emits its own instant; a
+        // never-notified slice has no end event at all.
+        if (!open && name->find("(spurious wake)") == std::string::npos) {
+          e.kind = EventKind::Notified;
+          emit(ts + dur, e);
+        }
+      } else {
+        ++unmapped;
+      }
+      continue;
+    }
+    if (*ph != "i") {
+      ++unmapped;
+      continue;
+    }
+    Event e = base;
+    if (*name == "notify" || *name == "notifyAll") {
+      e.kind = *name == "notify" ? EventKind::NotifyCall
+                                 : EventKind::NotifyAllCall;
+      if (const std::string* m = argStr(entry, "monitor")) {
+        e.monitor = names.internMonitor(*m);
+      }
+      e.aux = argU64(entry, "waiters");
+    } else if (*name == "spurious-wake") {
+      e.kind = EventKind::SpuriousWake;
+      if (const std::string* m = argStr(entry, "monitor")) {
+        e.monitor = names.internMonitor(*m);
+      }
+    } else if (*name == "read" || *name == "write") {
+      e.kind = *name == "read" ? EventKind::Read : EventKind::Write;
+      if (const std::string* v = argStr(entry, "var")) {
+        e.aux = names.internVar(*v);
+      }
+    } else if (*name == "spawn") {
+      e.kind = EventKind::ThreadSpawn;
+      if (const std::string* c = argStr(entry, "child")) {
+        e.aux = names.internThread(*c);
+      }
+    } else if (*name == "thread-start") {
+      e.kind = EventKind::ThreadStart;
+    } else if (*name == "thread-end") {
+      e.kind = EventKind::ThreadEnd;
+    } else if (*name == "guard") {
+      e.kind = EventKind::GuardEval;
+      if (const std::string* m = argStr(entry, "method")) {
+        e.aux = names.internMethod(*m);
+      }
+      const std::string* val = argStr(entry, "value");
+      e.flag = val != nullptr && *val == "true";
+    } else if (*name == "clock-await" || *name == "clock-tick") {
+      e.kind = *name == "clock-await" ? EventKind::ClockAwait
+                                      : EventKind::ClockTick;
+      e.aux = argU64(entry, "t");
+    } else {
+      ++unmapped;
+      continue;
+    }
+    emit(ts, e);
+  }
+
+  std::stable_sort(rebuilt.begin(), rebuilt.end(),
+                   [](const Rebuilt& a, const Rebuilt& b) {
+                     return a.ts != b.ts ? a.ts < b.ts : a.order < b.order;
+                   });
+  out.reserve(out.size() + rebuilt.size());
+  for (const Rebuilt& r : rebuilt) out.push_back(r.e);
+  return unmapped;
+}
+
+}  // namespace confail::ingest

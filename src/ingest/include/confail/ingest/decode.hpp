@@ -1,0 +1,145 @@
+// Stream decoders: turn serialized event streams back into events::Event
+// records plus the name tables needed to render findings.
+//
+// Two wire formats are accepted:
+//
+//   * JSONL (obs::toJsonl) — one self-contained object per line.  Since the
+//     v2 export each line carries both resolved names and the raw numeric
+//     ids (var_id, child_id, guard_method_id, method_id, method_ctx), so
+//     decoding is lossless: the reconstructed Event equals the recorded one
+//     field for field.  v1 lines (names only) still decode, with ids
+//     re-interned first-seen — sufficient for analysis, not bit-exact.
+//
+//   * Chrome trace_event JSON (obs::toChromeTrace) — best-effort: paired
+//     slices are unfolded back into their begin/end events and instants map
+//     one-to-one, but information the exporter never wrote (numeric
+//     monitor/var ids, the method context of data accesses) is re-interned
+//     from names.  Good enough to run the detector battery over a trace
+//     someone only kept in Chrome form; the differential guarantees apply
+//     to JSONL.
+//
+// The JSONL decoder is incremental and hardened for tailing a file that a
+// writer is still appending to: bytes are buffered until a newline lands,
+// so truncated final lines and interleaved partial writes never produce a
+// phantom event — an unterminated tail stays pending (flush() decides
+// whether it parses) and a malformed complete line is counted and skipped
+// rather than aborting the stream.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "confail/detect/finding.hpp"
+#include "confail/events/event.hpp"
+
+namespace confail::ingest {
+
+/// Name tables rebuilt from a decoded stream.  Implements the NameSource
+/// the detector cores and the ReportSink render findings through, with the
+/// same "<kind>-<id>" fallback convention as events::Trace so reports are
+/// byte-identical to the offline path.
+class NameTable final : public detect::NameSource {
+ public:
+  void thread(events::ThreadId id, const std::string& name) {
+    store(threads_, id, name);
+  }
+  void monitor(events::MonitorId id, const std::string& name) {
+    store(monitors_, id, name);
+  }
+  void var(events::VarId id, const std::string& name) {
+    store(vars_, id, name);
+  }
+  void method(events::MethodId id, const std::string& name) {
+    store(methods_, id, name);
+  }
+
+  /// Id registered under `name`, interning a fresh dense id when unseen
+  /// (the v1-JSONL / Chrome fallback where only names are on the wire).
+  events::ThreadId internThread(const std::string& name) {
+    return intern(threads_, name);
+  }
+  events::MonitorId internMonitor(const std::string& name) {
+    return intern(monitors_, name);
+  }
+  events::VarId internVar(const std::string& name) {
+    return intern(vars_, name);
+  }
+  events::MethodId internMethod(const std::string& name) {
+    return intern(methods_, name);
+  }
+
+  std::string threadName(events::ThreadId id) const override {
+    return lookup(threads_, id, "thread-");
+  }
+  std::string monitorName(events::MonitorId id) const override {
+    return lookup(monitors_, id, "monitor-");
+  }
+  std::string varName(events::VarId id) const override {
+    return lookup(vars_, id, "var-");
+  }
+  std::string methodName(events::MethodId id) const override {
+    return lookup(methods_, id, "method-");
+  }
+
+ private:
+  static void store(std::vector<std::string>& table, std::uint32_t id,
+                    const std::string& name);
+  static std::uint32_t intern(std::vector<std::string>& table,
+                              const std::string& name);
+  static std::string lookup(const std::vector<std::string>& table,
+                            std::uint32_t id, const char* prefix);
+
+  std::vector<std::string> threads_;
+  std::vector<std::string> monitors_;
+  std::vector<std::string> vars_;
+  std::vector<std::string> methods_;
+};
+
+/// Incremental JSONL reader.
+class JsonlDecoder {
+ public:
+  struct Stats {
+    std::uint64_t bytes = 0;      ///< bytes consumed
+    std::uint64_t lines = 0;      ///< complete lines seen
+    std::uint64_t events = 0;     ///< events successfully decoded
+    std::uint64_t malformed = 0;  ///< complete lines that failed to decode
+    std::uint64_t truncated = 0;  ///< unterminated tail dropped at flush
+  };
+
+  using Emit = std::function<void(const events::Event&)>;
+
+  /// Consume a chunk (any framing: whole file, pipe read, single byte).
+  /// Every newline-terminated line is decoded and emitted; a trailing
+  /// fragment is buffered for the next chunk.
+  void feed(std::string_view chunk, const Emit& emit);
+
+  /// End of stream: decide the fate of an unterminated tail.  A tail that
+  /// parses as a complete object is emitted (the writer just omitted the
+  /// final newline); anything else counts as truncated and is dropped.
+  void flush(const Emit& emit);
+
+  /// True when a partial line is buffered (the stream ended mid-write).
+  bool hasPartialLine() const { return !pending_.empty(); }
+
+  NameTable& names() { return names_; }
+  const NameTable& names() const { return names_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bool decodeLine(const std::string& line, events::Event& out);
+
+  std::string pending_;
+  NameTable names_;
+  Stats stats_;
+};
+
+/// Decode a complete Chrome trace_event document (the {"traceEvents": [...]}
+/// form emitted by obs::toChromeTrace) into seq-ordered events.  Returns
+/// the number of trace_event entries that could not be mapped.
+std::uint64_t decodeChromeTrace(const std::string& text, NameTable& names,
+                                std::vector<events::Event>& out);
+
+}  // namespace confail::ingest

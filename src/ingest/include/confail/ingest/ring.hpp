@@ -1,0 +1,108 @@
+// SpscRing: the bounded-cost transport between the ingest producer (the
+// thread decoding an event stream) and the consumer (the thread driving the
+// incremental detector suite).
+//
+// Contract:
+//   * single producer, single consumer — exactly one thread may call the
+//     producer-side operations and one the consumer-side, concurrently;
+//   * fixed capacity, chosen at construction (rounded up to a power of
+//     two), with all storage allocated up front;
+//   * the steady-state paths perform no heap allocation whatsoever — a
+//     build-time audit (cmake/alloc_audit.cmake) greps this translation
+//     unit for allocating constructs, so keep new/malloc/container growth
+//     out of this file;
+//   * overflow never blocks and never allocates: pushOrDrop() refuses the
+//     element and counts it in drops(), so a slow consumer costs events,
+//     not memory (tryPush() is the non-counting variant for callers that
+//     retry).
+//
+// The implementation is the classic cached-index SPSC ring: head_ (consume
+// position) and tail_ (produce position) are monotonically increasing
+// 64-bit counters; each side keeps a plain (non-atomic) cache of the other
+// side's index and only re-reads the shared atomic when the cached value
+// says the ring looks full/empty.  Indices are masked on access, and both
+// shared atomics live on their own cache line so the two sides never
+// false-share.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace confail::ingest {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity)
+      : mask_(roundUpPow2(capacity) - 1),
+        slots_(std::make_unique<T[]>(mask_ + 1)) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side.  False when full; the element is not stored.
+  bool tryPush(const T& v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cachedHead_ > mask_) {
+      cachedHead_ = head_.load(std::memory_order_acquire);
+      if (tail - cachedHead_ > mask_) return false;
+    }
+    slots_[tail & mask_] = v;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side.  tryPush, but overflow is recorded in drops().
+  bool pushOrDrop(const T& v) {
+    if (tryPush(v)) return true;
+    drops_.store(drops_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Consumer side.  False when empty.
+  bool tryPop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cachedTail_) {
+      cachedTail_ = tail_.load(std::memory_order_acquire);
+      if (head == cachedTail_) return false;
+    }
+    out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Elements dropped by pushOrDrop() because the ring was full.
+  std::uint64_t drops() const {
+    return drops_.load(std::memory_order_relaxed);
+  }
+
+  /// Approximate occupancy (racy snapshot; exact when either side is idle).
+  std::size_t approxSize() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+ private:
+  static std::size_t roundUpPow2(std::size_t n) {
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const std::size_t mask_;
+  std::unique_ptr<T[]> slots_;
+
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // next slot to pop
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // next slot to fill
+  alignas(64) std::uint64_t cachedHead_ = 0;        // producer's view of head_
+  alignas(64) std::uint64_t cachedTail_ = 0;        // consumer's view of tail_
+  alignas(64) std::atomic<std::uint64_t> drops_{0};
+};
+
+}  // namespace confail::ingest

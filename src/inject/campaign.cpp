@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "confail/detect/report_sink.hpp"
 #include "confail/detect/suite.hpp"
 #include "confail/inject/explore_config.hpp"
 #include "confail/obs/json.hpp"
@@ -124,6 +125,9 @@ MatrixCell runCell(const NamedScenario& sc, const InjectionPlan& plan,
     std::vector<detect::Finding> all;
     for (std::size_t i = 0; i < reports.size(); ++i) {
       cell.detectors[i].findings += reports[i].findings.size();
+      if (opts.sink != nullptr) {
+        opts.sink->addAll(reports[i].detector, reports[i].findings);
+      }
       for (const detect::Finding& f : reports[i].findings) {
         const auto classes = taxonomy::Classifier::classesOf(f.kind);
         if (std::find(classes.begin(), classes.end(), plan.cls) !=
@@ -160,7 +164,12 @@ ControlCell runControl(const NamedScenario& sc, const CampaignOptions& opts) {
     ++cell.runs;
     if (view.result.outcome != sched::Outcome::Completed) ++cell.failingRuns;
     if (view.trace != nullptr) {
-      cell.findings += suite.analyze(*view.trace).size();
+      for (const auto& report : suite.analyzeEach(*view.trace)) {
+        cell.findings += report.findings.size();
+        if (opts.sink != nullptr) {
+          opts.sink->addAll(report.detector, report.findings);
+        }
+      }
     }
     return true;
   });

@@ -28,6 +28,10 @@
 #include "confail/components/scenario_registry.hpp"
 #include "confail/inject/plan.hpp"
 
+namespace confail::detect {
+class ReportSink;
+}
+
 namespace confail::inject {
 
 struct CampaignOptions {
@@ -36,6 +40,16 @@ struct CampaignOptions {
   std::size_t maxBranchDepth = 4;    ///< keeps each cell's tree small
   std::size_t workers = 1;           ///< 1 = deterministic cell traversal
   bool negativeControls = true;
+  /// Optional finding funnel: every detector finding from every analyzed
+  /// run (deviated cells and negative controls alike) is appended here,
+  /// attributed per detector — the same ReportSink the streaming ingest
+  /// pipeline reports into, so campaign evidence renders as
+  /// confail.findings.v1 / SARIF too.  Construct it with a cap for long
+  /// campaigns; overflow is counted, not stored.  Note the sink's render
+  /// methods take one NameSource, so rendering is only meaningful for
+  /// single-scenario runs (ids are per-run; names are only stable within
+  /// one scenario's deterministic wiring).
+  detect::ReportSink* sink = nullptr;
 };
 
 /// One detector column of a matrix cell.

@@ -156,7 +156,13 @@ struct Snapshot {
     std::uint64_t max = 0;
     double mean = 0.0;
     std::uint64_t p50 = 0;  ///< bucket-upper-bound estimates
+    std::uint64_t p90 = 0;
     std::uint64_t p99 = 0;
+
+    /// One-line human rendering of the percentile trio ("p50≤8 p90≤16
+    /// p99≤32"), the summary form ExploreSummary and the ingest summary
+    /// print instead of dumping raw buckets.
+    std::string percentileLine() const;
     /// Non-empty buckets only: (inclusive upper bound, count).
     std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
   };

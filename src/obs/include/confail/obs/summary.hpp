@@ -10,11 +10,13 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace confail::obs {
 
 class JsonWriter;
+struct Snapshot;
 
 struct ExploreSummary {
   std::string scenario;
@@ -35,6 +37,14 @@ struct ExploreSummary {
   std::string firstFailureOutcome;
   double elapsedMs = 0.0;
   double runsPerSec = 0.0;
+  /// Percentile digests of the run's latency/size histograms, one
+  /// (histogram name, "p50<=N p90<=N p99<=N") pair per non-empty
+  /// histogram.  Filled from a metrics snapshot when instrumentation was
+  /// on; the summary prints these instead of raw bucket dumps.
+  std::vector<std::pair<std::string, std::string>> histogramPercentiles;
+
+  /// Append a percentile line for every non-empty histogram in `snap`.
+  void addHistogramPercentiles(const Snapshot& snap);
 
   /// Multi-line human rendering (the confail_explore default output,
   /// without the trailing sentinel line).

@@ -135,6 +135,7 @@ Snapshot Registry::snapshot() const {
                             : static_cast<double>(hs.sum) /
                                   static_cast<double>(hs.count);
     hs.p50 = h->quantileUpperBound(0.50);
+    hs.p90 = h->quantileUpperBound(0.90);
     hs.p99 = h->quantileUpperBound(0.99);
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
       const std::uint64_t n = h->bucketCount(i);
@@ -148,6 +149,11 @@ Snapshot Registry::snapshot() const {
 // ---------------------------------------------------------------------------
 // Snapshot
 // ---------------------------------------------------------------------------
+
+std::string Snapshot::HistogramStats::percentileLine() const {
+  return "p50<=" + std::to_string(p50) + " p90<=" + std::to_string(p90) +
+         " p99<=" + std::to_string(p99);
+}
 
 std::uint64_t Snapshot::counter(const std::string& name) const {
   for (const auto& [n, v] : counters) {
@@ -197,6 +203,7 @@ void Snapshot::writeJson(JsonWriter& w) const {
     w.field("max", h.max);
     w.field("mean", h.mean);
     w.field("p50_le", h.p50);
+    w.field("p90_le", h.p90);
     w.field("p99_le", h.p99);
     w.key("buckets");
     w.beginArray();

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "confail/obs/json.hpp"
+#include "confail/obs/metrics.hpp"
 
 namespace confail::obs {
 
@@ -19,6 +20,13 @@ void appendf(std::string& out, const char* fmt, ...) {
 }
 
 }  // namespace
+
+void ExploreSummary::addHistogramPercentiles(const Snapshot& snap) {
+  for (const Snapshot::HistogramStats& h : snap.histograms) {
+    if (h.count == 0) continue;
+    histogramPercentiles.emplace_back(h.name, h.percentileLine());
+  }
+}
 
 std::string ExploreSummary::human() const {
   std::string out;
@@ -45,6 +53,9 @@ std::string ExploreSummary::human() const {
   if (elapsedMs > 0.0) {
     appendf(out, "elapsed:        %.1f ms (%.0f runs/sec)\n", elapsedMs,
             runsPerSec);
+  }
+  for (const auto& [name, line] : histogramPercentiles) {
+    appendf(out, "latency:        %s %s\n", name.c_str(), line.c_str());
   }
   if (!firstFailure.empty()) {
     out += "first failure:  ";
@@ -75,6 +86,14 @@ void ExploreSummary::writeJson(JsonWriter& w) const {
   w.field("runs_per_sec", runsPerSec);
   if (!firstFailureOutcome.empty()) {
     w.field("first_failure_outcome", firstFailureOutcome);
+  }
+  if (!histogramPercentiles.empty()) {
+    w.key("histogram_percentiles");
+    w.beginObject();
+    for (const auto& [name, line] : histogramPercentiles) {
+      w.field(name, line);
+    }
+    w.endObject();
   }
   w.key("first_failure");
   w.beginArray();

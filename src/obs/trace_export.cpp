@@ -271,11 +271,13 @@ std::string toJsonl(const events::Trace& trace) {
       w.field("monitor_name", trace.monitorName(e.monitor));
     }
     if (e.method != events::kNoMethod) {
+      w.field("method_ctx", static_cast<std::uint64_t>(e.method));
       w.field("method", trace.methodName(e.method));
     }
     switch (e.kind) {
       case EventKind::Read:
       case EventKind::Write:
+        w.field("var_id", e.aux);
         w.field("var", trace.varName(static_cast<events::VarId>(e.aux)));
         break;
       case EventKind::NotifyCall:
@@ -283,12 +285,18 @@ std::string toJsonl(const events::Trace& trace) {
         w.field("waiters", e.aux);
         break;
       case EventKind::ThreadSpawn:
+        w.field("child_id", e.aux);
         w.field("child", trace.threadName(static_cast<ThreadId>(e.aux)));
         break;
       case EventKind::GuardEval:
+        w.field("guard_method_id", e.aux);
         w.field("guard_method",
                 trace.methodName(static_cast<events::MethodId>(e.aux)));
         w.field("value", e.flag);
+        break;
+      case EventKind::MethodEnter:
+      case EventKind::MethodExit:
+        w.field("method_id", e.aux);
         break;
       case EventKind::ClockAwait:
       case EventKind::ClockTick:

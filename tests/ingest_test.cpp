@@ -1,0 +1,576 @@
+// Streaming ingest: the bounded-cost ring, the JSONL/Chrome decoders, the
+// IngestPipeline, and the differential contract — replaying a recorded
+// run's event stream through the incremental battery must reproduce the
+// offline DetectorSuite's findings byte for byte (documents included).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "confail/components/scenario_registry.hpp"
+#include "confail/detect/report_sink.hpp"
+#include "confail/detect/streaming_suite.hpp"
+#include "confail/detect/suite.hpp"
+#include "confail/events/trace.hpp"
+#include "confail/gen/generator.hpp"
+#include "confail/gen/interpret.hpp"
+#include "confail/ingest/decode.hpp"
+#include "confail/ingest/pipeline.hpp"
+#include "confail/ingest/ring.hpp"
+#include "confail/inject/campaign.hpp"
+#include "confail/inject/explore_config.hpp"
+#include "confail/obs/json.hpp"
+#include "confail/obs/metrics.hpp"
+#include "confail/obs/trace_export.hpp"
+
+namespace {
+
+using confail::events::Event;
+using confail::events::EventKind;
+using confail::events::Trace;
+namespace detect = confail::detect;
+namespace ingest = confail::ingest;
+namespace obs = confail::obs;
+namespace scenarios = confail::components::scenarios;
+
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+
+// ---------------------------------------------------------------------------
+// SpscRing
+// ---------------------------------------------------------------------------
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ingest::SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(ingest::SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(ingest::SpscRing<int>(64).capacity(), 64u);
+  EXPECT_EQ(ingest::SpscRing<int>(65).capacity(), 128u);
+}
+
+TEST(SpscRing, FifoOrderAcrossWraparound) {
+  ingest::SpscRing<int> ring(4);
+  int out = 0;
+  EXPECT_FALSE(ring.tryPop(out));
+  // Push/pop interleaved far past the capacity: order must survive the
+  // index wraparound.
+  int next = 0;
+  for (int v = 0; v < 1000; ++v) {
+    if (!ring.tryPush(v)) {
+      ASSERT_TRUE(ring.tryPop(out));
+      ASSERT_EQ(out, next++);
+      ASSERT_TRUE(ring.tryPush(v));
+    }
+  }
+  while (ring.tryPop(out)) {
+    ASSERT_EQ(out, next++);
+  }
+  EXPECT_EQ(next, 1000);
+  EXPECT_EQ(ring.drops(), 0u);
+}
+
+TEST(SpscRing, OverflowDropsAreCountedNotStored) {
+  ingest::SpscRing<int> ring(2);
+  ASSERT_TRUE(ring.pushOrDrop(1));
+  ASSERT_TRUE(ring.pushOrDrop(2));
+  EXPECT_FALSE(ring.tryPush(3));
+  EXPECT_EQ(ring.drops(), 0u);  // tryPush never counts
+  EXPECT_FALSE(ring.pushOrDrop(3));
+  EXPECT_FALSE(ring.pushOrDrop(4));
+  EXPECT_EQ(ring.drops(), 2u);
+  int out = 0;
+  ASSERT_TRUE(ring.tryPop(out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(ring.tryPop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(ring.tryPop(out));
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerLosesNothing) {
+  const int n = kSanitized ? 20000 : 200000;
+  ingest::SpscRing<int> ring(64);
+  std::thread producer([&] {
+    for (int v = 0; v < n; ++v) {
+      while (!ring.tryPush(v)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  int expected = 0;
+  int out = 0;
+  while (expected < n) {
+    if (ring.tryPop(out)) {
+      ASSERT_EQ(out, expected++);
+    }
+  }
+  producer.join();
+  EXPECT_EQ(ring.drops(), 0u);
+  EXPECT_EQ(ring.approxSize(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// NameTable
+// ---------------------------------------------------------------------------
+
+TEST(NameTable, FallbacksMatchTraceConvention) {
+  ingest::NameTable names;
+  Trace trace;
+  // Unregistered ids must render identically on both paths — that is what
+  // makes streaming and offline reports byte-comparable.
+  EXPECT_EQ(names.threadName(7), trace.threadName(7));
+  EXPECT_EQ(names.monitorName(3), trace.monitorName(3));
+  EXPECT_EQ(names.varName(0), trace.varName(0));
+  EXPECT_EQ(names.methodName(9), trace.methodName(9));
+  names.thread(1, "worker");
+  trace.nameThread(1, "worker");
+  EXPECT_EQ(names.threadName(1), trace.threadName(1));
+}
+
+TEST(NameTable, InternAssignsDenseIdsFirstSeen) {
+  ingest::NameTable names;
+  EXPECT_EQ(names.internThread("a"), 0u);
+  EXPECT_EQ(names.internThread("b"), 1u);
+  EXPECT_EQ(names.internThread("a"), 0u);
+  EXPECT_EQ(names.threadName(1), "b");
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+Trace captureScenario(const scenarios::NamedScenario& sc) {
+  Trace trace;
+  obs::Registry metrics;
+  confail::inject::ExploreConfig cfg;
+  cfg.scenario(sc);
+  cfg.capture(trace, metrics);
+  return trace;
+}
+
+detect::ReportSink offlineSink(const Trace& trace) {
+  detect::DetectorSuite suite;
+  detect::ReportSink sink;
+  sink.setSource("differential");
+  for (const auto& report : suite.analyzeEach(trace)) {
+    sink.addAll(report.detector, report.findings);
+  }
+  return sink;
+}
+
+/// The differential contract: JSONL export -> pipeline -> findings equal
+/// the offline battery's, as rendered documents (JSON and SARIF).
+void expectStreamingMatchesOffline(const Trace& trace,
+                                   ingest::IngestOptions opts = {}) {
+  const detect::ReportSink offline = offlineSink(trace);
+
+  ingest::IngestPipeline pipe(opts);
+  detect::ReportSink online;
+  online.setSource("differential");
+  std::istringstream in(obs::toJsonl(trace));
+  const ingest::IngestStats st = pipe.run(in, online);
+
+  EXPECT_EQ(st.malformed, 0u);
+  EXPECT_EQ(st.truncated, 0u);
+  EXPECT_EQ(st.ringDrops, 0u);
+  ASSERT_EQ(st.eventsAnalyzed, trace.size());
+
+  const detect::TraceNames offNames(trace);
+  EXPECT_EQ(offline.toJson(offNames), online.toJson(pipe.names()));
+  EXPECT_EQ(offline.toSarif(offNames), online.toSarif(pipe.names()));
+}
+
+// ---------------------------------------------------------------------------
+// JsonlDecoder
+// ---------------------------------------------------------------------------
+
+TEST(JsonlDecoder, LosslessRoundTripOnEveryRegistryScenario) {
+  for (const scenarios::NamedScenario& sc : scenarios::registry()) {
+    const Trace trace = captureScenario(sc);
+    const std::string jsonl = obs::toJsonl(trace);
+
+    ingest::JsonlDecoder dec;
+    std::vector<Event> decoded;
+    const auto emit = [&](const Event& e) { decoded.push_back(e); };
+    // Feed in deliberately awkward 7-byte chunks: every line crosses a
+    // chunk boundary somewhere.
+    for (std::size_t i = 0; i < jsonl.size(); i += 7) {
+      dec.feed(std::string_view(jsonl).substr(i, 7), emit);
+    }
+    dec.flush(emit);
+
+    EXPECT_EQ(dec.stats().malformed, 0u) << sc.name;
+    EXPECT_EQ(dec.stats().truncated, 0u) << sc.name;
+    ASSERT_EQ(decoded, trace.events()) << sc.name;
+    for (const Event& e : decoded) {
+      if (e.thread != confail::events::kNoThread) {
+        EXPECT_EQ(dec.names().threadName(e.thread),
+                  trace.threadName(e.thread));
+      }
+      if (e.monitor != confail::events::kNoMonitor) {
+        EXPECT_EQ(dec.names().monitorName(e.monitor),
+                  trace.monitorName(e.monitor));
+      }
+    }
+  }
+}
+
+TEST(JsonlDecoder, UnterminatedTailThatParsesIsEmittedAtFlush) {
+  const Trace trace = captureScenario(*scenarios::find("fig2"));
+  std::string jsonl = obs::toJsonl(trace);
+  ASSERT_EQ(jsonl.back(), '\n');
+  jsonl.pop_back();  // writer crashed before the final newline
+
+  ingest::JsonlDecoder dec;
+  std::vector<Event> decoded;
+  const auto emit = [&](const Event& e) { decoded.push_back(e); };
+  dec.feed(jsonl, emit);
+  EXPECT_TRUE(dec.hasPartialLine());
+  dec.flush(emit);
+  EXPECT_EQ(dec.stats().truncated, 0u);
+  EXPECT_EQ(decoded, trace.events());
+}
+
+TEST(JsonlDecoder, TruncatedTailIsCountedAndDropped) {
+  const Trace trace = captureScenario(*scenarios::find("fig2"));
+  const std::string jsonl = obs::toJsonl(trace);
+  const std::size_t firstLine = jsonl.find('\n') + 1;
+  // First full line plus half of the second: the torn half-object must not
+  // become a phantom event.
+  const std::string torn = jsonl.substr(0, firstLine + 20);
+
+  ingest::JsonlDecoder dec;
+  std::vector<Event> decoded;
+  const auto emit = [&](const Event& e) { decoded.push_back(e); };
+  dec.feed(torn, emit);
+  dec.flush(emit);
+  EXPECT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(dec.stats().truncated, 1u);
+  EXPECT_EQ(dec.stats().malformed, 0u);
+}
+
+TEST(JsonlDecoder, MalformedCompleteLineIsSkippedNotFatal) {
+  const Trace trace = captureScenario(*scenarios::find("fig2"));
+  const std::string jsonl = obs::toJsonl(trace);
+  ingest::JsonlDecoder dec;
+  std::vector<Event> decoded;
+  const auto emit = [&](const Event& e) { decoded.push_back(e); };
+  dec.feed("this is not json\n", emit);
+  dec.feed(jsonl, emit);
+  dec.flush(emit);
+  EXPECT_EQ(dec.stats().malformed, 1u);
+  EXPECT_EQ(decoded, trace.events());
+}
+
+// ---------------------------------------------------------------------------
+// StreamingSuite differential
+// ---------------------------------------------------------------------------
+
+TEST(StreamingSuite, FindingsMatchOfflineBatteryOnEveryRegistryScenario) {
+  for (const scenarios::NamedScenario& sc : scenarios::registry()) {
+    const Trace trace = captureScenario(sc);
+
+    detect::DetectorSuite offline;
+    const std::vector<detect::Finding> expected = offline.analyze(trace);
+
+    detect::StreamingSuite streaming;
+    for (const Event& e : trace.events()) streaming.feed(e);
+    streaming.finish(detect::TraceNames(trace));
+    const std::vector<detect::Finding> got = streaming.findings();
+
+    ASSERT_EQ(got.size(), expected.size()) << sc.name;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].kind, expected[i].kind) << sc.name;
+      EXPECT_EQ(got[i].message, expected[i].message) << sc.name;
+      EXPECT_EQ(got[i].thread, expected[i].thread) << sc.name;
+      EXPECT_EQ(got[i].thread2, expected[i].thread2) << sc.name;
+      EXPECT_EQ(got[i].monitor, expected[i].monitor) << sc.name;
+      EXPECT_EQ(got[i].var, expected[i].var) << sc.name;
+      EXPECT_EQ(got[i].seq, expected[i].seq) << sc.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IngestPipeline differential
+// ---------------------------------------------------------------------------
+
+TEST(IngestPipeline, DifferentialOnEveryRegistryScenario) {
+  for (const scenarios::NamedScenario& sc : scenarios::registry()) {
+    SCOPED_TRACE(sc.name);
+    expectStreamingMatchesOffline(captureScenario(sc));
+  }
+}
+
+TEST(IngestPipeline, DifferentialOnWorkerRecordedRuns) {
+  // Runs recorded under parallel exploration (1/2/8 workers) stream the
+  // same as single-run captures: the pipeline only sees the per-run trace.
+  const scenarios::NamedScenario& sc = *scenarios::find("fig2");
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    confail::sched::ExhaustiveExplorer::Options eo;
+    eo.maxRuns = 12;
+    eo.maxSteps = 2000;
+    eo.maxBranchDepth = 3;
+    eo.workers = workers;
+    confail::inject::ExploreConfig cfg;
+    cfg.scenario(sc).captureRuns().explorer(eo);
+    std::vector<std::string> recorded;  // observer is serialized
+    (void)cfg.explore([&](const confail::inject::RunView& v) {
+      if (v.trace != nullptr && recorded.size() < 4) {
+        recorded.push_back(v.trace->serialize());
+      }
+      return recorded.size() < 4;
+    });
+    ASSERT_FALSE(recorded.empty());
+    for (const std::string& s : recorded) {
+      SCOPED_TRACE("workers=" + std::to_string(workers));
+      expectStreamingMatchesOffline(Trace::deserialize(s));
+    }
+  }
+}
+
+TEST(IngestPipeline, DifferentialOnFuzzerPrograms) {
+  const std::uint64_t seeds = kSanitized ? 10 : 50;
+  confail::gen::GenConfig cfg;
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const confail::gen::Program p = confail::gen::generate(seed, cfg);
+    const auto sc = confail::gen::asScenario(p, "gen_stream_test");
+    expectStreamingMatchesOffline(captureScenario(sc));
+  }
+}
+
+TEST(IngestPipeline, MultiMegabyteStreamThroughTinyRing) {
+  // A synthetic multi-MB JSONL stream (far larger than the ring) must
+  // stream loss-free through a deliberately tiny ring: backpressure, not
+  // drops, and the differential still holds at scale.
+  const int iters = kSanitized ? 2000 : 40000;
+  Trace trace;
+  trace.nameMonitor(0, "shared");
+  trace.nameMonitor(1, "other");
+  trace.nameVar(0, "counter");
+  trace.nameVar(1, "flag");
+  for (int t = 0; t < 3; ++t) {
+    trace.nameThread(static_cast<std::uint32_t>(t),
+                     "worker" + std::to_string(t));
+  }
+  for (int i = 0; i < iters; ++i) {
+    const auto thread = static_cast<std::uint32_t>(i % 3);
+    const std::uint32_t mon = i % 2 == 0 ? 0 : 1;
+    const std::uint64_t var = i % 2 == 0 ? 0 : 1;
+    Event e;
+    e.thread = thread;
+    e.kind = EventKind::LockRequest;
+    e.monitor = mon;
+    trace.record(e);
+    e.kind = EventKind::LockAcquire;
+    trace.record(e);
+    e.kind = EventKind::Write;
+    e.monitor = confail::events::kNoMonitor;
+    e.aux = var;
+    trace.record(e);
+    e.kind = EventKind::Read;
+    trace.record(e);
+    e.kind = EventKind::LockRelease;
+    e.monitor = mon;
+    e.aux = 0;
+    trace.record(e);
+  }
+  const std::string jsonl = obs::toJsonl(trace);
+  if (!kSanitized) {
+    EXPECT_GT(jsonl.size(), 4u * 1024 * 1024) << "stream should be multi-MB";
+  }
+  ingest::IngestOptions opts;
+  opts.ringCapacity = 256;
+  expectStreamingMatchesOffline(trace, opts);
+}
+
+TEST(IngestPipeline, FollowModeTailsARacingWriter) {
+  // Regression for tailing a file under active append: the writer emits
+  // the stream in small chunks that tear lines mid-object, racing the
+  // reader; the reader must wait out partial writes and still reproduce
+  // the offline findings exactly.
+  const Trace trace = captureScenario(*scenarios::find("fig2"));
+  const std::string jsonl = obs::toJsonl(trace);
+  const std::string path =
+      ::testing::TempDir() + "/confail_ingest_follow.jsonl";
+  {
+    std::ofstream create(path, std::ios::trunc);
+    ASSERT_TRUE(create.good());
+  }
+
+  std::thread writer([&] {
+    std::ofstream out(path, std::ios::app);
+    // 13-byte chunks guarantee most lines land torn across writes.
+    for (std::size_t i = 0; i < jsonl.size(); i += 13) {
+      out.write(jsonl.data() + i,
+                static_cast<std::streamsize>(
+                    std::min<std::size_t>(13, jsonl.size() - i)));
+      out.flush();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  ingest::IngestOptions opts;
+  opts.follow = true;
+  opts.followIdleStopMs = 500;
+  ingest::IngestPipeline pipe(opts);
+  detect::ReportSink online;
+  online.setSource("differential");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const ingest::IngestStats st = pipe.run(in, online);
+  writer.join();
+
+  EXPECT_EQ(st.truncated, 0u);
+  EXPECT_EQ(st.malformed, 0u);
+  ASSERT_EQ(st.eventsAnalyzed, trace.size());
+  const detect::ReportSink offline = offlineSink(trace);
+  EXPECT_EQ(offline.toJson(detect::TraceNames(trace)),
+            online.toJson(pipe.names()));
+  std::remove(path.c_str());
+}
+
+TEST(IngestPipeline, ChromeTraceDecodesToAnalyzableEvents) {
+  // Chrome decode is best-effort (the exporter drops information), but a
+  // round trip must produce a non-trivial, battery-consumable stream.
+  const Trace trace = captureScenario(*scenarios::find("fig2"));
+  ingest::IngestOptions opts;
+  opts.format = ingest::StreamFormat::Chrome;
+  ingest::IngestPipeline pipe(opts);
+  detect::ReportSink sink;
+  std::istringstream in(obs::toChromeTrace(trace));
+  const ingest::IngestStats st = pipe.run(in, sink);
+  EXPECT_GT(st.eventsAnalyzed, trace.size() / 2);
+  EXPECT_EQ(st.ringDrops, 0u);
+  // Thread names survive via the metadata records.
+  EXPECT_EQ(pipe.names().threadName(0), trace.threadName(0));
+}
+
+// ---------------------------------------------------------------------------
+// ReportSink
+// ---------------------------------------------------------------------------
+
+detect::Finding makeFinding(detect::FindingKind kind, const char* msg) {
+  detect::Finding f;
+  f.kind = kind;
+  f.message = msg;
+  f.thread = 0;
+  f.monitor = 1;
+  f.seq = 7;
+  return f;
+}
+
+TEST(ReportSink, CapCountsOverflowInsteadOfGrowing) {
+  detect::ReportSink sink(2);
+  EXPECT_TRUE(sink.add("d", makeFinding(detect::FindingKind::DataRace, "a")));
+  EXPECT_TRUE(sink.add("d", makeFinding(detect::FindingKind::DataRace, "b")));
+  EXPECT_FALSE(sink.add("d", makeFinding(detect::FindingKind::DataRace, "c")));
+  EXPECT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.dropped(), 1u);
+  ingest::NameTable names;
+  EXPECT_NE(sink.toJson(names).find("\"dropped\": 1"), std::string::npos);
+}
+
+TEST(ReportSink, SarifLevelsSplitFailuresFromEfficiencies) {
+  EXPECT_STREQ(detect::sarifLevel(detect::FindingKind::DataRace), "error");
+  EXPECT_STREQ(detect::sarifLevel(detect::FindingKind::DeadlockCycle),
+               "error");
+  EXPECT_STREQ(detect::sarifLevel(detect::FindingKind::WaitingForever),
+               "error");
+  EXPECT_STREQ(detect::sarifLevel(detect::FindingKind::UnnecessarySync),
+               "warning");
+  EXPECT_STREQ(detect::sarifLevel(detect::FindingKind::BargingAcquire),
+               "warning");
+}
+
+TEST(ReportSink, SarifDocumentIsStructurallyValid) {
+  const Trace trace = captureScenario(*scenarios::find("lock_order"));
+  const detect::ReportSink sink = offlineSink(trace);
+  ASSERT_GT(sink.size(), 0u);  // the deadlock scenario must yield findings
+
+  const obs::JsonValue doc =
+      obs::parseJson(sink.toSarif(detect::TraceNames(trace)));
+  ASSERT_TRUE(doc.isObject());
+  EXPECT_EQ(doc.get("version")->string, "2.1.0");
+  const obs::JsonValue* runs = doc.get("runs");
+  ASSERT_TRUE(runs != nullptr && runs->isArray());
+  ASSERT_EQ(runs->array.size(), 1u);
+  const obs::JsonValue& run = runs->array[0];
+  EXPECT_EQ(run.get("tool")->get("driver")->get("name")->string, "confail");
+
+  const obs::JsonValue* rules = run.get("tool")->get("driver")->get("rules");
+  ASSERT_TRUE(rules != nullptr && rules->isArray());
+  EXPECT_FALSE(rules->array.empty());
+  std::vector<std::string> ruleIds;
+  for (const obs::JsonValue& rule : rules->array) {
+    ruleIds.push_back(rule.get("id")->string);
+  }
+  const obs::JsonValue* results = run.get("results");
+  ASSERT_TRUE(results != nullptr && results->isArray());
+  EXPECT_EQ(results->array.size(), sink.size());
+  for (const obs::JsonValue& r : results->array) {
+    EXPECT_NE(std::find(ruleIds.begin(), ruleIds.end(),
+                        r.get("ruleId")->string),
+              ruleIds.end());
+    EXPECT_FALSE(r.get("message")->get("text")->string.empty());
+  }
+}
+
+TEST(ReportSink, CampaignRoutesFindingsThroughSink) {
+  const scenarios::NamedScenario& sc = *scenarios::find("fig2");
+  confail::inject::CampaignOptions opts;
+  opts.maxRuns = 200;
+  opts.maxSteps = 2000;
+  opts.maxBranchDepth = 3;
+  detect::ReportSink sink;
+  sink.setSource("campaign");
+  opts.sink = &sink;
+  const auto plan = confail::inject::defaultPlanFor(
+      confail::taxonomy::FailureClass::FF_T5, sc);
+  const auto cell = confail::inject::runCell(sc, plan, opts);
+  EXPECT_TRUE(cell.caught);
+  ASSERT_GT(sink.size(), 0u);
+  bool sawWaitNotify = false;
+  for (const auto& entry : sink.entries()) {
+    if (entry.detector == "wait-notify") sawWaitNotify = true;
+  }
+  EXPECT_TRUE(sawWaitNotify);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded happens-before history (the memory-bound knob)
+// ---------------------------------------------------------------------------
+
+TEST(StreamingSuite, BoundedHbHistoryCountsEvictions) {
+  const int vars = 64;
+  Trace trace;
+  for (int v = 0; v < vars; ++v) {
+    Event e;
+    e.thread = 0;
+    e.kind = EventKind::Write;
+    e.aux = static_cast<std::uint64_t>(v);
+    trace.record(e);
+  }
+  detect::StreamingSuite::Options opts;
+  opts.hbMaxVarHistory = 8;
+  detect::StreamingSuite suite(opts);
+  for (const Event& e : trace.events()) suite.feed(e);
+  suite.finish(detect::TraceNames(trace));
+  EXPECT_GT(suite.hbEvictions(), 0u);
+
+  detect::StreamingSuite exact;
+  for (const Event& e : trace.events()) exact.feed(e);
+  exact.finish(detect::TraceNames(trace));
+  EXPECT_EQ(exact.hbEvictions(), 0u);
+}
+
+}  // namespace

@@ -20,6 +20,9 @@ int cmdExplore(const char* prog, int argc, char** argv);
 /// confail trace — offline analysis of serialized traces.
 int cmdTrace(const char* prog, int argc, char** argv);
 
+/// confail ingest — online analysis of live event streams.
+int cmdIngest(const char* prog, int argc, char** argv);
+
 /// confail obs-check — validate emitted observability files.
 int cmdObsCheck(const char* prog, int argc, char** argv);
 

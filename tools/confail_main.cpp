@@ -19,6 +19,8 @@ int usage() {
                "usage: confail <verb> [args...]\n\nverbs:\n"
                "  explore    explore a component's schedule space\n"
                "  trace      analyze a serialized execution trace\n"
+               "  ingest     stream live JSONL/Chrome events through the "
+               "online detectors\n"
                "  inject     inject Table 1 deviations; build the detection "
                "matrix\n"
                "  fuzz       generate seeded programs; run differential "
@@ -40,6 +42,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(verb, "trace") == 0) {
     return confail::cli::cmdTrace("confail trace", rest, restv);
+  }
+  if (std::strcmp(verb, "ingest") == 0) {
+    return confail::cli::cmdIngest("confail ingest", rest, restv);
   }
   if (std::strcmp(verb, "inject") == 0) {
     return confail::cli::cmdInject("confail inject", rest, restv);

@@ -33,8 +33,12 @@ int usage(const char* prog) {
                "               [--incremental | --no-incremental] "
                "[--snapshot-budget-mb N]\n"
                "               [--metrics-out FILE] "
-               "[--chrome-trace FILE] [--progress]\n\n"
+               "[--chrome-trace FILE] [--jsonl-out FILE] [--progress]\n\n"
                "--sleep-sets is shorthand for --reduction sleep.\n"
+               "--jsonl-out captures one run as JSONL events ('-' for "
+               "stdout) — pipe it\nstraight into the streaming analyzer:\n"
+               "  confail explore --scenario S --jsonl-out - | "
+               "confail ingest --from jsonl -\n"
                "--incremental (default) resumes each branch from a "
                "copy-on-write snapshot\n"
                "of its parent's state; --no-incremental replays every "
@@ -59,6 +63,7 @@ int cmdExplore(const char* prog, int argc, char** argv) {
   bool progress = false;
   std::string metricsOut;
   std::string chromeTrace;
+  std::string jsonlOut;
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -130,6 +135,10 @@ int cmdExplore(const char* prog, int argc, char** argv) {
         const char* v = next();
         if (v == nullptr) return usage(prog);
         chromeTrace = v;
+      } else if (arg == "--jsonl-out") {
+        const char* v = next();
+        if (v == nullptr) return usage(prog);
+        jsonlOut = v;
       } else if (arg == "--progress") {
         progress = true;
       } else {
@@ -144,7 +153,8 @@ int cmdExplore(const char* prog, int argc, char** argv) {
   if (scenario == nullptr) return usage(prog);
 
   const bool instrument =
-      !metricsOut.empty() || !chromeTrace.empty() || progress;
+      !metricsOut.empty() || !chromeTrace.empty() || !jsonlOut.empty() ||
+      progress;
   obs::Registry metrics;
   inject::ExploreConfig cfg;
   cfg.scenario(*scenario).explorer(eo);
@@ -159,9 +169,10 @@ int cmdExplore(const char* prog, int argc, char** argv) {
     return 1;
   }
 
-  // One captured run feeds the Chrome trace and the CoFG coverage gauges.
+  // One captured run feeds the Chrome/JSONL exports and the CoFG coverage
+  // gauges.
   events::Trace captured;
-  if (!chromeTrace.empty() || !metricsOut.empty()) {
+  if (!chromeTrace.empty() || !jsonlOut.empty() || !metricsOut.empty()) {
     try {
       cfg.capture(captured, metrics);
     } catch (const std::exception& e) {
@@ -174,12 +185,24 @@ int cmdExplore(const char* prog, int argc, char** argv) {
     std::fprintf(stderr, "%s: cannot write %s\n", prog, chromeTrace.c_str());
     return 1;
   }
+  if (!jsonlOut.empty()) {
+    if (jsonlOut == "-") {
+      std::fputs(obs::toJsonl(captured).c_str(), stdout);
+      // Events went to stdout; the summary must not interleave with them.
+      return 0;
+    }
+    if (!obs::writeJsonlFile(captured, jsonlOut)) {
+      std::fprintf(stderr, "%s: cannot write %s\n", prog, jsonlOut.c_str());
+      return 1;
+    }
+  }
   if (!metricsOut.empty() && !metrics.snapshot().writeFile(metricsOut)) {
     std::fprintf(stderr, "%s: cannot write %s\n", prog, metricsOut.c_str());
     return 1;
   }
 
-  const obs::ExploreSummary summary = outcome.summary();
+  obs::ExploreSummary summary = outcome.summary();
+  if (instrument) summary.addHistogramPercentiles(metrics.snapshot());
   if (json) {
     std::printf("%s\n", summary.toJson().c_str());
   } else {

@@ -136,6 +136,7 @@ int cmdFuzz(const char* prog, int argc, char** argv) {
         opts.oracle.checkWorkers |= one.checkWorkers;
         opts.oracle.checkClean |= one.checkClean;
         opts.oracle.checkInjection |= one.checkInjection;
+        opts.oracle.checkStreaming |= one.checkStreaming;
       }
     } else if (arg == "--no-shrink") {
       opts.shrinkFailures = false;

@@ -22,8 +22,12 @@
 #include <string>
 
 #include "cli.hpp"
+#include "confail/detect/report_sink.hpp"
+#include "confail/events/trace.hpp"
 #include "confail/inject/campaign.hpp"
+#include "confail/inject/explore_config.hpp"
 #include "confail/obs/json.hpp"
+#include "confail/obs/metrics.hpp"
 #include "confail/taxonomy/taxonomy.hpp"
 
 namespace confail::cli {
@@ -39,6 +43,8 @@ int usage(const char* prog) {
                "usage: %s --scenario <name> --class <FF-T5> [--monitor M] "
                "[--victim T]\n"
                "               [--after N] [--count N] [--json]\n"
+               "               [--sarif-out FILE] [--findings-out FILE] "
+               "[--findings-cap N]\n"
                "       %s --campaign [--out FILE] [--no-controls]\n"
                "       common: [--max-runs N] [--max-steps N] [--max-depth N] "
                "[--workers N]\n\ninjectable classes:\n",
@@ -130,6 +136,9 @@ int cmdInject(const char* prog, int argc, char** argv) {
   std::uint64_t count = 0;
   bool haveCount = false;
   std::string outFile;
+  std::string sarifOut;
+  std::string findingsOut;
+  std::uint64_t findingsCap = 0;
   inject::CampaignOptions opts;
 
   for (int i = 0; i < argc; ++i) {
@@ -176,6 +185,18 @@ int cmdInject(const char* prog, int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(prog);
       outFile = v;
+    } else if (arg == "--sarif-out") {
+      const char* v = next();
+      if (v == nullptr) return usage(prog);
+      sarifOut = v;
+    } else if (arg == "--findings-out") {
+      const char* v = next();
+      if (v == nullptr) return usage(prog);
+      findingsOut = v;
+    } else if (arg == "--findings-cap") {
+      if (!parseU64(prog, "--findings-cap", next(), findingsCap)) {
+        return usage(prog);
+      }
     } else if (arg == "--max-runs") {
       if (!parseU64(prog, "--max-runs", next(), opts.maxRuns)) {
         return usage(prog);
@@ -236,7 +257,36 @@ int cmdInject(const char* prog, int argc, char** argv) {
     if (haveAfter) plan.after = after;
     if (haveCount) plan.count = count;
 
+    // Single-plan mode can render the findings documents: all runs are of
+    // one scenario, whose deterministic wiring keeps ids -> names stable,
+    // so one captured run's name tables resolve every finding.
+    confail::detect::ReportSink sink(
+        static_cast<std::size_t>(findingsCap));
+    sink.setSource(scenario->name + "+" +
+                   taxonomy::failureClassName(cls));
+    const bool wantSink = !sarifOut.empty() || !findingsOut.empty();
+    if (wantSink) opts.sink = &sink;
+
     const inject::MatrixCell cell = inject::runCell(*scenario, plan, opts);
+
+    if (wantSink) {
+      events::Trace captured;
+      obs::Registry metrics;
+      inject::ExploreConfig cfg;
+      cfg.scenario(*scenario).plan(plan);
+      cfg.capture(captured, metrics);
+      const confail::detect::TraceNames names(captured);
+      if (!sarifOut.empty() && !sink.writeSarifFile(names, sarifOut)) {
+        std::fprintf(stderr, "%s: cannot write %s\n", prog,
+                     sarifOut.c_str());
+        return 1;
+      }
+      if (!findingsOut.empty() && !sink.writeJsonFile(names, findingsOut)) {
+        std::fprintf(stderr, "%s: cannot write %s\n", prog,
+                     findingsOut.c_str());
+        return 1;
+      }
+    }
     if (json) {
       std::printf("%s\n", cellJson(cell).c_str());
     } else {

@@ -3,6 +3,7 @@
 //
 //   obs-check metrics <metrics.json> [required-key ...]
 //   obs-check chrome  <trace.json> [min-threads]
+//   obs-check sarif   <findings.sarif> [min-results]
 //
 // `metrics` parses the snapshot document, requires the counters/gauges/
 // histograms sections, and checks each extra argument resolves as a dotted
@@ -13,6 +14,13 @@
 // `chrome` parses a Chrome trace_event document and checks that every
 // thread named by a thread_name metadata record has at least one non-
 // metadata event on its track (min-threads defaults to 1).
+//
+// `sarif` parses a SARIF 2.1.0 document (as written by `trace detect
+// --sarif-out`, `ingest --sarif-out` or `inject --sarif-out`) and checks
+// the structural invariants viewers rely on: version 2.1.0, at least one
+// run with a tool.driver.name, every result's ruleId declared in the
+// driver's rules, every result carrying a message.text, and at least
+// min-results results (default 0).
 //
 // Exit status: 0 when valid, 1 when a check fails, 2 on usage errors.
 // Used by the metrics-check ctest entries; prints OBS CHECK OK on success.
@@ -36,8 +44,9 @@ namespace {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s metrics <file> [section/key ...]\n"
-               "       %s chrome <file> [min-threads]\n",
-               prog, prog);
+               "       %s chrome <file> [min-threads]\n"
+               "       %s sarif <file> [min-results]\n",
+               prog, prog, prog);
   return 2;
 }
 
@@ -142,6 +151,84 @@ int checkChrome(const char* prog, const std::string& path, long minThreads) {
   return 0;
 }
 
+int checkSarif(const char* prog, const std::string& path, long minResults) {
+  std::string text;
+  if (!readFile(path, text)) {
+    std::fprintf(stderr, "%s: cannot read %s\n", prog, path.c_str());
+    return 1;
+  }
+  obs::JsonValue doc;
+  try {
+    doc = obs::parseJson(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s: %s\n", prog, path.c_str(), e.what());
+    return 1;
+  }
+  const obs::JsonValue* version = doc.get("version");
+  if (version == nullptr || version->string != "2.1.0") {
+    std::fprintf(stderr, "MISSING or wrong sarif version (want \"2.1.0\")\n");
+    return 1;
+  }
+  const obs::JsonValue* runs = doc.get("runs");
+  if (runs == nullptr || !runs->isArray() || runs->array.empty()) {
+    std::fprintf(stderr, "MISSING non-empty runs array\n");
+    return 1;
+  }
+  int failures = 0;
+  std::size_t totalResults = 0;
+  for (const obs::JsonValue& run : runs->array) {
+    const obs::JsonValue* tool = run.get("tool");
+    const obs::JsonValue* driver =
+        tool != nullptr ? tool->get("driver") : nullptr;
+    const obs::JsonValue* name =
+        driver != nullptr ? driver->get("name") : nullptr;
+    if (name == nullptr || name->string.empty()) {
+      std::fprintf(stderr, "MISSING tool.driver.name\n");
+      ++failures;
+    }
+    std::set<std::string> ruleIds;
+    const obs::JsonValue* rules =
+        driver != nullptr ? driver->get("rules") : nullptr;
+    if (rules != nullptr && rules->isArray()) {
+      for (const obs::JsonValue& rule : rules->array) {
+        const obs::JsonValue* id = rule.get("id");
+        if (id != nullptr) ruleIds.insert(id->string);
+      }
+    }
+    const obs::JsonValue* results = run.get("results");
+    if (results == nullptr || !results->isArray()) {
+      std::fprintf(stderr, "MISSING results array\n");
+      ++failures;
+      continue;
+    }
+    for (const obs::JsonValue& r : results->array) {
+      ++totalResults;
+      const obs::JsonValue* ruleId = r.get("ruleId");
+      if (ruleId == nullptr || ruleIds.count(ruleId->string) == 0) {
+        std::fprintf(stderr, "result with undeclared ruleId: %s\n",
+                     ruleId == nullptr ? "(none)" : ruleId->string.c_str());
+        ++failures;
+      }
+      const obs::JsonValue* message = r.get("message");
+      const obs::JsonValue* msgText =
+          message != nullptr ? message->get("text") : nullptr;
+      if (msgText == nullptr || msgText->string.empty()) {
+        std::fprintf(stderr, "result without message.text\n");
+        ++failures;
+      }
+    }
+  }
+  if (static_cast<long>(totalResults) < minResults) {
+    std::fprintf(stderr, "expected >= %ld results, found %zu\n", minResults,
+                 totalResults);
+    ++failures;
+  }
+  if (failures > 0) return 1;
+  std::printf("OBS CHECK OK (%s: %zu sarif results)\n", path.c_str(),
+              totalResults);
+  return 0;
+}
+
 }  // namespace
 
 int cmdObsCheck(const char* prog, int argc, char** argv) {
@@ -153,6 +240,11 @@ int cmdObsCheck(const char* prog, int argc, char** argv) {
     long minThreads = 1;
     if (argc > 2) minThreads = std::strtol(argv[2], nullptr, 10);
     return checkChrome(prog, path, minThreads);
+  }
+  if (mode == "sarif") {
+    long minResults = 0;
+    if (argc > 2) minResults = std::strtol(argv[2], nullptr, 10);
+    return checkSarif(prog, path, minResults);
   }
   return usage(prog);
 }

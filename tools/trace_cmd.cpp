@@ -14,12 +14,14 @@
 // can be captured, shipped, and analyzed offline with this verb.
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
 
 #include "cli.hpp"
+#include "confail/detect/report_sink.hpp"
 #include "confail/detect/suite.hpp"
 #include "confail/events/trace.hpp"
 #include "confail/monitor/monitor.hpp"
@@ -40,20 +42,29 @@ namespace {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s render|stats|validate <file>\n"
-               "       %s detect <file> [--metrics-out <file>]\n"
+               "       %s detect <file> [--metrics-out <file>] "
+               "[--sarif-out <file>] [--json-out <file>]\n"
                "       %s chrome|jsonl <file> <out-file>\n"
-               "       %s selftest\n",
+               "       %s selftest\n\n"
+               "<file> may be '-' to read the serialized trace from stdin, "
+               "so traces pipe\nstraight from capture to analysis.  For "
+               "*live* JSONL event streams use\n`confail ingest` instead "
+               "(same detector battery, incremental).\n",
                prog, prog, prog, prog);
   return 2;
 }
 
 ev::Trace load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    throw confail::UsageError("cannot open trace file: " + path);
-  }
   std::ostringstream buf;
-  buf << in.rdbuf();
+  if (path == "-") {
+    buf << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      throw confail::UsageError("cannot open trace file: " + path);
+    }
+    buf << in.rdbuf();
+  }
   return ev::Trace::deserialize(buf.str());
 }
 
@@ -107,13 +118,32 @@ int doValidate(const ev::Trace& trace, const char* monitorArg) {
 }
 
 int doDetect(const char* prog, const ev::Trace& trace,
-             const std::string& metricsOut = "") {
+             const std::string& metricsOut = "",
+             const std::string& sarifOut = "",
+             const std::string& jsonOut = "") {
   confail::obs::Registry metrics;
   confail::detect::DetectorSuite suite;
   suite.setMetrics(&metrics);
-  auto findings = suite.analyze(trace);
+  // Route through the same ReportSink the streaming pipeline uses, so the
+  // offline and online documents are byte-comparable for the same events.
+  confail::detect::ReportSink sink;
+  sink.setSource("trace");
+  std::vector<confail::detect::Finding> findings;
+  for (auto& report : suite.analyzeEach(trace)) {
+    sink.addAll(report.detector, report.findings);
+    for (auto& f : report.findings) findings.push_back(f);
+  }
   if (!metricsOut.empty() && !metrics.snapshot().writeFile(metricsOut)) {
     std::fprintf(stderr, "%s: cannot write %s\n", prog, metricsOut.c_str());
+    return 1;
+  }
+  const confail::detect::TraceNames names(trace);
+  if (!sarifOut.empty() && !sink.writeSarifFile(names, sarifOut)) {
+    std::fprintf(stderr, "%s: cannot write %s\n", prog, sarifOut.c_str());
+    return 1;
+  }
+  if (!jsonOut.empty() && !sink.writeJsonFile(names, jsonOut)) {
+    std::fprintf(stderr, "%s: cannot write %s\n", prog, jsonOut.c_str());
     return 1;
   }
   if (findings.empty()) {
@@ -201,10 +231,23 @@ int cmdTrace(const char* prog, int argc, char** argv) {
     }
     if (cmd == "detect") {
       std::string metricsOut;
-      if (argc >= 4 && std::string(argv[2]) == "--metrics-out") {
-        metricsOut = argv[3];
+      std::string sarifOut;
+      std::string jsonOut;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char* v = flagValue(i, argc, argv);
+        if (v == nullptr) return usage(prog);
+        if (arg == "--metrics-out") {
+          metricsOut = v;
+        } else if (arg == "--sarif-out") {
+          sarifOut = v;
+        } else if (arg == "--json-out") {
+          jsonOut = v;
+        } else {
+          return usage(prog);
+        }
       }
-      return doDetect(prog, trace, metricsOut);
+      return doDetect(prog, trace, metricsOut, sarifOut, jsonOut);
     }
     if (cmd == "chrome" || cmd == "jsonl") {
       if (argc < 3) return usage(prog);
