@@ -1,0 +1,216 @@
+// Campaign service throughput: the cost of running an injection campaign
+// through the `confail serve` job machinery versus the serial in-process
+// baseline, emitted as BENCH_serve.json.
+//
+// Two passes over the same confail.job.v1 grid:
+//
+//   1. Serial baseline — expandShards + runShard in a loop on one thread,
+//      then mergeShards.  This is the one-shot `confail inject --campaign`
+//      path and the floor the service must not fall meaningfully below.
+//
+//   2. Campaign service — the job submitted into a fresh spool and served
+//      to completion by an in-process worker pool (the daemon's sanitizer
+//      configuration; the subprocess pool adds only exec/IO cost).  The
+//      pass reports shards/sec and jobs/sec including every service
+//      overhead: spool adoption, per-shard checkpoint writes, journal
+//      appends and the final merge.
+//
+// Gates are correctness, not wall-clock (CI boxes vary): the service pass
+// must complete all shards with zero failures, and its merged
+// confail.findings.v1 document must be byte-identical to the serial
+// merge — the determinism contract that makes crash-resume exact.
+//
+// `--smoke` shrinks the per-cell run budget so the binary finishes in a
+// few seconds; the bench_smoke target runs that mode and commits the
+// resulting BENCH_serve.json.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "confail/inject/job_spec.hpp"
+#include "confail/serve/client.hpp"
+#include "confail/serve/merge.hpp"
+#include "confail/serve/server.hpp"
+
+namespace inject = confail::inject;
+namespace serve = confail::serve;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+inject::JobSpec benchSpec(bool smoke) {
+  inject::JobSpec spec;
+  spec.name = "bench";
+  spec.scenarios = {"fig2", "lock_order", "ff_t5_small"};
+  spec.reductions = {confail::sched::ExhaustiveExplorer::Reduction::None,
+                     confail::sched::ExhaustiveExplorer::Reduction::Sleep};
+  spec.maxRuns = smoke ? 80 : 800;
+  spec.maxSteps = 1000;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool ok = true;
+
+  std::printf("=== Campaign service throughput (%s mode) ===\n\n",
+              smoke ? "smoke" : "full");
+
+  const inject::JobSpec spec = benchSpec(smoke);
+  const std::vector<inject::ShardSpec> shards = inject::expandShards(spec);
+
+  confail::benchjson::Writer json;
+  json.beginObject();
+  json.field("bench", "campaign_throughput");
+  json.field("smoke", smoke);
+  json.field("shards", static_cast<std::uint64_t>(shards.size()));
+  json.field("max_runs_per_cell", spec.maxRuns);
+
+  // ---- 1. serial baseline --------------------------------------------------
+  std::string serialFindings;
+  double serialSec = 0.0;
+  {
+    inject::RunShardOptions ro;  // resolved names, no event capture
+    std::vector<inject::ShardResult> results;
+    results.reserve(shards.size());
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const inject::ShardSpec& s : shards) {
+      results.push_back(inject::runShard(spec, s, ro));
+    }
+    serialSec = secondsSince(t0);
+    const serve::MergedReports merged =
+        serve::mergeShards(spec, "bench-serial", results);
+    serialFindings = merged.findingsJson;
+    const double sps =
+        serialSec > 0.0 ? static_cast<double>(shards.size()) / serialSec : 0.0;
+    std::printf("serial: %zu shards in %.2fs (%.2f shards/sec, "
+                "%llu unique findings)\n",
+                shards.size(), serialSec, sps,
+                static_cast<unsigned long long>(merged.uniqueFindings));
+    if (!merged.matrixOk) {
+      std::printf("FAIL: serial campaign matrix not OK (control regression "
+                  "or undetected seeded class)\n");
+      ok = false;
+    }
+    json.key("serial");
+    json.beginObject();
+    json.field("seconds", serialSec);
+    json.field("shards_per_sec", sps);
+    json.field("unique_findings", merged.uniqueFindings);
+    json.endObject();
+  }
+
+  // ---- 2. campaign service -------------------------------------------------
+  {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t pool = hw < 2 ? 2 : (hw > 4 ? 4 : hw);
+    const std::string root =
+        (std::filesystem::temp_directory_path() /
+         ("confail-bench-serve-" + std::to_string(::getpid())))
+            .string();
+    std::error_code ec;
+    std::filesystem::remove_all(root, ec);
+
+    const std::string id = serve::submitJob(root, spec);
+    if (id.empty()) {
+      std::printf("FAIL: submit into %s failed\n", root.c_str());
+      ok = false;
+    }
+
+    serve::ServerOptions opts;
+    opts.root = root;
+    opts.poolSize = pool;
+    opts.subprocess = false;  // in-process pool: the sanitizer-safe config
+    opts.exitWhenIdle = true;
+    opts.pollMs = 1;
+    const auto t0 = std::chrono::steady_clock::now();
+    const int rc = serve::Server(std::move(opts)).run();
+    const double sec = secondsSince(t0);
+    if (rc != 0) {
+      std::printf("FAIL: server exited %d\n", rc);
+      ok = false;
+    }
+
+    serve::JobState st;
+    if (!serve::jobStatus(root, id, st) || st.status != "completed" ||
+        st.shardsFailed != 0 || st.shardsDone != shards.size()) {
+      std::printf("FAIL: job did not complete cleanly (status '%s', "
+                  "%llu/%llu shards, %llu failed)\n",
+                  st.status.c_str(),
+                  static_cast<unsigned long long>(st.shardsDone),
+                  static_cast<unsigned long long>(st.shardsTotal),
+                  static_cast<unsigned long long>(st.shardsFailed));
+      ok = false;
+    }
+
+    serve::JobResults res;
+    if (!serve::jobResults(root, id, res) || !res.complete) {
+      std::printf("FAIL: merged results missing\n");
+      ok = false;
+    }
+    // The determinism gate: service merge == serial merge, byte for byte
+    // (modulo the job id stamped into the document and the trailing
+    // newline the store adds to files).
+    std::string expected = serialFindings;
+    for (std::string::size_type p = 0;
+         (p = expected.find("bench-serial", p)) != std::string::npos;) {
+      expected.replace(p, std::strlen("bench-serial"), id);
+      p += id.size();
+    }
+    std::string got = res.findingsJson;
+    while (!got.empty() && got.back() == '\n') got.pop_back();
+    res.findingsJson = got;
+    if (res.findingsJson != expected) {
+      std::printf("FAIL: service findings differ from the serial merge\n");
+      ok = false;
+    }
+
+    const double sps =
+        sec > 0.0 ? static_cast<double>(shards.size()) / sec : 0.0;
+    const double jps = sec > 0.0 ? 1.0 / sec : 0.0;
+    std::printf("service: %zu shards in %.2fs (%.2f shards/sec, "
+                "%.2f jobs/sec, pool %zu, findings %llu)\n",
+                shards.size(), sec, sps, jps, pool,
+                static_cast<unsigned long long>(st.findings));
+    std::printf("service/serial wall-clock ratio: %.2fx\n",
+                serialSec > 0.0 ? sec / serialSec : 0.0);
+
+    json.key("service");
+    json.beginObject();
+    json.field("seconds", sec);
+    json.field("shards_per_sec", sps);
+    json.field("jobs_per_sec", jps);
+    json.field("pool", static_cast<std::uint64_t>(pool));
+    json.field("unique_findings", st.findings);
+    json.field("findings_match_serial", res.findingsJson == expected);
+    json.field("overhead_ratio", serialSec > 0.0 ? sec / serialSec : 0.0);
+    json.endObject();
+
+    std::filesystem::remove_all(root, ec);
+  }
+
+  json.endObject();
+  if (!json.writeFile("BENCH_serve.json")) {
+    std::printf("FAIL: could not write BENCH_serve.json\n");
+    ok = false;
+  } else {
+    std::printf("\nwrote BENCH_serve.json\n");
+  }
+
+  std::printf("\n%s\n",
+              ok ? "CAMPAIGN THROUGHPUT: OK" : "CAMPAIGN THROUGHPUT: FAILURES");
+  return ok ? 0 : 1;
+}

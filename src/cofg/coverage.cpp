@@ -21,11 +21,8 @@ void CoverageTracker::onConcurrencyEvent(const Event& e, NodeKind kind) {
   // concurrency statement per kind between guards.
   for (std::size_t idx : graph_->arcsFrom(cur)) {
     if (graph_->arcs()[idx].dst.kind == kind) {
-      const bool firstTraversal = hits_[idx] == 0;
       ++hits_[idx];
       cur = graph_->arcs()[idx].dst;
-      // Only a first traversal can move the covered-arc gauges.
-      if (firstTraversal && coveredGauge_ != nullptr) updateGauges();
       return;
     }
   }
@@ -67,21 +64,6 @@ void CoverageTracker::onEvent(const Event& e) {
 
 void CoverageTracker::process(const std::vector<Event>& events) {
   for (const Event& e : events) onEvent(e);
-}
-
-void CoverageTracker::updateGauges() const {
-  if (coveredGauge_ == nullptr) return;
-  coveredGauge_->set(static_cast<double>(coveredArcs()));
-  totalGauge_->set(static_cast<double>(totalArcs()));
-  fractionGauge_->set(coverageFraction());
-}
-
-void CoverageTracker::bindGauges(obs::Registry& metrics,
-                                 const std::string& prefix) {
-  coveredGauge_ = &metrics.gauge(prefix + ".arcs_covered");
-  totalGauge_ = &metrics.gauge(prefix + ".arcs_total");
-  fractionGauge_ = &metrics.gauge(prefix + ".coverage");
-  updateGauges();
 }
 
 void CoverageTracker::publishTo(obs::Registry& metrics,

@@ -70,31 +70,19 @@ class CoverageTracker : public events::EventSink {
   /// conditions that must be made true.
   std::string suggestSequences() const;
 
-  /// Live coverage gauges: binds <prefix>.arcs_covered, <prefix>.arcs_total
-  /// and <prefix>.coverage on `metrics` and keeps them current as arcs are
-  /// traversed — a progress line can report "9/10 arcs" mid-run.  The
-  /// registry must outlive the tracker.
-  ///
-  /// DEPRECATED for exploration wiring: inject::ExploreConfig::capture()
-  /// owns the coverage-gauge publication for explored scenarios; call that
-  /// instead of binding gauges by hand.  See docs/injection.md (Migration).
-  void bindGauges(obs::Registry& metrics, const std::string& prefix);
-
-  /// One-shot publication of the current coverage to the same gauges that
-  /// bindGauges maintains (no live updates afterwards unless bound).
+  /// One-shot publication of the current coverage to the
+  /// <prefix>.arcs_covered / <prefix>.arcs_total / <prefix>.coverage gauges
+  /// on `metrics`.  inject::ExploreConfig::capture() calls this for
+  /// explored scenarios; see docs/injection.md (Migration).
   void publishTo(obs::Registry& metrics, const std::string& prefix) const;
 
  private:
   void onConcurrencyEvent(const events::Event& e, NodeKind kind);
-  void updateGauges() const;
 
   const Cofg* graph_;
   events::MethodId method_;
   std::vector<std::uint64_t> hits_;
   std::vector<CoverageAnomaly> anomalies_;
-  obs::Gauge* coveredGauge_ = nullptr;
-  obs::Gauge* totalGauge_ = nullptr;
-  obs::Gauge* fractionGauge_ = nullptr;
 
   // Per-thread cursor stacks (stack: methods may be re-entered recursively).
   std::map<events::ThreadId, std::vector<Node>> cursor_;

@@ -54,13 +54,6 @@ struct Instruments {
 
 namespace detail {
 
-/// Member-init-list hook: attach metrics to the runtime before the
-/// components (and their monitors) are constructed.
-inline monitor::Runtime& prime(monitor::Runtime& rt, obs::Registry* metrics) {
-  rt.setMetrics(metrics);
-  return rt;
-}
-
 inline void boundedBufferScenario(confail::sched::VirtualScheduler& s,
                                   const BoundedBuffer<int>::Faults& faults,
                                   int itemsPerThread = 2,
@@ -74,9 +67,9 @@ inline void boundedBufferScenario(confail::sched::VirtualScheduler& s,
     BoundedBuffer<int> buf;
     State(confail::sched::VirtualScheduler& sc,
           const BoundedBuffer<int>::Faults& f, const Instruments& i)
-        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1),
+        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1, i.metrics),
           decoration(i.decorate ? i.decorate(rt) : nullptr),
-          buf(prime(rt, i.metrics), "buf", 1, f) {}
+          buf(rt, "buf", 1, f) {}
   };
   if (ins.trace != nullptr) ins.trace->clear();
   // Every piece of mutable state in this scenario implements the snapshot
@@ -147,9 +140,9 @@ inline void lockOrder(confail::sched::VirtualScheduler& s,
     monitor::Monitor a;
     monitor::Monitor b;
     State(confail::sched::VirtualScheduler& sc, const Instruments& i)
-        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1),
+        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1, i.metrics),
           decoration(i.decorate ? i.decorate(rt) : nullptr),
-          a(detail::prime(rt, i.metrics), "A"),
+          a(rt, "A"),
           b(rt, "B") {}
   };
   if (ins.trace != nullptr) ins.trace->clear();
@@ -179,9 +172,9 @@ inline void disjointCounters(confail::sched::VirtualScheduler& s,
     monitor::SharedVar<int> a;
     monitor::SharedVar<int> b;
     State(confail::sched::VirtualScheduler& sc, const Instruments& i)
-        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1),
+        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1, i.metrics),
           decoration(i.decorate ? i.decorate(rt) : nullptr),
-          a(detail::prime(rt, i.metrics), "a", 0),
+          a(rt, "a", 0),
           b(rt, "b", 0) {}
   };
   if (ins.trace != nullptr) ins.trace->clear();
@@ -221,9 +214,9 @@ inline void genSelfWait(confail::sched::VirtualScheduler& s,
     std::shared_ptr<void> decoration;
     monitor::Monitor m0;
     State(confail::sched::VirtualScheduler& sc, const Instruments& i)
-        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1),
+        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1, i.metrics),
           decoration(i.decorate ? i.decorate(rt) : nullptr),
-          m0(detail::prime(rt, i.metrics), "m0") {}
+          m0(rt, "m0") {}
   };
   if (ins.trace != nullptr) ins.trace->clear();
   s.declareSnapshotSafe();
@@ -253,9 +246,9 @@ inline void genLostSignal(confail::sched::VirtualScheduler& s,
     std::shared_ptr<void> decoration;
     monitor::Monitor m0;
     State(confail::sched::VirtualScheduler& sc, const Instruments& i)
-        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1),
+        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1, i.metrics),
           decoration(i.decorate ? i.decorate(rt) : nullptr),
-          m0(detail::prime(rt, i.metrics), "m0") {}
+          m0(rt, "m0") {}
   };
   if (ins.trace != nullptr) ins.trace->clear();
   s.declareSnapshotSafe();
@@ -291,9 +284,9 @@ inline void genUnguardedWrite(confail::sched::VirtualScheduler& s,
     monitor::Monitor m0;
     monitor::SharedVar<int> v0;
     State(confail::sched::VirtualScheduler& sc, const Instruments& i)
-        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1),
+        : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1, i.metrics),
           decoration(i.decorate ? i.decorate(rt) : nullptr),
-          m0(detail::prime(rt, i.metrics), "m0"),
+          m0(rt, "m0"),
           v0(rt, "v0", 0) {}
   };
   if (ins.trace != nullptr) ins.trace->clear();

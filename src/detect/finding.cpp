@@ -24,6 +24,17 @@ const char* findingKindName(FindingKind k) {
   return "?";
 }
 
+bool parseFindingKind(const std::string& name, FindingKind& out) {
+  for (int k = 0; k <= static_cast<int>(FindingKind::BargingAcquire); ++k) {
+    const auto kind = static_cast<FindingKind>(k);
+    if (name == findingKindName(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<Finding> analyzeWithCore(StreamCore& core,
                                      const events::Trace& trace) {
   std::vector<Finding> out;

@@ -34,6 +34,10 @@ enum class FindingKind : std::uint8_t {
 
 const char* findingKindName(FindingKind k);
 
+/// Inverse of findingKindName; false when `name` matches no kind.  The
+/// campaign shard store round-trips finding kinds by name through this.
+bool parseFindingKind(const std::string& name, FindingKind& out);
+
 struct Finding {
   FindingKind kind;
   std::string message;

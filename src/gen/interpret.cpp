@@ -23,10 +23,9 @@ struct State {
   std::vector<std::unique_ptr<monitor::SharedVar<int>>> vars;
 
   State(sched::VirtualScheduler& sc, const Program& p, const Instruments& i)
-      : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1),
+      : rt(i.trace != nullptr ? *i.trace : ownTrace, sc, 1, i.metrics),
         decoration(i.decorate ? i.decorate(rt) : nullptr),
         prog(p) {
-    rt.setMetrics(i.metrics);  // before any monitor registers
     for (std::uint8_t m = 0; m < prog.monitors; ++m) {
       mons.push_back(std::make_unique<monitor::Monitor>(
           rt, "m" + std::to_string(m)));

@@ -1,12 +1,15 @@
 #include "confail/inject/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "confail/detect/report_sink.hpp"
 #include "confail/detect/suite.hpp"
 #include "confail/inject/explore_config.hpp"
+#include "confail/inject/job_spec.hpp"
 #include "confail/obs/json.hpp"
 #include "confail/taxonomy/classifier.hpp"
 #include "confail/taxonomy/table1.hpp"
@@ -85,7 +88,14 @@ sched::ExhaustiveExplorer::Options explorerOptions(
   eo.maxSteps = opts.maxSteps;
   eo.maxBranchDepth = opts.maxBranchDepth;
   eo.workers = opts.workers;
+  eo.reduction = opts.reduction;
   return eo;
+}
+
+double elapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 detect::DetectorSuite::Options suiteOptions() {
@@ -106,7 +116,10 @@ MatrixCell runCell(const NamedScenario& sc, const InjectionPlan& plan,
   MatrixCell cell;
   cell.scenario = sc.name;
   cell.cls = plan.cls;
+  cell.reduction = opts.reduction;
   cell.plan = plan;
+  cell.hostConcurrency = std::thread::hardware_concurrency();
+  const auto started = std::chrono::steady_clock::now();
 
   detect::DetectorSuite suite(suiteOptions());
   for (const auto& d : suite.detectors()) {
@@ -149,14 +162,16 @@ MatrixCell runCell(const NamedScenario& sc, const InjectionPlan& plan,
     // detector and confirmed by the classifier; stop spending runs on it.
     return !(cell.caught && cell.classifierAgrees);
   });
+  cell.wallMs = elapsedMs(started);
   return cell;
 }
-
-namespace {
 
 ControlCell runControl(const NamedScenario& sc, const CampaignOptions& opts) {
   ControlCell cell;
   cell.scenario = sc.name;
+  cell.reduction = opts.reduction;
+  cell.hostConcurrency = std::thread::hardware_concurrency();
+  const auto started = std::chrono::steady_clock::now();
   detect::DetectorSuite suite(suiteOptions());
   ExploreConfig cfg;
   cfg.scenario(sc).captureRuns().explorer(explorerOptions(opts));
@@ -173,27 +188,28 @@ ControlCell runControl(const NamedScenario& sc, const CampaignOptions& opts) {
     }
     return true;
   });
+  cell.wallMs = elapsedMs(started);
   return cell;
 }
 
-}  // namespace
-
 CampaignResult runCampaign(const CampaignOptions& opts) {
-  CampaignResult result;
-  result.options = opts;
-  for (const NamedScenario& sc : components::scenarios::registry()) {
-    for (FailureClass cls : injectableClasses()) {
-      if (!planApplies(cls, sc)) continue;
-      result.cells.push_back(runCell(sc, defaultPlanFor(cls, sc), opts));
+  // The one-shot campaign is the serve path run serially: expand the legacy
+  // whole-registry grid into shards and fold the results back together.
+  // Findings funnel into opts.sink in shard order, exactly as the old
+  // nested-loop driver appended them.
+  const JobSpec spec = jobSpecFrom(opts);
+  RunShardOptions shardOpts;
+  shardOpts.resolveNames = false;  // names are unused on this path
+  std::vector<ShardResult> results;
+  for (const ShardSpec& shard : expandShards(spec)) {
+    results.push_back(runShard(spec, shard, shardOpts));
+    if (opts.sink != nullptr) {
+      for (const ShardFinding& f : results.back().findings) {
+        opts.sink->add(f.detector, f.finding);
+      }
     }
   }
-  if (opts.negativeControls) {
-    for (const NamedScenario& sc : components::scenarios::registry()) {
-      if (sc.faultSeeded) continue;  // seeded scenarios are not clean
-      result.controls.push_back(runControl(sc, opts));
-    }
-  }
-  return result;
+  return campaignFromShards(spec, results);
 }
 
 bool CampaignResult::ok() const {
@@ -226,6 +242,7 @@ std::string CampaignResult::toJson() const {
   w.field("max_branch_depth",
           static_cast<std::uint64_t>(options.maxBranchDepth));
   w.field("workers", static_cast<std::uint64_t>(options.workers));
+  w.field("reduction", reductionName(options.reduction));
   w.endObject();
   w.key("matrix");
   w.beginArray();
@@ -234,12 +251,15 @@ std::string CampaignResult::toJson() const {
     w.field("scenario", c.scenario);
     w.field("class", taxonomy::failureClassName(c.cls));
     w.field("operator", operatorName(c.cls));
+    w.field("reduction", reductionName(c.reduction));
     w.field("plan", c.plan.describe());
     w.field("runs", c.runs);
     w.field("deviated_runs", c.deviatedRuns);
     w.field("failing_runs", c.failingRuns);
     w.field("caught", c.caught);
     w.field("classifier_agrees", c.classifierAgrees);
+    w.field("wall_ms", c.wallMs);
+    w.field("host_concurrency", static_cast<std::uint64_t>(c.hostConcurrency));
     w.key("caught_by");
     w.beginArray();
     for (const std::string& name : c.caughtBy()) w.value(name);
@@ -262,9 +282,12 @@ std::string CampaignResult::toJson() const {
   for (const ControlCell& c : controls) {
     w.beginObject();
     w.field("scenario", c.scenario);
+    w.field("reduction", reductionName(c.reduction));
     w.field("runs", c.runs);
     w.field("findings", c.findings);
     w.field("failing_runs", c.failingRuns);
+    w.field("wall_ms", c.wallMs);
+    w.field("host_concurrency", static_cast<std::uint64_t>(c.hostConcurrency));
     w.endObject();
   }
   w.endArray();

@@ -27,6 +27,7 @@
 
 #include "confail/components/scenario_registry.hpp"
 #include "confail/inject/plan.hpp"
+#include "confail/sched/explorer.hpp"
 
 namespace confail::detect {
 class ReportSink;
@@ -39,6 +40,10 @@ struct CampaignOptions {
   std::uint64_t maxSteps = 2000;     ///< per-run step bound (spin classes!)
   std::size_t maxBranchDepth = 4;    ///< keeps each cell's tree small
   std::size_t workers = 1;           ///< 1 = deterministic cell traversal
+  /// Schedule-tree reduction each cell is explored under (a campaign grid
+  /// axis: the same plan can be run under none/sleep/dpor side by side).
+  sched::ExhaustiveExplorer::Reduction reduction =
+      sched::ExhaustiveExplorer::Reduction::None;
   bool negativeControls = true;
   /// Optional finding funnel: every detector finding from every analyzed
   /// run (deviated cells and negative controls alike) is appended here,
@@ -59,16 +64,23 @@ struct DetectorCell {
   std::uint64_t hits = 0;      ///< findings classified to the injected class
 };
 
-/// One (scenario, injected class) cell.
+/// One (scenario, injected class, reduction) cell.  `wallMs` and
+/// `hostConcurrency` are execution provenance: when cells of one campaign
+/// are computed as shards on different hosts (the `confail serve` path),
+/// the merged matrix must not lose where and how fast each cell ran.
 struct MatrixCell {
   std::string scenario;
   taxonomy::FailureClass cls = taxonomy::FailureClass::FF_T1;
+  sched::ExhaustiveExplorer::Reduction reduction =
+      sched::ExhaustiveExplorer::Reduction::None;
   InjectionPlan plan;
   std::uint64_t runs = 0;          ///< runs explored in this cell
   std::uint64_t deviatedRuns = 0;  ///< runs where the plan actually fired
   std::uint64_t failingRuns = 0;   ///< non-Completed outcomes
   bool caught = false;             ///< >=1 detector hit on the injected class
   bool classifierAgrees = false;   ///< classifier report contained the class
+  double wallMs = 0.0;             ///< wall-clock of this cell's exploration
+  std::uint32_t hostConcurrency = 0;  ///< hardware_concurrency of the host
   std::vector<DetectorCell> detectors;
 
   std::vector<std::string> caughtBy() const;
@@ -77,9 +89,13 @@ struct MatrixCell {
 /// One negative-control row: a clean scenario explored uninjected.
 struct ControlCell {
   std::string scenario;
+  sched::ExhaustiveExplorer::Reduction reduction =
+      sched::ExhaustiveExplorer::Reduction::None;
   std::uint64_t runs = 0;
   std::uint64_t findings = 0;     ///< total suite findings (must be 0)
   std::uint64_t failingRuns = 0;  ///< non-Completed outcomes (must be 0)
+  double wallMs = 0.0;
+  std::uint32_t hostConcurrency = 0;
 };
 
 struct CampaignResult {
@@ -112,6 +128,10 @@ bool planApplies(taxonomy::FailureClass cls,
 /// Run one cell (exposed for tests and the CLI's single-plan mode).
 MatrixCell runCell(const components::scenarios::NamedScenario& sc,
                    const InjectionPlan& plan, const CampaignOptions& opts);
+
+/// Run one negative control: explore `sc` uninjected and count findings.
+ControlCell runControl(const components::scenarios::NamedScenario& sc,
+                       const CampaignOptions& opts);
 
 /// Run the full campaign.
 CampaignResult runCampaign(const CampaignOptions& opts = CampaignOptions());

@@ -7,8 +7,8 @@
 // This is the front door for everything that explores a scenario: the
 // `confail explore` and `confail inject` CLI verbs, the injection campaign
 // driver and the tests all build on it, so the wiring exists exactly once.
-// The previously public plumbing it replaces — calling Runtime::setMetrics
-// / CoverageTracker::bindGauges directly, or hand-assembling
+// The previously public plumbing it replaces — wiring a Runtime's metrics
+// registry and coverage gauges by hand, or hand-assembling
 // scenarios::Instruments — still works but is deprecated; see
 // docs/injection.md ("Migration").
 //

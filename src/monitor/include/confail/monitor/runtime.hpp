@@ -42,11 +42,16 @@ class Runtime : public sched::FingerprintSource, public sched::SnapshotSource {
  public:
   enum class Mode { Real, Virtual };
 
-  /// Virtual-mode runtime: logical threads run under `sched`.
-  Runtime(events::Trace& trace, sched::VirtualScheduler& sched, std::uint64_t seed);
+  /// Virtual-mode runtime: logical threads run under `sched`.  When
+  /// `metrics` is non-null, monitors constructed on this runtime register
+  /// per-monitor contention / wait / notify counters on it (the registry
+  /// must outlive the monitors; not owned).
+  Runtime(events::Trace& trace, sched::VirtualScheduler& sched,
+          std::uint64_t seed, obs::Registry* metrics = nullptr);
 
   /// Real-mode runtime: threads are plain std::threads.
-  Runtime(events::Trace& trace, std::uint64_t seed);
+  Runtime(events::Trace& trace, std::uint64_t seed,
+          obs::Registry* metrics = nullptr);
 
   ~Runtime() override;
 
@@ -65,16 +70,9 @@ class Runtime : public sched::FingerprintSource, public sched::SnapshotSource {
   bool isVirtual() const { return mode_ == Mode::Virtual; }
   events::Trace& trace() { return trace_; }
 
-  /// Attach a metrics registry.  Monitors constructed afterwards register
-  /// per-monitor contention / wait / notify counters on it (monitors built
-  /// before the call stay uninstrumented — attach before constructing
-  /// components).  Null detaches; the registry must outlive the monitors.
-  ///
-  /// DEPRECATED (kept for one release): calling this directly is the
-  /// pre-ExploreConfig wiring.  New code should route instrumentation
-  /// through inject::ExploreConfig, which owns registry/trace/coverage
-  /// wiring in one place — see docs/injection.md ("Migration").
-  void setMetrics(obs::Registry* metrics) { metrics_ = metrics; }
+  /// The metrics registry passed at construction (null when
+  /// uninstrumented).  Instrumented wiring is normally owned by
+  /// inject::ExploreConfig — see docs/injection.md ("Migration").
   obs::Registry* metrics() const { return metrics_; }
 
   /// Attach a fault-injection hooks object (virtual mode; see

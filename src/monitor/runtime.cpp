@@ -29,14 +29,16 @@ struct RuntimeSnap {
 }  // namespace
 
 Runtime::Runtime(events::Trace& trace, sched::VirtualScheduler& sched,
-                 std::uint64_t seed)
-    : mode_(Mode::Virtual), trace_(trace), sched_(&sched), rng_(seed) {
+                 std::uint64_t seed, obs::Registry* metrics)
+    : mode_(Mode::Virtual), trace_(trace), sched_(&sched), metrics_(metrics),
+      rng_(seed) {
   sched_->addFingerprintSource(this);
   sched_->addSnapshotSource(this);
 }
 
-Runtime::Runtime(events::Trace& trace, std::uint64_t seed)
-    : mode_(Mode::Real), trace_(trace), rng_(seed) {}
+Runtime::Runtime(events::Trace& trace, std::uint64_t seed,
+                 obs::Registry* metrics)
+    : mode_(Mode::Real), trace_(trace), metrics_(metrics), rng_(seed) {}
 
 Runtime::~Runtime() {
   if (sched_ != nullptr) {

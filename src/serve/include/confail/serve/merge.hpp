@@ -1,0 +1,47 @@
+// Merge: fold a job's ordered shard results into the final campaign
+// documents.
+//
+// Shards execute in isolation, so their findings carry ids that are only
+// meaningful within one scenario's deterministic wiring.  The merge
+// re-interns every finding's resolved names through one ingest::NameTable
+// (fresh dense ids, shared across shards) and renders through the shared
+// detect::ReportSink, so the campaign service emits the same
+// confail.findings.v1 / SARIF 2.1.0 documents as every other finding
+// producer in the project.
+//
+// Dedup: two findings are the same when their fingerprint — detector, kind,
+// message, scenario and the four resolved names — matches.  First
+// occurrence (in shard-index order) wins; later duplicates are counted.
+// Because shard execution is deterministic and the merge is ordered, the
+// merged documents are a pure function of the shard set: a daemon resumed
+// after SIGKILL reproduces them byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "confail/inject/job_spec.hpp"
+
+namespace confail::serve {
+
+struct MergedReports {
+  std::string findingsJson;  ///< confail.findings.v1
+  std::string sarif;         ///< SARIF 2.1.0
+  std::string matrixJson;    ///< confail.injection.v1 detection matrix
+  std::uint64_t uniqueFindings = 0;
+  std::uint64_t duplicates = 0;  ///< findings dropped by the fingerprint dedup
+  bool matrixOk = false;         ///< CampaignResult::ok() of the merged matrix
+};
+
+/// Fingerprint of one shard finding for dedup (FNV-1a over the identity
+/// fields).  Exposed for the tests.
+std::uint64_t findingFingerprint(const std::string& scenario,
+                                 const inject::ShardFinding& f);
+
+/// Merge shard results (any order; sorted by shard index internally).
+MergedReports mergeShards(const inject::JobSpec& spec,
+                          const std::string& jobId,
+                          std::vector<inject::ShardResult> shards);
+
+}  // namespace confail::serve

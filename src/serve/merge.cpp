@@ -1,0 +1,84 @@
+#include "confail/serve/merge.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "confail/detect/report_sink.hpp"
+#include "confail/ingest/decode.hpp"
+
+namespace confail::serve {
+
+using inject::ShardFinding;
+using inject::ShardResult;
+
+namespace {
+
+std::uint64_t fnv1aMix(std::uint64_t h, const std::string& s) {
+  h ^= 0x9e3779b97f4a7c15ull;  // field separator
+  h *= 1099511628211ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t findingFingerprint(const std::string& scenario,
+                                 const ShardFinding& f) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv1aMix(h, scenario);
+  h = fnv1aMix(h, f.detector);
+  h = fnv1aMix(h, detect::findingKindName(f.finding.kind));
+  h = fnv1aMix(h, f.finding.message);
+  h = fnv1aMix(h, f.thread);
+  h = fnv1aMix(h, f.thread2);
+  h = fnv1aMix(h, f.monitor);
+  h = fnv1aMix(h, f.var);
+  return h;
+}
+
+MergedReports mergeShards(const inject::JobSpec& spec,
+                          const std::string& jobId,
+                          std::vector<ShardResult> shards) {
+  std::sort(shards.begin(), shards.end(),
+            [](const ShardResult& a, const ShardResult& b) {
+              return a.spec.index < b.spec.index;
+            });
+
+  MergedReports out;
+  detect::ReportSink sink;
+  sink.setSource(jobId);
+  ingest::NameTable names;
+  std::unordered_set<std::uint64_t> seen;
+  for (const ShardResult& s : shards) {
+    for (const ShardFinding& f : s.findings) {
+      const std::uint64_t fp = findingFingerprint(s.spec.scenario, f);
+      if (!seen.insert(fp).second) {
+        ++out.duplicates;
+        continue;
+      }
+      detect::Finding merged = f.finding;
+      merged.thread = f.thread.empty() ? events::kNoThread
+                                       : names.internThread(f.thread);
+      merged.thread2 = f.thread2.empty() ? events::kNoThread
+                                         : names.internThread(f.thread2);
+      merged.monitor = f.monitor.empty() ? events::kNoMonitor
+                                         : names.internMonitor(f.monitor);
+      merged.var = f.var.empty() ? events::kNoVar : names.internVar(f.var);
+      sink.add(f.detector, merged);
+    }
+  }
+  out.uniqueFindings = sink.size();
+  out.findingsJson = sink.toJson(names);
+  out.sarif = sink.toSarif(names);
+  const inject::CampaignResult matrix =
+      inject::campaignFromShards(spec, shards);
+  out.matrixJson = matrix.toJson();
+  out.matrixOk = matrix.ok();
+  return out;
+}
+
+}  // namespace confail::serve

@@ -1,0 +1,400 @@
+#include "confail/serve/server.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "confail/obs/metrics.hpp"
+#include "confail/serve/merge.hpp"
+#include "confail/support/assert.hpp"
+
+namespace confail::serve {
+
+using inject::JobSpec;
+using inject::ShardResult;
+using inject::ShardSpec;
+
+namespace {
+
+constexpr int kMaxAttempts = 2;  ///< one retry per shard before giving up
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServerOptions o)
+      : opts(std::move(o)), store(opts.root) {
+    if (opts.poolSize == 0) opts.poolSize = 1;
+    if (opts.metrics != nullptr) {
+      reg = opts.metrics;
+    } else {
+      ownReg = std::make_unique<obs::Registry>();
+      reg = ownReg.get();
+    }
+    jobsAdopted = &reg->counter("serve.jobs_adopted");
+    jobsCompleted = &reg->counter("serve.jobs_completed");
+    jobsFailed = &reg->counter("serve.jobs_failed");
+    shardsCompleted = &reg->counter("serve.shards_completed");
+    shardsFailed = &reg->counter("serve.shards_failed");
+    heartbeats = &reg->counter("serve.heartbeats");
+    jobsActive = &reg->gauge("serve.jobs_active");
+    workersBusy = &reg->gauge("serve.workers_busy");
+  }
+
+  struct JobRun {
+    JobSpec spec;
+    std::vector<ShardSpec> shards;
+    std::vector<bool> done;
+    std::vector<int> attempts;
+    std::deque<std::size_t> pending;
+    std::size_t inFlight = 0;
+    std::uint64_t failed = 0;
+  };
+
+  struct Worker {
+    std::string jobId;
+    std::size_t shardIndex = 0;
+    pid_t pid = -1;  ///< subprocess mode
+    std::thread thread;
+    std::shared_ptr<std::atomic<int>> state;  ///< 0 running, 1 ok, 2 failed
+  };
+
+  ServerOptions opts;
+  CampaignStore store;
+  std::unique_ptr<obs::Registry> ownReg;
+  obs::Registry* reg = nullptr;
+  obs::Counter* jobsAdopted = nullptr;
+  obs::Counter* jobsCompleted = nullptr;
+  obs::Counter* jobsFailed = nullptr;
+  obs::Counter* shardsCompleted = nullptr;
+  obs::Counter* shardsFailed = nullptr;
+  obs::Counter* heartbeats = nullptr;
+  obs::Gauge* jobsActive = nullptr;
+  obs::Gauge* workersBusy = nullptr;
+
+  std::map<std::string, JobRun> jobs;  ///< in-flight jobs by id
+  std::vector<Worker> workers;
+  std::uint64_t mergedJobs = 0;
+  bool anyFailed = false;
+
+  // -- job lifecycle -------------------------------------------------------
+
+  void failJob(const std::string& id, const JobSpec* spec) {
+    JobState st;
+    st.id = id;
+    st.name = spec != nullptr ? spec->name : "";
+    st.status = "failed";
+    // A malformed submission fails before adoption ever creates its job
+    // directory, so make sure the state file has somewhere to land.
+    std::error_code ec;
+    std::filesystem::create_directories(store.jobDir(id), ec);
+    (void)store.writeState(id, st);
+    jobsFailed->inc();
+    anyFailed = true;
+  }
+
+  void openJob(const std::string& id, JobSpec spec) {
+    JobRun jr;
+    jr.spec = std::move(spec);
+    try {
+      jr.shards = inject::expandShards(jr.spec);
+    } catch (const Error&) {
+      failJob(id, &jr.spec);
+      return;
+    }
+    // Resume criterion: a shard whose result file exists and parses was
+    // completed by an earlier daemon run and is never re-executed (nor
+    // re-journaled).
+    jr.done = store.completedShards(id, jr.shards.size());
+    jr.attempts.assign(jr.shards.size(), 0);
+    for (std::size_t i = 0; i < jr.shards.size(); ++i) {
+      if (!jr.done[i]) jr.pending.push_back(i);
+    }
+    publishState(id, jr, "running");
+    jobsAdopted->inc();
+    jobs.emplace(id, std::move(jr));
+  }
+
+  void publishState(const std::string& id, const JobRun& jr,
+                    const std::string& status,
+                    std::uint64_t findings = 0) const {
+    JobState st;
+    st.id = id;
+    st.name = jr.spec.name;
+    st.status = status;
+    st.shardsTotal = jr.shards.size();
+    std::uint64_t done = 0;
+    for (bool d : jr.done) done += d ? 1 : 0;
+    st.shardsDone = done;
+    st.shardsFailed = jr.failed;
+    st.findings = findings;
+    (void)store.writeState(id, st);
+  }
+
+  void adoptQueued() {
+    for (const std::string& id : store.scanQueue()) {
+      if (jobs.count(id) != 0) {
+        store.removeQueued(id);  // duplicate submit of a running job
+        continue;
+      }
+      JobSpec spec;
+      std::string error;
+      if (!store.adoptJob(id, spec, error)) {
+        store.removeQueued(id);
+        failJob(id, nullptr);
+        continue;
+      }
+      openJob(id, std::move(spec));
+    }
+  }
+
+  void resumeAdopted() {
+    for (const std::string& id : store.listJobs()) {
+      JobState st;
+      if (store.readState(id, st) &&
+          (st.status == "completed" || st.status == "failed")) {
+        continue;
+      }
+      JobSpec spec;
+      std::string error;
+      if (!store.loadJob(id, spec, error)) {
+        failJob(id, nullptr);
+        continue;
+      }
+      openJob(id, std::move(spec));
+    }
+  }
+
+  // -- worker pool ---------------------------------------------------------
+
+  bool spawn(const std::string& id, JobRun& jr, std::size_t shardIndex) {
+    Worker w;
+    w.jobId = id;
+    w.shardIndex = shardIndex;
+    ++jr.attempts[shardIndex];
+    if (opts.subprocess) {
+      const std::string bin =
+          opts.workerBinary.empty() ? "/proc/self/exe" : opts.workerBinary;
+      std::vector<std::string> args = {
+          bin,     "worker",                   "--job",
+          store.jobDir(id) + "/job.json",      "--shard",
+          std::to_string(shardIndex),          "--out",
+          store.shardPath(id, shardIndex)};
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      const pid_t pid = ::fork();
+      if (pid < 0) return false;
+      if (pid == 0) {
+        ::execv(bin.c_str(), argv.data());
+        ::_exit(127);  // exec failed; the parent records a shard failure
+      }
+      w.pid = pid;
+    } else {
+      w.state = std::make_shared<std::atomic<int>>(0);
+      // Copies keep the thread self-contained; CampaignStore is a plain
+      // path wrapper, safe to use concurrently.
+      w.thread = std::thread(
+          [state = w.state, st = store, spec = jr.spec,
+           shard = jr.shards[shardIndex], id]() {
+            try {
+              inject::RunShardOptions ro;
+              ro.captureEvents = true;
+              const ShardResult r = inject::runShard(spec, shard, ro);
+              state->store(st.writeShard(id, r) ? 1 : 2);
+            } catch (...) {
+              state->store(2);
+            }
+          });
+    }
+    ++jr.inFlight;
+    workers.push_back(std::move(w));
+    return true;
+  }
+
+  void dispatch() {
+    if (workers.size() >= opts.poolSize) return;
+    for (auto& [id, jr] : jobs) {
+      while (workers.size() < opts.poolSize && !jr.pending.empty()) {
+        const std::size_t shardIndex = jr.pending.front();
+        jr.pending.pop_front();
+        if (!spawn(id, jr, shardIndex)) {
+          jr.pending.push_front(shardIndex);
+          return;  // fork pressure; retry next iteration
+        }
+      }
+      if (workers.size() >= opts.poolSize) return;
+    }
+  }
+
+  /// Returns -1 still running, 0 succeeded, 1 failed.
+  int pollWorker(Worker& w) {
+    if (w.pid >= 0) {
+      int status = 0;
+      const pid_t got = ::waitpid(w.pid, &status, WNOHANG);
+      if (got == 0) return -1;
+      if (got != w.pid) return 1;
+      return (WIFEXITED(status) && WEXITSTATUS(status) == 0) ? 0 : 1;
+    }
+    const int s = w.state->load();
+    if (s == 0) return -1;
+    if (w.thread.joinable()) w.thread.join();
+    return s == 1 ? 0 : 1;
+  }
+
+  void onShardDone(const std::string& id, JobRun& jr, std::size_t index,
+                   bool workerOk) {
+    --jr.inFlight;
+    ShardResult r;
+    const bool landed = workerOk && store.readShard(id, index, r);
+    if (landed) {
+      jr.done[index] = true;
+      (void)store.journalShard(id, index);
+      (void)store.appendEvents(id, r.eventsJsonl);
+      shardsCompleted->inc();
+      publishState(id, jr, "running");
+      return;
+    }
+    if (jr.attempts[index] < kMaxAttempts) {
+      jr.pending.push_back(index);  // crash isolation: retry once
+      return;
+    }
+    ++jr.failed;
+    shardsFailed->inc();
+    publishState(id, jr, "running");
+  }
+
+  void reap() {
+    for (std::size_t i = 0; i < workers.size();) {
+      const int result = pollWorker(workers[i]);
+      if (result < 0) {
+        ++i;
+        continue;
+      }
+      Worker w = std::move(workers[i]);
+      workers.erase(workers.begin() +
+                    static_cast<std::ptrdiff_t>(i));
+      auto it = jobs.find(w.jobId);
+      if (it != jobs.end()) {
+        onShardDone(w.jobId, it->second, w.shardIndex, result == 0);
+      }
+    }
+  }
+
+  // -- merge ---------------------------------------------------------------
+
+  void mergeFinished() {
+    for (auto it = jobs.begin(); it != jobs.end();) {
+      JobRun& jr = it->second;
+      const bool allDone = jr.pending.empty() && jr.inFlight == 0;
+      if (!allDone) {
+        ++it;
+        continue;
+      }
+      const std::string id = it->first;
+      if (jr.failed > 0) {
+        publishState(id, jr, "failed");
+        jobsFailed->inc();
+        anyFailed = true;
+      } else {
+        std::vector<ShardResult> results;
+        results.reserve(jr.shards.size());
+        bool readable = true;
+        for (std::size_t i = 0; i < jr.shards.size(); ++i) {
+          ShardResult r;
+          if (!store.readShard(id, i, r)) {
+            readable = false;
+            break;
+          }
+          results.push_back(std::move(r));
+        }
+        if (!readable) {
+          publishState(id, jr, "failed");
+          jobsFailed->inc();
+          anyFailed = true;
+        } else {
+          const MergedReports merged =
+              mergeShards(jr.spec, id, std::move(results));
+          (void)CampaignStore::writeFileAtomic(store.findingsPath(id),
+                                               merged.findingsJson + "\n");
+          (void)CampaignStore::writeFileAtomic(store.sarifPath(id),
+                                               merged.sarif + "\n");
+          (void)CampaignStore::writeFileAtomic(store.matrixPath(id),
+                                               merged.matrixJson + "\n");
+          publishState(id, jr, "completed", merged.uniqueFindings);
+          jobsCompleted->inc();
+          ++mergedJobs;
+        }
+      }
+      it = jobs.erase(it);
+    }
+  }
+
+  // -- heartbeat -----------------------------------------------------------
+
+  void heartbeat() {
+    heartbeats->inc();
+    jobsActive->set(static_cast<double>(jobs.size()));
+    workersBusy->set(static_cast<double>(workers.size()));
+    if (!opts.metricsOut.empty()) {
+      (void)CampaignStore::writeFileAtomic(opts.metricsOut,
+                                           reg->snapshot().toJson() + "\n");
+    }
+  }
+
+  int run() {
+    if (opts.root.empty() || !store.init()) return 3;
+    resumeAdopted();
+    bool draining = false;
+    for (;;) {
+      if (!draining) adoptQueued();
+      if (store.drainRequested()) draining = true;
+      dispatch();
+      reap();
+      mergeFinished();
+      heartbeat();
+      if (opts.maxJobs != 0 && mergedJobs >= opts.maxJobs && jobs.empty()) {
+        break;
+      }
+      if (draining && jobs.empty()) break;
+      if (opts.exitWhenIdle && jobs.empty() && store.scanQueue().empty()) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(opts.pollMs));
+    }
+    // A drain marker is a one-shot request: consume it so the next daemon
+    // started on this root serves normally instead of exiting immediately.
+    if (draining) store.clearDrain();
+    heartbeat();
+    return anyFailed ? 1 : 0;
+  }
+};
+
+Server::Server(ServerOptions opts) : impl_(new Impl(std::move(opts))) {}
+
+Server::~Server() {
+  // Join any in-process stragglers so the pool never outlives the store.
+  for (auto& w : impl_->workers) {
+    if (w.thread.joinable()) w.thread.join();
+    if (w.pid >= 0) {
+      int status = 0;
+      (void)::waitpid(w.pid, &status, 0);
+    }
+  }
+  delete impl_;
+}
+
+int Server::run() { return impl_->run(); }
+
+const CampaignStore& Server::store() const { return impl_->store; }
+
+}  // namespace confail::serve

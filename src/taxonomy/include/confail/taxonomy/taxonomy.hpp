@@ -52,6 +52,11 @@ inline constexpr std::size_t kFailureClassCount = 10;
 const std::array<FailureClass, kFailureClassCount>& allFailureClasses();
 
 const char* failureClassName(FailureClass c);  ///< e.g. "FF-T1"
+
+/// Parse a class name ("FF-T5"; case-insensitive, '_' accepted for '-').
+/// Returns false when the spelling matches no Table 1 class.
+bool parseFailureClass(const std::string& spec, FailureClass& out);
+
 Transition transitionOf(FailureClass c);
 Deviation deviationOf(FailureClass c);
 

@@ -1,5 +1,7 @@
 #include "confail/taxonomy/taxonomy.hpp"
 
+#include <cctype>
+
 #include "confail/support/assert.hpp"
 
 namespace confail::taxonomy {
@@ -71,6 +73,21 @@ const char* failureClassName(FailureClass c) {
     case FailureClass::EF_T5: return "EF-T5";
   }
   return "?";
+}
+
+bool parseFailureClass(const std::string& spec, FailureClass& out) {
+  std::string upper = spec;
+  for (char& c : upper) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (c == '_') c = '-';
+  }
+  for (FailureClass cls : allFailureClasses()) {
+    if (upper == failureClassName(cls)) {
+      out = cls;
+      return true;
+    }
+  }
+  return false;
 }
 
 Transition transitionOf(FailureClass c) {

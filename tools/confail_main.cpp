@@ -1,12 +1,7 @@
 // confail: the unified command-line front end.
 //
-//   confail explore   ...   parallel schedule exploration (was confail_explore)
-//   confail trace     ...   offline trace analysis        (was confail_trace)
-//   confail inject    ...   deviation injection / detection matrix
-//   confail obs-check ...   observability file validation (was confail_obs_check)
-//
-// Each verb's flags are unchanged from the standalone binary it replaces;
-// the old binaries still exist as forwarding shims.
+// Every capability of the toolkit is a verb of this one binary; see
+// cli.hpp for the shared flag and exit-status conventions.
 #include <cstdio>
 #include <cstring>
 
@@ -26,6 +21,12 @@ int usage() {
                "  fuzz       generate seeded programs; run differential "
                "oracles\n"
                "  obs-check  validate emitted metrics/trace files\n"
+               "  serve      run the campaign daemon over a spool directory\n"
+               "  worker     run one campaign shard (serve's subprocess)\n"
+               "  submit     enqueue a campaign job for the daemon\n"
+               "  status     report job states from a spool directory\n"
+               "  results    fetch a completed job's merged documents\n"
+               "  drain      ask the daemon to finish up and exit\n"
                "\nrun `confail <verb>` with no arguments for per-verb usage.\n");
   return 2;
 }
@@ -54,6 +55,24 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(verb, "obs-check") == 0) {
     return confail::cli::cmdObsCheck("confail obs-check", rest, restv);
+  }
+  if (std::strcmp(verb, "serve") == 0) {
+    return confail::cli::cmdServe("confail serve", rest, restv);
+  }
+  if (std::strcmp(verb, "worker") == 0) {
+    return confail::cli::cmdWorker("confail worker", rest, restv);
+  }
+  if (std::strcmp(verb, "submit") == 0) {
+    return confail::cli::cmdSubmit("confail submit", rest, restv);
+  }
+  if (std::strcmp(verb, "status") == 0) {
+    return confail::cli::cmdStatus("confail status", rest, restv);
+  }
+  if (std::strcmp(verb, "results") == 0) {
+    return confail::cli::cmdResults("confail results", rest, restv);
+  }
+  if (std::strcmp(verb, "drain") == 0) {
+    return confail::cli::cmdDrain("confail drain", rest, restv);
   }
   if (std::strcmp(verb, "--help") != 0 && std::strcmp(verb, "-h") != 0) {
     std::fprintf(stderr, "confail: unknown verb '%s'\n", verb);

@@ -1,11 +1,10 @@
-// `confail explore` (formerly the whole of confail_explore): front end for
-// the parallel schedule explorer.  The heavy lifting — program wiring,
-// injection, capture, summary assembly — lives in inject::ExploreConfig;
-// this file is flag parsing and output.
+// `confail explore`: front end for the parallel schedule explorer.  The
+// heavy lifting — program wiring, injection, capture, summary assembly —
+// lives in inject::ExploreConfig; this file is flag parsing and output.
 //
-// Exit status: 0 on a clean exploration (including one that finds
-// failures — finding bugs is the tool working), 1 on an internal error,
-// 2 on a usage error.
+// Exit status follows cli.hpp: 0 when every run completed cleanly, 1 when
+// the exploration surfaced failures (deadlocks, step-limited runs,
+// exceptions), 2 on usage errors, 3 on internal errors.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -13,6 +12,7 @@
 #include "cli.hpp"
 #include "confail/components/scenario_registry.hpp"
 #include "confail/inject/explore_config.hpp"
+#include "confail/inject/job_spec.hpp"
 #include "confail/obs/metrics.hpp"
 #include "confail/obs/summary.hpp"
 #include "confail/obs/trace_export.hpp"
@@ -114,13 +114,7 @@ int cmdExplore(const char* prog, int argc, char** argv) {
         } else {
           v = arg.substr(std::strlen("--reduction="));
         }
-        if (v == "none") {
-          eo.reduction = sched::ExhaustiveExplorer::Reduction::None;
-        } else if (v == "sleep") {
-          eo.reduction = sched::ExhaustiveExplorer::Reduction::Sleep;
-        } else if (v == "dpor") {
-          eo.reduction = sched::ExhaustiveExplorer::Reduction::Dpor;
-        } else {
+        if (!inject::parseReduction(v, eo.reduction)) {
           std::fprintf(stderr, "%s: unknown reduction '%s'\n", prog,
                        v.c_str());
           return usage(prog);
@@ -166,8 +160,11 @@ int cmdExplore(const char* prog, int argc, char** argv) {
     outcome = cfg.explore();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", prog, e.what());
-    return 1;
+    return 3;
   }
+  const sched::ExhaustiveExplorer::Stats& stats = outcome.stats;
+  const int verdict =
+      stats.deadlocks + stats.stepLimited + stats.exceptions > 0 ? 1 : 0;
 
   // One captured run feeds the Chrome/JSONL exports and the CoFG coverage
   // gauges.
@@ -177,28 +174,28 @@ int cmdExplore(const char* prog, int argc, char** argv) {
       cfg.capture(captured, metrics);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s: capture run failed: %s\n", prog, e.what());
-      return 1;
+      return 3;
     }
   }
   if (!chromeTrace.empty() &&
       !obs::writeChromeTraceFile(captured, chromeTrace)) {
     std::fprintf(stderr, "%s: cannot write %s\n", prog, chromeTrace.c_str());
-    return 1;
+    return 3;
   }
   if (!jsonlOut.empty()) {
     if (jsonlOut == "-") {
       std::fputs(obs::toJsonl(captured).c_str(), stdout);
       // Events went to stdout; the summary must not interleave with them.
-      return 0;
+      return verdict;
     }
     if (!obs::writeJsonlFile(captured, jsonlOut)) {
       std::fprintf(stderr, "%s: cannot write %s\n", prog, jsonlOut.c_str());
-      return 1;
+      return 3;
     }
   }
   if (!metricsOut.empty() && !metrics.snapshot().writeFile(metricsOut)) {
     std::fprintf(stderr, "%s: cannot write %s\n", prog, metricsOut.c_str());
-    return 1;
+    return 3;
   }
 
   obs::ExploreSummary summary = outcome.summary();
@@ -209,7 +206,7 @@ int cmdExplore(const char* prog, int argc, char** argv) {
     std::fputs(summary.human().c_str(), stdout);
     std::printf("EXPLORE DONE\n");
   }
-  return 0;
+  return verdict;
 }
 
 }  // namespace confail::cli

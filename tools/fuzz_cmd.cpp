@@ -176,7 +176,7 @@ int cmdFuzz(const char* prog, int argc, char** argv) {
     std::FILE* f = std::fopen(outFile.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "%s: cannot write %s\n", prog, outFile.c_str());
-      return 1;
+      return 3;
     }
     const std::string jsonDoc = report.toJson();
     std::fputs(jsonDoc.c_str(), f);

@@ -11,8 +11,8 @@
 // the recorded trace.  --follow tails a file that is still being
 // appended to (a component under test writing its event log).
 //
-// Exit status: 0 on a clean ingest (findings are the tool working),
-// 1 on an internal error, 2 on a usage error.
+// Exit status follows cli.hpp: 0 on a clean ingest with no findings,
+// 1 when the detectors produced findings, 2 usage, 3 internal.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -234,7 +234,7 @@ int cmdIngest(const char* prog, int argc, char** argv) {
     file.open(input, std::ios::binary);
     if (!file) {
       std::fprintf(stderr, "%s: cannot open %s\n", prog, input.c_str());
-      return 1;
+      return 3;
     }
     in = &file;
   }
@@ -248,20 +248,20 @@ int cmdIngest(const char* prog, int argc, char** argv) {
     st = pipe.run(*in, sink);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", prog, e.what());
-    return 1;
+    return 3;
   }
 
   if (!metricsOut.empty() && !metrics.snapshot().writeFile(metricsOut)) {
     std::fprintf(stderr, "%s: cannot write %s\n", prog, metricsOut.c_str());
-    return 1;
+    return 3;
   }
   if (!sarifOut.empty() && !sink.writeSarifFile(pipe.names(), sarifOut)) {
     std::fprintf(stderr, "%s: cannot write %s\n", prog, sarifOut.c_str());
-    return 1;
+    return 3;
   }
   if (!jsonOut.empty() && !sink.writeJsonFile(pipe.names(), jsonOut)) {
     std::fprintf(stderr, "%s: cannot write %s\n", prog, jsonOut.c_str());
-    return 1;
+    return 3;
   }
 
   if (json) {
@@ -271,7 +271,7 @@ int cmdIngest(const char* prog, int argc, char** argv) {
                metricsOut.empty() ? nullptr : &metrics, opts.ringCapacity);
     std::printf("INGEST DONE\n");
   }
-  return 0;
+  return sink.empty() ? 0 : 1;
 }
 
 }  // namespace confail::cli

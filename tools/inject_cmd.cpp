@@ -12,11 +12,13 @@
 //       every applicable injectable Table 1 class, plus negative controls.
 //       --out writes the machine-readable matrix (confail.injection.v1);
 //       stdout gets the human rendering ending in INJECTION MATRIX OK|FAIL.
-//       Exit status is 0 iff the matrix is OK.
+//
+// Exit status follows cli.hpp: single-plan mode returns 1 when detectors
+// produced findings (the usual outcome of a successful injection), campaign
+// mode returns 1 unless the matrix is OK; 2 usage, 3 internal.
 //
 // Exploration flags (both modes): --max-runs, --max-steps, --max-depth,
-// --workers, --no-controls (campaign only).
-#include <cctype>
+// --workers, --reduction, --no-controls (campaign only).
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -26,6 +28,7 @@
 #include "confail/events/trace.hpp"
 #include "confail/inject/campaign.hpp"
 #include "confail/inject/explore_config.hpp"
+#include "confail/inject/job_spec.hpp"
 #include "confail/obs/json.hpp"
 #include "confail/obs/metrics.hpp"
 #include "confail/taxonomy/taxonomy.hpp"
@@ -43,32 +46,19 @@ int usage(const char* prog) {
                "usage: %s --scenario <name> --class <FF-T5> [--monitor M] "
                "[--victim T]\n"
                "               [--after N] [--count N] [--json]\n"
-               "               [--sarif-out FILE] [--findings-out FILE] "
+               "               [--sarif-out FILE] [--json-out FILE] "
                "[--findings-cap N]\n"
                "       %s --campaign [--out FILE] [--no-controls]\n"
                "       common: [--max-runs N] [--max-steps N] [--max-depth N] "
-               "[--workers N]\n\ninjectable classes:\n",
+               "[--workers N]\n"
+               "               [--reduction none|sleep|dpor]\n\n"
+               "injectable classes:\n",
                prog, prog);
   for (taxonomy::FailureClass cls : inject::injectableClasses()) {
     std::fprintf(stderr, "  %-6s %s\n", taxonomy::failureClassName(cls),
                  inject::operatorName(cls));
   }
   return 2;
-}
-
-bool parseClass(const std::string& spec, taxonomy::FailureClass& out) {
-  std::string upper = spec;
-  for (char& c : upper) {
-    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-    if (c == '_') c = '-';
-  }
-  for (taxonomy::FailureClass cls : taxonomy::allFailureClasses()) {
-    if (upper == taxonomy::failureClassName(cls)) {
-      out = cls;
-      return true;
-    }
-  }
-  return false;
 }
 
 std::string cellJson(const inject::MatrixCell& c) {
@@ -161,7 +151,7 @@ int cmdInject(const char* prog, int argc, char** argv) {
     } else if (arg == "--class") {
       const char* v = next();
       if (v == nullptr) return usage(prog);
-      if (!parseClass(v, cls)) {
+      if (!taxonomy::parseFailureClass(v, cls)) {
         std::fprintf(stderr, "%s: unknown failure class '%s'\n", prog, v);
         return usage(prog);
       }
@@ -189,10 +179,18 @@ int cmdInject(const char* prog, int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(prog);
       sarifOut = v;
-    } else if (arg == "--findings-out") {
+    } else if (arg == "--json-out" || arg == "--findings-out") {
+      // --findings-out is the historical spelling, kept as an alias.
       const char* v = next();
       if (v == nullptr) return usage(prog);
       findingsOut = v;
+    } else if (arg == "--reduction") {
+      const char* v = next();
+      if (v == nullptr || !inject::parseReduction(v, opts.reduction)) {
+        std::fprintf(stderr, "%s: unknown reduction '%s'\n", prog,
+                     v == nullptr ? "" : v);
+        return usage(prog);
+      }
     } else if (arg == "--findings-cap") {
       if (!parseU64(prog, "--findings-cap", next(), findingsCap)) {
         return usage(prog);
@@ -226,7 +224,7 @@ int cmdInject(const char* prog, int argc, char** argv) {
         std::ofstream out(outFile);
         if (!out || !(out << result.toJson() << '\n')) {
           std::fprintf(stderr, "%s: cannot write %s\n", prog, outFile.c_str());
-          return 1;
+          return 3;
         }
       }
       if (json) {
@@ -279,12 +277,12 @@ int cmdInject(const char* prog, int argc, char** argv) {
       if (!sarifOut.empty() && !sink.writeSarifFile(names, sarifOut)) {
         std::fprintf(stderr, "%s: cannot write %s\n", prog,
                      sarifOut.c_str());
-        return 1;
+        return 3;
       }
       if (!findingsOut.empty() && !sink.writeJsonFile(names, findingsOut)) {
         std::fprintf(stderr, "%s: cannot write %s\n", prog,
                      findingsOut.c_str());
-        return 1;
+        return 3;
       }
     }
     if (json) {
@@ -292,10 +290,14 @@ int cmdInject(const char* prog, int argc, char** argv) {
     } else {
       printCell(cell);
     }
-    return 0;
+    std::uint64_t totalFindings = 0;
+    for (const inject::DetectorCell& d : cell.detectors) {
+      totalFindings += d.findings;
+    }
+    return totalFindings > 0 || cell.failingRuns > 0 ? 1 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", prog, e.what());
-    return 1;
+    return 3;
   }
 }
 

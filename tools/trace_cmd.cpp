@@ -1,5 +1,4 @@
-// `confail trace` (formerly the whole of confail_trace): offline analysis
-// of serialized execution traces.
+// `confail trace`: offline analysis of serialized execution traces.
 //
 //   trace render   <trace-file>          pretty-print the events
 //   trace stats    <trace-file>          event/thread/monitor counts
@@ -12,6 +11,10 @@
 //
 // Trace files are produced by events::Trace::serialize(); any component run
 // can be captured, shipped, and analyzed offline with this verb.
+//
+// Exit status follows cli.hpp: `detect` and `validate` return 1 when they
+// have findings/violations, 0 when clean; `selftest` returns 0 when the
+// machinery checks out; 2 usage, 3 internal.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -135,16 +138,16 @@ int doDetect(const char* prog, const ev::Trace& trace,
   }
   if (!metricsOut.empty() && !metrics.snapshot().writeFile(metricsOut)) {
     std::fprintf(stderr, "%s: cannot write %s\n", prog, metricsOut.c_str());
-    return 1;
+    return 3;
   }
   const confail::detect::TraceNames names(trace);
   if (!sarifOut.empty() && !sink.writeSarifFile(names, sarifOut)) {
     std::fprintf(stderr, "%s: cannot write %s\n", prog, sarifOut.c_str());
-    return 1;
+    return 3;
   }
   if (!jsonOut.empty() && !sink.writeJsonFile(names, jsonOut)) {
     std::fprintf(stderr, "%s: cannot write %s\n", prog, jsonOut.c_str());
-    return 1;
+    return 3;
   }
   if (findings.empty()) {
     std::printf("no findings\n");
@@ -156,7 +159,7 @@ int doDetect(const char* prog, const ev::Trace& trace,
     std::printf("%s\n", f.describe(trace).c_str());
   }
   std::printf("\nclassified per Table 1:\n%s", report.describe().c_str());
-  return 0;
+  return 1;
 }
 
 int doExport(const char* prog, const ev::Trace& trace, const std::string& kind,
@@ -256,7 +259,7 @@ int cmdTrace(const char* prog, int argc, char** argv) {
     return usage(prog);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", prog, e.what());
-    return 1;
+    return 3;
   }
 }
 
