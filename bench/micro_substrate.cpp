@@ -165,9 +165,9 @@ static void BM_PetriFire(benchmark::State& state) {
   confail::petri::Marking m = tl.initial;
   for (auto _ : state) {
     // T1_0, T2_0, T4_0 cycle for thread 0.
-    m = tl.net.fire(tl.T1[0], m);
-    m = tl.net.fire(tl.T2[0], m);
-    m = tl.net.fire(tl.T4[0], m);
+    m = tl.net.fire(tl.T1[0][0], m);
+    m = tl.net.fire(tl.T2[0][0], m);
+    m = tl.net.fire(tl.T4[0][0], m);
     benchmark::DoNotOptimize(m);
   }
   state.SetItemsProcessed(state.iterations() * 3);

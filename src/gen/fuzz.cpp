@@ -51,11 +51,12 @@ FuzzReport runFuzz(const FuzzOptions& opts) {
   cleanOracle.checkWorkers = false;
   cleanOracle.checkInjection = false;
   cleanOracle.checkStreaming = false;
+  cleanOracle.checkModel = false;
 
   const bool anyDefault =
       defaultOracle.checkIncremental || defaultOracle.checkReductions ||
       defaultOracle.checkWorkers || defaultOracle.checkInjection ||
-      defaultOracle.checkStreaming;
+      defaultOracle.checkStreaming || defaultOracle.checkModel;
 
   for (std::uint64_t seed = opts.seedBegin;
        seed < opts.seedEnd && report.failures.size() < opts.maxFailures;

@@ -35,7 +35,14 @@
 //                            through the streaming ingest pipeline yields a
 //                            findings document byte-identical to the
 //                            offline DetectorSuite's on the same trace
-//                            (the ingest pipeline's differential contract).
+//                            (the ingest pipeline's differential contract);
+//   model-cross-check        every marking a generated program's runs visit
+//                            is a reachable marking of the thread/lock
+//                            Petri net of the same shape, and all-waiting
+//                            failure states are dead in the gated net
+//                            (petri/cross_check.hpp's explorer ⊆ net
+//                            contract) — nested-monitor programs are out of
+//                            the Figure-1 protocol's scope and skip.
 //
 // Sabotage deliberately breaks a guarantee to prove the harness can see
 // failures (the ISSUE's broken-oracle acceptance test): DropDeadlocks makes
@@ -74,6 +81,7 @@ struct OracleConfig {
   bool checkWorkers = true;
   bool checkInjection = true;
   bool checkStreaming = true;
+  bool checkModel = true;
   /// Runs per program the streaming oracle differentials (each costs an
   /// offline battery pass plus a full encode/decode/streaming pass).
   std::size_t streamingRunCap = 5;

@@ -12,6 +12,7 @@
 #include "confail/inject/campaign.hpp"
 #include "confail/inject/explore_config.hpp"
 #include "confail/obs/trace_export.hpp"
+#include "confail/petri/cross_check.hpp"
 #include "confail/sched/explorer.hpp"
 #include "confail/taxonomy/taxonomy.hpp"
 
@@ -462,13 +463,51 @@ OracleOutcome streamingEquivalence(const Program& p, const OracleConfig& oc,
   return out;
 }
 
+OracleOutcome modelCrossCheck(const Program& p, const OracleConfig& oc,
+                              std::uint64_t& tally) {
+  OracleOutcome out;
+  out.oracle = "model-cross-check";
+  const auto sc = asScenario(p, "gen_model");
+
+  sched::ExhaustiveExplorer::Options eo;
+  eo.maxRuns = oc.maxRuns;
+  eo.maxSteps = oc.maxSteps;
+  eo.maxBranchDepth = oc.maxBranchDepth;
+  eo.workers = 1;
+  inject::ExploreConfig cfg;
+  cfg.scenario(sc).captureRuns().explorer(eo);
+
+  petri::ModelCrossChecker checker;
+  const auto outcome = cfg.explore([&](const inject::RunView& v) {
+    if (v.trace != nullptr) {
+      checker.addRun(*v.trace, v.result.outcome != sched::Outcome::Completed);
+    }
+    return checker.report().ok;
+  });
+  tally += outcome.stats.runs;
+
+  const petri::CrossCheckReport& rep = checker.report();
+  if (!rep.ok) {
+    out.ok = false;
+    out.detail = rep.firstViolation;
+    return out;
+  }
+  if (rep.inScopeRuns == 0) {
+    out.skipped = true;
+    out.detail = rep.runs == 0 ? "no captured runs within budget"
+                               : "no in-scope runs (nested monitors or no"
+                                 " monitor activity)";
+  }
+  return out;
+}
+
 }  // namespace
 
 const std::vector<std::string>& oracleNames() {
   static const std::vector<std::string> kNames = {
       "incremental-vs-replay", "reduction-equivalence", "worker-determinism",
       "clean-negative-control", "injection-detection",
-      "streaming-equivalence"};
+      "streaming-equivalence", "model-cross-check"};
   return kNames;
 }
 
@@ -480,6 +519,7 @@ OracleConfig onlyOracle(const OracleConfig& oc, const std::string& name) {
   c.checkClean = name == "clean-negative-control";
   c.checkInjection = name == "injection-detection";
   c.checkStreaming = name == "streaming-equivalence";
+  c.checkModel = name == "model-cross-check";
   return c;
 }
 
@@ -503,6 +543,9 @@ OracleReport runOracles(const Program& p, const OracleConfig& oc) {
   }
   if (oc.checkStreaming) {
     report.outcomes.push_back(streamingEquivalence(p, oc, report.exploreRuns));
+  }
+  if (oc.checkModel) {
+    report.outcomes.push_back(modelCrossCheck(p, oc, report.exploreRuns));
   }
   return report;
 }

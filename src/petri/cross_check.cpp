@@ -1,0 +1,164 @@
+#include "confail/petri/cross_check.hpp"
+
+#include <sstream>
+
+#include "confail/petri/packed_marking.hpp"
+#include "confail/petri/trace_validator.hpp"
+#include "confail/support/assert.hpp"
+#include "confail/support/flat_table.hpp"
+
+namespace confail::petri {
+
+namespace {
+
+// 4 packed words = 256 places, comfortably above the 8x2 default scope cap
+// (8 threads x 2 monitors = 58 places).
+using Index = FlatMapN<4>;
+
+Index buildIndex(const ReachabilityResult& r) {
+  Index index(r.states.size());
+  for (std::size_t s = 0; s < r.states.size(); ++s) {
+    const auto key = PackedMarking<4>::encode(r.states[s]);
+    CONFAIL_ASSERT(key.has_value(), "thread/lock marking failed to pack");
+    index.findOrInsert(key->words, static_cast<std::uint32_t>(s));
+  }
+  return index;
+}
+
+}  // namespace
+
+struct ModelCrossChecker::NetCache {
+  ThreadLockNet freeNet;
+  ReachabilityResult freeReach;
+  Index freeIndex{0};
+
+  // Gated side built lazily: only spurious-free traces are checked there.
+  bool gatedBuilt = false;
+  ThreadLockNet gatedNet;
+  ReachabilityResult gatedReach;
+  Index gatedIndex{0};
+
+  bool member(const Index& index, const ThreadLockNet& tl, const Marking& m,
+              Symmetry symmetry) const {
+    const Marking canon = canonicalMarking(tl, m, symmetry);
+    const auto key = PackedMarking<4>::encode(canon);
+    CONFAIL_ASSERT(key.has_value(), "thread/lock marking failed to pack");
+    return index.find(key->words) != Index::kNoValue;
+  }
+};
+
+ModelCrossChecker::ModelCrossChecker(CrossCheckOptions opt) : opt_(opt) {
+  CONFAIL_CHECK(
+      packedWords(opt_.maxThreads * (1 + 3 * opt_.maxMonitors) +
+                  opt_.maxMonitors) <= 4,
+      UsageError, "cross-check scope exceeds the 256-place packed ceiling");
+}
+
+ModelCrossChecker::~ModelCrossChecker() = default;
+
+ModelCrossChecker::NetCache& ModelCrossChecker::netFor(unsigned threads,
+                                                       unsigned monitors) {
+  const auto shape = std::make_pair(threads, monitors);
+  auto it = nets_.find(shape);
+  if (it != nets_.end()) return *it->second;
+  auto cache = std::make_unique<NetCache>();
+  cache->freeNet = buildThreadLockNet(threads, monitors, NotifyModel::Free);
+  SymReachOptions ro;
+  ro.maxStates = opt_.maxStates;
+  ro.workers = opt_.workers;
+  ro.symmetry = opt_.symmetry;
+  cache->freeReach = reachableSymmetric(cache->freeNet, ro);
+  cache->freeIndex = buildIndex(cache->freeReach);
+  ++report_.netsBuilt;
+  return *nets_.emplace(shape, std::move(cache)).first->second;
+}
+
+void ModelCrossChecker::violation(const std::string& detail) {
+  ++report_.violations;
+  report_.ok = false;
+  if (report_.firstViolation.empty()) report_.firstViolation = detail;
+}
+
+void ModelCrossChecker::addRun(const events::Trace& trace, bool failed) {
+  ++report_.runs;
+  const TraceShape shape = traceShape(trace);
+  if (shape.threads == 0) {
+    ++report_.emptyRuns;
+    return;
+  }
+  if (shape.threads > opt_.maxThreads || shape.monitors > opt_.maxMonitors) {
+    ++report_.outOfScopeRuns;
+    return;
+  }
+  NetCache& nc = netFor(shape.threads, std::max(1u, shape.monitors));
+  const ModelReplay rep = replayTraceOnModel(trace, nc.freeNet);
+  if (!rep.inScope) {
+    ++report_.outOfScopeRuns;
+    return;
+  }
+  if (!rep.ok) {
+    violation("trace is not a legal firing sequence: " + rep.message);
+    return;
+  }
+  ++report_.inScopeRuns;
+
+  if (!nc.freeReach.complete) {
+    ++report_.incompleteSkips;
+    return;
+  }
+  for (const Marking& m : rep.markings) {
+    ++report_.markingsChecked;
+    if (!nc.member(nc.freeIndex, nc.freeNet, m, opt_.symmetry)) {
+      violation("substrate marking " + nc.freeNet.net.renderMarking(m) +
+                " is not net-reachable");
+      return;
+    }
+  }
+
+  // Spurious-free traces are gated firing sequences too (every Notified
+  // fires while its notifier is in C), so check the tighter state space.
+  if (!rep.sawSpuriousWake) {
+    if (!nc.gatedBuilt) {
+      nc.gatedBuilt = true;
+      nc.gatedNet = buildThreadLockNet(nc.freeNet.threads,
+                                       nc.freeNet.monitors, NotifyModel::Gated);
+      SymReachOptions ro;
+      ro.maxStates = opt_.maxStates;
+      ro.workers = opt_.workers;
+      ro.symmetry = opt_.symmetry;
+      nc.gatedReach = reachableSymmetric(nc.gatedNet, ro);
+      nc.gatedIndex = buildIndex(nc.gatedReach);
+      ++report_.netsBuilt;
+    }
+    if (nc.gatedReach.complete) {
+      for (const Marking& m : rep.markings) {
+        ++report_.gatedMarkingsChecked;
+        if (!nc.member(nc.gatedIndex, nc.gatedNet, m, opt_.symmetry)) {
+          violation("spurious-free substrate marking " +
+                    nc.gatedNet.net.renderMarking(m) +
+                    " is not gated-net-reachable");
+          return;
+        }
+      }
+    }
+  }
+
+  if (failed) {
+    ++report_.failureStatesChecked;
+    const Marking& last = rep.markings.back();
+    if (nc.freeNet.allWaiting(last)) {
+      // FF-T5: the all-waiting failure state must be dead under the gated
+      // model (no notifier left means no enabled wake).  Net construction
+      // is cheap, so no need to have enumerated the gated side for this.
+      const ThreadLockNet gated = buildThreadLockNet(
+          nc.freeNet.threads, nc.freeNet.monitors, NotifyModel::Gated);
+      if (!gated.net.enabledSet(last).empty()) {
+        violation("all-waiting failure state " +
+                  gated.net.renderMarking(last) +
+                  " is not dead in the gated net");
+      }
+    }
+  }
+}
+
+}  // namespace confail::petri

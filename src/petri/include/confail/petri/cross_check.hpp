@@ -1,0 +1,82 @@
+// The explorer ⊆ net cross-check oracle.
+//
+// Contract (docs/petri.md): every marking visited by a real substrate
+// execution — in particular every *failure* state the explorer reaches —
+// must be a reachable marking of the thread/lock net of the same shape.
+// The checker replays each captured trace through the free-notify net and
+// looks the visited markings up in the net's (symmetry-reduced)
+// enumerated state space; a miss means either the substrate escaped the
+// paper's model or the new packed/symmetric/parallel reachability engine
+// lost states — both are bugs worth a loud failure, which is what makes
+// this a genuine second oracle for the whole system.
+//
+// Two refinements:
+//   * Traces without spurious wakes are legal firing sequences of the
+//     *gated* net too (a Notified event fires while its notifier holds the
+//     monitor), so their markings are additionally checked against the
+//     gated state space — a strictly smaller set.
+//   * A failed run whose final marking has every thread waiting is the
+//     FF-T5 pattern: that marking must be dead in the gated net.
+//
+// Traces that use nested monitors are out of the Figure-1 protocol's scope
+// and are counted, not failed (trace_validator.hpp).  Nets are cached per
+// (threads, monitors) shape, so a whole exploration costs a handful of
+// enumerations plus O(events) per run.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "confail/events/trace.hpp"
+#include "confail/petri/symmetry.hpp"
+#include "confail/petri/thread_lock_net.hpp"
+
+namespace confail::petri {
+
+struct CrossCheckOptions {
+  unsigned maxThreads = 8;   ///< larger traces are out of scope
+  unsigned maxMonitors = 2;  ///< ditto
+  std::size_t maxStates = std::size_t{1} << 20;
+  std::size_t workers = 1;
+  Symmetry symmetry = Symmetry::Threads;
+};
+
+struct CrossCheckReport {
+  bool ok = true;
+  std::size_t runs = 0;             ///< traces fed in
+  std::size_t inScopeRuns = 0;      ///< fully replayed and checked
+  std::size_t outOfScopeRuns = 0;   ///< nested monitors / too large
+  std::size_t emptyRuns = 0;        ///< no monitor activity at all
+  std::size_t markingsChecked = 0;  ///< free-net membership lookups
+  std::size_t gatedMarkingsChecked = 0;  ///< gated-net membership lookups
+  std::size_t failureStatesChecked = 0;  ///< final markings of failed runs
+  std::size_t incompleteSkips = 0;  ///< runs not checked: enumeration capped
+  std::size_t netsBuilt = 0;        ///< distinct (threads, monitors) shapes
+  std::size_t violations = 0;
+  std::string firstViolation;
+};
+
+class ModelCrossChecker {
+ public:
+  explicit ModelCrossChecker(CrossCheckOptions opt = {});
+  ~ModelCrossChecker();
+
+  /// Feed one run's trace.  `failed` marks runs that ended abnormally
+  /// (deadlock, starvation) — their final marking gets the FF-T5 checks.
+  /// Not thread-safe; serialize calls.
+  void addRun(const events::Trace& trace, bool failed);
+
+  const CrossCheckReport& report() const { return report_; }
+
+ private:
+  struct NetCache;
+  NetCache& netFor(unsigned threads, unsigned monitors);
+  void violation(const std::string& detail);
+
+  CrossCheckOptions opt_;
+  CrossCheckReport report_;
+  std::map<std::pair<unsigned, unsigned>, std::unique_ptr<NetCache>> nets_;
+};
+
+}  // namespace confail::petri

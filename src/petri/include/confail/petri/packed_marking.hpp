@@ -1,0 +1,66 @@
+// Packed bit-vector encoding for 1-bounded (safe) markings.
+//
+// The thread/lock nets are structurally 1-bounded — every place sits under
+// a P-invariant with weight 1 and token sum 1 — so a marking carries one
+// bit of information per place.  PackedMarking<W> stores exactly that: bit
+// p%64 of word p/64 is set iff place p holds a token.  One word covers
+// nets up to 64 places (N x M instances up to about N=9, M=2); four words
+// cover 256 places, far beyond anything the reachability cap admits.
+//
+// The encoding is *lossless*, which is the point: the packed words double
+// as the FlatMapN hash key *and* the stored state, so the reachability
+// frontier keeps (parent, transition, key) records of a few machine words
+// instead of vector<uint32_t> markings, and a newly discovered state is
+// reconstructed from its key with decode().  encode() detects dynamic
+// unsafety (a place with 2+ tokens) and returns nullopt, at which point
+// the caller falls back to the generic engine — packedness is an observed
+// property, never an assumption.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "confail/petri/net.hpp"
+
+namespace confail::petri {
+
+/// Words needed to pack a marking of `places` places, one bit each.
+constexpr std::size_t packedWords(std::size_t places) {
+  return (places + 63) / 64;
+}
+
+template <std::size_t W>
+struct PackedMarking {
+  std::array<std::uint64_t, W> words{};
+
+  /// Pack `m`; nullopt if any place holds more than one token or the
+  /// marking needs more than W words.
+  static std::optional<PackedMarking> encode(const Marking& m) {
+    if (packedWords(m.size()) > W) return std::nullopt;
+    PackedMarking p;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (m[i] > 1) return std::nullopt;
+      p.words[i >> 6] |= static_cast<std::uint64_t>(m[i]) << (i & 63);
+    }
+    return p;
+  }
+
+  /// Reconstruct the marking (the encoding is lossless for safe markings).
+  Marking decode(std::size_t places) const {
+    Marking m(places, 0);
+    for (std::size_t i = 0; i < places; ++i) {
+      m[i] = static_cast<std::uint32_t>((words[i >> 6] >> (i & 63)) & 1);
+    }
+    return m;
+  }
+
+  bool operator==(const PackedMarking& o) const { return words == o.words; }
+  bool operator!=(const PackedMarking& o) const { return words != o.words; }
+  /// Arbitrary-but-stable total order (word 0 first); used by the symmetry
+  /// reduction to pick the least element of an orbit as its canonical form.
+  bool operator<(const PackedMarking& o) const { return words < o.words; }
+};
+
+}  // namespace confail::petri

@@ -1,0 +1,52 @@
+// Table-1 deviation classes as temporal properties of the thread/lock net,
+// checked directly on an enumerated (possibly symmetry-reduced)
+// reachability graph:
+//
+//   * mutual exclusion  — every monitor's lock invariant E_m + sum_i C_im
+//     holds in all states (a violation would be the paper's "no lock"
+//     world);
+//   * dead markings     — under the gated model, the reachable all-waiting
+//     dead marking *is* FF-T5 ("everybody waits, nobody notifies"), and a
+//     shortest firing sequence to it is the failure witness;
+//   * T5 liveness       — from every state with a waiting thread some T5
+//     firing is still reachable.  Free model: holds (wakes are
+//     spontaneous).  Gated model: fails exactly because the net can run
+//     out of notifiers.
+//
+// Every property is orbit-invariant (permutation of thread/monitor
+// identities preserves enabledness, token sums and deadness), so checking
+// the canonical representatives of a symmetric enumeration decides the
+// full space — the soundness argument of docs/petri.md.
+#pragma once
+
+#include <vector>
+
+#include "confail/petri/reachability.hpp"
+#include "confail/petri/thread_lock_net.hpp"
+
+namespace confail::petri {
+
+struct ModelVerdicts {
+  bool mutualExclusion = false;   ///< all lock invariants hold
+  bool conservation = false;      ///< all thread-conservation invariants hold
+  bool oneBounded = false;        ///< no place ever holds 2+ tokens
+  bool deadlockFree = false;      ///< no dead marking reachable
+  bool allWaitingDeadReachable = false;  ///< a dead all-waiting (FF-T5) state
+  std::size_t allWaitingDeadState = ParentLink::kNone;  ///< its state index
+  std::vector<TransitionId> ffT5Witness;  ///< shortest path to it
+
+  bool t5LiveChecked = false;  ///< liveness only decided on complete graphs
+  bool t5Live = false;  ///< every waiter state can still reach a T5 firing
+
+  /// The expected profile for a well-formed net of the given model:
+  /// safety invariants always; Free additionally deadlock-free and T5-live,
+  /// Gated additionally *reaches* the FF-T5 dead marking and is not T5-live
+  /// (that asymmetry is the point of the two variants).
+  bool consistentWith(const ThreadLockNet& tl) const;
+};
+
+/// Evaluate all verdicts on an enumeration of `tl` (plain or symmetric).
+/// Liveness and deadlock verdicts are only meaningful when r.complete.
+ModelVerdicts verifyModel(const ThreadLockNet& tl, const ReachabilityResult& r);
+
+}  // namespace confail::petri

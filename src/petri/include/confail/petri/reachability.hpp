@@ -2,16 +2,19 @@
 // (no transition enabled) detection, boundedness and invariant checking.
 //
 // This is what makes the paper's Figure-1 model *checkable*: for the
-// N-thread/one-lock net we enumerate every reachable state and verify the
-// mutual-exclusion invariant, and for the notify-gated variant we find the
+// N-thread/M-monitor nets we enumerate every reachable state and verify the
+// mutual-exclusion invariants, and for the notify-gated variant we find the
 // dead markings that correspond exactly to the FF-T5 "all threads waiting,
 // nobody left to notify" failure.
 //
-// The visited-set is specialized by net size: markings of nets with <= 8
-// places (every Figure-1 instance) pack into a single 64-bit word (8 bits
-// per place) keyed into a flat open-addressing table (support/flat_table),
-// falling back to an unordered_map over full markings for larger nets or
-// token counts >= 256.
+// Engine selection by net shape: markings of 1-bounded nets up to 256
+// places pack into 1–4 64-bit words (one bit per place, see
+// packed_marking.hpp) keyed into a flat open-addressing table
+// (support/flat_table) — this covers every N x M thread/lock instance the
+// state cap admits.  The packed engine runs a level-synchronous BFS whose
+// expansion phase can fan out across worker threads while keeping state
+// numbering deterministic (docs/petri.md); unsafe or over-wide nets fall
+// back to a serial unordered_map enumeration over full markings.
 #pragma once
 
 #include <cstdint>
@@ -21,16 +24,27 @@
 
 #include "confail/petri/net.hpp"
 
+namespace confail::obs {
+class Registry;
+}
+
 namespace confail::petri {
 
+/// Hash for full markings (the generic engine's unordered_map key).
+/// SplitMix64-finalized per word: markings are sparse 0/1 vectors, where a
+/// plain FNV-per-uint32 leaves the low output bits a near-linear function
+/// of the input and collides across token moves; the finalizer avalanches
+/// every word before the next is folded in.
 struct MarkingHash {
   std::size_t operator()(const Marking& m) const noexcept {
-    std::size_t h = 0xcbf29ce484222325ull;
+    std::uint64_t h = 0x9e3779b97f4a7c15ull + m.size();
     for (std::uint32_t v : m) {
-      h ^= v;
-      h *= 0x100000001b3ull;
+      std::uint64_t k = h ^ v;
+      k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      k = (k ^ (k >> 27)) * 0x94d049bb133111ebULL;
+      h = k ^ (k >> 31);
     }
-    return h;
+    return static_cast<std::size_t>(h);
   }
 };
 
@@ -38,21 +52,64 @@ struct MarkingHash {
 struct ReachEdge {
   TransitionId transition;
   std::size_t target;  ///< state index
+
+  bool operator==(const ReachEdge& o) const {
+    return transition == o.transition && target == o.target;
+  }
+};
+
+/// How a state was first discovered: its BFS-tree parent and the
+/// transition that fired.  Recorded once during enumeration so witness
+/// extraction is O(path length) instead of a fresh BFS per query.
+struct ParentLink {
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t parent = kNone;  ///< kNone for the initial state
+  TransitionId transition = 0;
 };
 
 struct ReachabilityResult {
   std::vector<Marking> states;                 ///< index = state id; [0] = initial
   std::vector<std::vector<ReachEdge>> edges;   ///< per state
+  std::vector<ParentLink> parents;             ///< BFS tree, per state
   std::vector<std::size_t> deadStates;         ///< states with no enabled transition
   bool complete = true;  ///< false if the state cap stopped enumeration
 
+  /// Orbit size per state under the symmetry group — empty unless produced
+  /// by reachableSymmetric with a non-trivial symmetry, in which case
+  /// `states` holds one canonical representative per orbit.
+  std::vector<std::uint64_t> orbitSizes;
+  /// Successor markings whose canonical form differed from the fired-to
+  /// marking (0 without symmetry reduction).
+  std::uint64_t symmetryHits = 0;
+  /// High-water memory of the per-level successor records (bytes).
+  std::size_t peakFrontierBytes = 0;
+
   std::size_t stateCount() const { return states.size(); }
   std::size_t edgeCount() const;
+  /// Full-space state count: sum of orbit sizes, or stateCount() when no
+  /// symmetry reduction was applied.
+  std::uint64_t fullStateCount() const;
+  /// Full-space dead-marking count (orbit-expanded like fullStateCount).
+  std::uint64_t fullDeadStateCount() const;
 };
 
-/// Enumerate markings reachable from `initial` (BFS), up to `maxStates`.
+struct ReachOptions {
+  std::size_t maxStates = std::size_t{1} << 20;
+  /// Expansion-phase worker threads (<= 1 means serial).  The result is
+  /// byte-identical for any worker count.
+  std::size_t workers = 1;
+  /// When set, publishes petri.* counters/gauges after enumeration
+  /// (docs/observability.md).
+  obs::Registry* metrics = nullptr;
+};
+
+/// Enumerate markings reachable from `initial` (BFS), up to opt.maxStates.
 ReachabilityResult reachable(const Net& net, const Marking& initial,
-                             std::size_t maxStates = 1u << 20);
+                             const ReachOptions& opt);
+
+/// Historical convenience overload.
+ReachabilityResult reachable(const Net& net, const Marking& initial,
+                             std::size_t maxStates = std::size_t{1} << 20);
 
 /// Check a P-invariant: the weighted token sum `sum_i weights[i]*m[i]` is
 /// identical in every enumerated state.  Returns true if it holds.
@@ -63,7 +120,8 @@ bool holdsPInvariant(const ReachabilityResult& r, const std::vector<int>& weight
 std::uint32_t maxTokensPerPlace(const ReachabilityResult& r);
 
 /// Shortest firing sequence (transition ids) from the initial state to the
-/// given state index, via BFS parent tracking re-derivation.
+/// given state index, read off the recorded BFS parent links (the BFS tree
+/// path is a shortest path; O(path length)).
 std::vector<TransitionId> shortestPathTo(const Net& net,
                                          const ReachabilityResult& r,
                                          std::size_t target);

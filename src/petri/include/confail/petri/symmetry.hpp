@@ -1,0 +1,64 @@
+// Canonical-form symmetry reduction for thread/lock nets.
+//
+// All N thread blocks of a ThreadLockNet are structurally identical
+// (thread_lock_net.hpp), so any permutation of thread identities is a net
+// automorphism: it maps reachable markings to reachable markings, preserves
+// enabledness, deadness and every per-thread/per-monitor invariant.  Under
+// the gated model monitors are interchangeable too (every thread relates to
+// every monitor by the same transition pattern), giving the full group
+// S_threads x S_monitors.
+//
+// reachableSymmetric() explores the quotient graph: each marking is
+// replaced by the least element of its orbit (sort the thread local-state
+// codes; under Full symmetry, minimize over all monitor relabelings first),
+// so one canonical representative stands for up to N!*M! concrete states.
+// The orbit size of each representative is recorded, which keeps the
+// *full-space* state and dead-marking counts exactly reportable
+// (fullStateCount/fullDeadStateCount) — the reduction loses nothing the
+// checks care about: an orbit is dead iff its representative is dead, and
+// invariant sums are permutation-invariant.  Soundness argument and the
+// witness-path caveat (paths are firing sequences of the quotient graph,
+// not necessarily of the concrete graph) in docs/petri.md.
+#pragma once
+
+#include <cstdint>
+
+#include "confail/petri/reachability.hpp"
+#include "confail/petri/thread_lock_net.hpp"
+
+namespace confail::petri {
+
+enum class Symmetry {
+  None,     ///< plain enumeration (still packed/parallel)
+  Threads,  ///< quotient by thread permutations
+  Full,     ///< quotient by thread x monitor permutations
+};
+
+const char* symmetryName(Symmetry s);
+
+struct SymReachOptions {
+  std::size_t maxStates = std::size_t{1} << 20;
+  std::size_t workers = 1;
+  Symmetry symmetry = Symmetry::Threads;
+  obs::Registry* metrics = nullptr;
+};
+
+/// Enumerate the (quotient) reachability graph of `tl`.  With
+/// Symmetry::None this is exactly reachable(tl.net, tl.initial).
+/// Thread count is capped at 20 (orbit sizes must fit uint64) and Full
+/// symmetry at 5 monitors (canonicalization enumerates the M!
+/// relabelings).
+ReachabilityResult reachableSymmetric(const ThreadLockNet& tl,
+                                      const SymReachOptions& opt = {});
+
+/// The canonical (lexicographically least) element of `m`'s orbit.
+/// Precondition: `m` respects the conservation and lock invariants (every
+/// marking reachable from tl.initial does).
+Marking canonicalMarking(const ThreadLockNet& tl, const Marking& m,
+                         Symmetry symmetry);
+
+/// Number of concrete markings in the orbit of (canonical) marking `m`.
+std::uint64_t orbitSize(const ThreadLockNet& tl, const Marking& m,
+                        Symmetry symmetry);
+
+}  // namespace confail::petri

@@ -1,26 +1,41 @@
-// The paper's Figure 1 as a generated Petri net, for N threads sharing one
-// object lock.
+// The paper's Figure 1 as a generated Petri net, for N threads sharing M
+// object locks (M = 1 is Figure 1 as printed, for any N).
 //
-// Per thread i the net has places
-//   A_i (executing outside),  B_i (requesting the lock),
-//   C_i (in the critical section),  D_i (waiting),
-// plus a single shared place E (lock available), and transitions
-//   T1_i: A_i -> B_i            (request)
-//   T2_i: B_i + E -> C_i        (acquire)
-//   T3_i: C_i -> D_i + E        (wait: releases the lock)
-//   T4_i: C_i -> A_i + E        (leave the synchronized block)
-//   T5  : D_i -> B_i            (woken)
+// Per thread i and monitor m the net has places
+//   A_i    (executing outside any monitor; one per thread),
+//   B_im   (requesting monitor m),
+//   C_im   (in m's critical section),
+//   D_im   (waiting on m),
+// plus one lock place E_m per monitor (m available), and transitions
+//   T1_im: A_i -> B_im              (request m)
+//   T2_im: B_im + E_m -> C_im      (acquire)
+//   T3_im: C_im -> D_im + E_m      (wait: releases the lock)
+//   T4_im: C_im -> A_i + E_m       (leave the synchronized block)
+//   T5_im: D_im -> B_im            (woken)
+//
+// The single A_i per thread encodes the model's scope: a thread engages
+// one monitor at a time (no nested synchronized blocks — that regime is
+// the lock-order-deadlock world, outside the Figure-1 protocol; the trace
+// validator classifies such traces out of scope rather than as
+// violations).
 //
 // The paper draws T5's cause — another thread's notify — as a dashed arc
 // from outside the net.  Two variants make that precise:
-//   * free    — T5_i fires spontaneously (the dashed arc abstracted away;
+//   * free    — T5_im fires spontaneously (the dashed arc abstracted away;
 //               exactly Figure 1 as printed);
-//   * gated   — T5_{i,j}: C_j + D_i -> C_j + B_i for j != i, i.e. a waiter
-//               wakes only while some *other* thread is inside the monitor
-//               to notify it.  In this variant a marking with every thread
-//               in D is dead — precisely the FF-T5 "everybody waits, nobody
-//               notifies" failure of Table 1, now discoverable by
-//               reachability analysis.
+//   * gated   — T5_{i<-j,m}: C_jm + D_im -> C_jm + B_im for j != i, i.e. a
+//               waiter on m wakes only while some *other* thread is inside
+//               monitor m to notify it.  In this variant a marking with
+//               every thread in some D is dead — precisely the FF-T5
+//               "everybody waits, nobody notifies" failure of Table 1, now
+//               discoverable by reachability analysis.
+//
+// Place layout (relied on by the packed encoding and symmetry reduction):
+// thread-major blocks of width 1+3M — thread i occupies places
+// [i*(1+3M), (i+1)*(1+3M)) as A_i, then B_im, C_im, D_im per monitor —
+// followed by the M lock places E_m.  Thread blocks are structurally
+// identical under any relabeling of threads, which is what makes sorting
+// blocks a sound canonical form (docs/petri.md).
 #pragma once
 
 #include <vector>
@@ -33,34 +48,51 @@ enum class NotifyModel { Free, Gated };
 
 struct ThreadLockNet {
   Net net;
-  Marking initial;  ///< all threads in A, one token in E
+  Marking initial;  ///< all threads in A, one token in each E_m
   unsigned threads = 0;
+  unsigned monitors = 1;
   NotifyModel model = NotifyModel::Free;
 
-  // Place ids per thread, plus the shared lock place.
-  std::vector<PlaceId> A, B, C, D;
-  PlaceId E = 0;
+  // Place ids: A per thread; B/C/D per [thread][monitor]; E per monitor.
+  std::vector<PlaceId> A;
+  std::vector<std::vector<PlaceId>> B, C, D;
+  std::vector<PlaceId> E;
 
-  // Transition ids per thread.
-  std::vector<TransitionId> T1, T2, T3, T4;
-  std::vector<TransitionId> T5free;                  ///< Free model: one per thread
-  std::vector<std::vector<TransitionId>> T5gated;    ///< Gated: [waiter][notifier]
+  // Transition ids per [thread][monitor].
+  std::vector<std::vector<TransitionId>> T1, T2, T3, T4;
+  std::vector<std::vector<TransitionId>> T5free;  ///< Free: [thread][monitor]
+  /// Gated: [monitor][waiter][notifier]; diagonal entries unused (0).
+  std::vector<std::vector<std::vector<TransitionId>>> T5gated;
 
   /// Weights of the per-thread conservation invariant
-  /// A_i + B_i + C_i + D_i == 1 for thread i.
+  /// A_i + sum_m (B_im + C_im + D_im) == 1 for thread i.
   std::vector<int> threadConservationWeights(unsigned i) const;
 
-  /// Weights of the lock invariant  E + sum_i C_i == 1
-  /// (the lock is either free or held by exactly one thread — the
+  /// Weights of monitor m's lock invariant  E_m + sum_i C_im == 1
+  /// (each lock is either free or held by exactly one thread — the
   /// mutual-exclusion property of the model).
-  std::vector<int> lockInvariantWeights() const;
+  std::vector<int> lockInvariantWeights(unsigned m = 0) const;
 
-  /// True if marking `m` has every thread in the wait place D
+  /// True if marking `mk` has every thread in a wait place D
   /// (the lost-notification deadlock pattern).
-  bool allWaiting(const Marking& m) const;
+  bool allWaiting(const Marking& mk) const;
+
+  /// Thread i's local-state code in `mk`: 0 = A_i, 1+3m = B_im,
+  /// 2+3m = C_im, 3+3m = D_im.  Well-defined for any marking respecting
+  /// the conservation invariant (every reachable marking does).
+  unsigned localState(const Marking& mk, unsigned i) const;
+
+  /// Number of distinct local-state codes (1 + 3*monitors).
+  unsigned localStateCount() const { return 1 + 3 * monitors; }
 };
 
-/// Build the net for `threads` >= 1 threads.
-ThreadLockNet buildThreadLockNet(unsigned threads, NotifyModel model);
+/// Build the net for `threads` >= 1 threads and `monitors` >= 1 monitors.
+ThreadLockNet buildThreadLockNet(unsigned threads, unsigned monitors,
+                                 NotifyModel model);
+
+/// Single-monitor convenience (the historical Figure-1 entry point).
+inline ThreadLockNet buildThreadLockNet(unsigned threads, NotifyModel model) {
+  return buildThreadLockNet(threads, 1, model);
+}
 
 }  // namespace confail::petri

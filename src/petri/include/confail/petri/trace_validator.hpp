@@ -2,13 +2,24 @@
 //
 // Every monitor operation in confail emits the Figure-1 transition it
 // fires, so a recorded execution trace *is* a candidate firing sequence of
-// the thread/lock net.  The validator replays the trace through the net and
-// checks that each event was enabled — a machine-checked proof that the
+// the thread/lock net.  The validators replay the trace through the net and
+// check that each event was enabled — a machine-checked proof that the
 // monitor substrate implements the paper's model (and a property test that
 // runs over every component in the test suite).
+//
+// Two entry points:
+//   * validateTraceAgainstModel — the historical single-monitor check:
+//     project the trace onto one monitor, replay on a free-notify net.
+//   * replayTraceOnModel — the N x M replay behind the cross-check oracle:
+//     the whole trace against a ThreadLockNet, all monitors at once,
+//     collecting every visited marking.  Traces that use nested monitors
+//     (a thread engaging a second monitor while inside one) are *out of
+//     scope* of the Figure-1 protocol, not violations — the replay
+//     classifies them via ModelReplay::inScope.
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "confail/events/trace.hpp"
@@ -33,5 +44,34 @@ struct ValidationResult {
 ValidationResult validateTraceAgainstModel(const events::Trace& trace,
                                            events::MonitorId mon,
                                            unsigned maxThreads = 16);
+
+/// Dense thread/monitor footprint of a trace's model events (first-
+/// appearance order, the same order replayTraceOnModel maps by).
+struct TraceShape {
+  unsigned threads = 0;
+  unsigned monitors = 0;
+};
+
+TraceShape traceShape(const events::Trace& trace);
+
+struct ModelReplay {
+  bool ok = true;       ///< the trace is a legal firing sequence of `tl`
+  bool inScope = true;  ///< false: the trace left the Figure-1 protocol
+  std::size_t eventsChecked = 0;
+  std::string message;  ///< violation / out-of-scope explanation
+  bool sawSpuriousWake = false;
+  /// Every visited marking, tl.initial first; one entry per fired
+  /// transition after that.  Valid up to the point ok/inScope went false.
+  std::vector<Marking> markings;
+};
+
+/// Replay all model events of `trace` (every monitor, interleaved in
+/// sequence order) against `tl`, which must be at least traceShape-sized.
+/// Works for both notify models: on a gated net a Notified/SpuriousWake
+/// event fires T5_{i<-j} for the unique thread j inside that monitor
+/// (mutual exclusion makes j unique), and is a violation if no such j
+/// exists.
+ModelReplay replayTraceOnModel(const events::Trace& trace,
+                               const ThreadLockNet& tl);
 
 }  // namespace confail::petri

@@ -1,0 +1,109 @@
+#include "confail/petri/properties.hpp"
+
+#include <deque>
+
+#include "confail/support/assert.hpp"
+
+namespace confail::petri {
+
+namespace {
+
+// All T5 transition ids of the net, free or gated.
+std::vector<bool> t5Mask(const ThreadLockNet& tl) {
+  std::vector<bool> isT5(tl.net.transitionCount(), false);
+  for (const auto& perThread : tl.T5free) {
+    for (TransitionId t : perThread) isT5[t] = true;
+  }
+  for (const auto& perMonitor : tl.T5gated) {
+    for (unsigned i = 0; i < perMonitor.size(); ++i) {
+      for (unsigned j = 0; j < perMonitor[i].size(); ++j) {
+        if (i != j) isT5[perMonitor[i][j]] = true;
+      }
+    }
+  }
+  return isT5;
+}
+
+bool hasWaiter(const ThreadLockNet& tl, const Marking& m) {
+  for (unsigned i = 0; i < tl.threads; ++i) {
+    for (unsigned mon = 0; mon < tl.monitors; ++mon) {
+      if (m[tl.D[i][mon]] != 0) return true;
+    }
+  }
+  return false;
+}
+
+// CTL's EF(T5 fires): backward BFS over the recorded edges from every
+// state with an outgoing T5 edge.  t5Live then demands that every state
+// with a waiting thread is in that set.
+bool t5Liveness(const ThreadLockNet& tl, const ReachabilityResult& r) {
+  const std::vector<bool> isT5 = t5Mask(tl);
+  std::vector<std::vector<std::size_t>> rev(r.states.size());
+  std::vector<bool> canWake(r.states.size(), false);
+  std::deque<std::size_t> queue;
+  for (std::size_t s = 0; s < r.states.size(); ++s) {
+    for (const ReachEdge& e : r.edges[s]) {
+      rev[e.target].push_back(s);
+      if (isT5[e.transition] && !canWake[s]) {
+        canWake[s] = true;
+        queue.push_back(s);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t s = queue.front();
+    queue.pop_front();
+    for (std::size_t p : rev[s]) {
+      if (canWake[p]) continue;
+      canWake[p] = true;
+      queue.push_back(p);
+    }
+  }
+  for (std::size_t s = 0; s < r.states.size(); ++s) {
+    if (hasWaiter(tl, r.states[s]) && !canWake[s]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ModelVerdicts::consistentWith(const ThreadLockNet& tl) const {
+  const bool safety = mutualExclusion && conservation && oneBounded;
+  if (tl.model == NotifyModel::Free) {
+    return safety && deadlockFree && (!t5LiveChecked || t5Live);
+  }
+  return safety && allWaitingDeadReachable && (!t5LiveChecked || !t5Live);
+}
+
+ModelVerdicts verifyModel(const ThreadLockNet& tl,
+                          const ReachabilityResult& r) {
+  CONFAIL_CHECK(!r.states.empty(), UsageError, "empty reachability result");
+  ModelVerdicts v;
+  v.mutualExclusion = true;
+  for (unsigned m = 0; m < tl.monitors; ++m) {
+    v.mutualExclusion =
+        v.mutualExclusion && holdsPInvariant(r, tl.lockInvariantWeights(m));
+  }
+  v.conservation = true;
+  for (unsigned i = 0; i < tl.threads; ++i) {
+    v.conservation =
+        v.conservation && holdsPInvariant(r, tl.threadConservationWeights(i));
+  }
+  v.oneBounded = maxTokensPerPlace(r) <= 1;
+  v.deadlockFree = r.deadStates.empty();
+  for (std::size_t s : r.deadStates) {
+    if (tl.allWaiting(r.states[s])) {
+      v.allWaitingDeadReachable = true;
+      v.allWaitingDeadState = s;
+      v.ffT5Witness = shortestPathTo(tl.net, r, s);
+      break;
+    }
+  }
+  if (r.complete) {
+    v.t5LiveChecked = true;
+    v.t5Live = t5Liveness(tl, r);
+  }
+  return v;
+}
+
+}  // namespace confail::petri

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <deque>
-#include <optional>
 
+#include "confail/obs/metrics.hpp"
 #include "confail/support/assert.hpp"
-#include "confail/support/flat_table.hpp"
+#include "level_bfs.hpp"
 
 namespace confail::petri {
 
@@ -15,71 +15,39 @@ std::size_t ReachabilityResult::edgeCount() const {
   return n;
 }
 
+std::uint64_t ReachabilityResult::fullStateCount() const {
+  if (orbitSizes.empty()) return states.size();
+  std::uint64_t n = 0;
+  for (std::uint64_t o : orbitSizes) n += o;
+  return n;
+}
+
+std::uint64_t ReachabilityResult::fullDeadStateCount() const {
+  if (orbitSizes.empty()) return deadStates.size();
+  std::uint64_t n = 0;
+  for (std::size_t s : deadStates) n += orbitSizes[s];
+  return n;
+}
+
+namespace detail {
+
+void publishReachMetrics(obs::Registry* metrics, const ReachabilityResult& r) {
+  if (!metrics) return;
+  metrics->counter("petri.states").add(r.states.size());
+  metrics->counter("petri.edges").add(r.edgeCount());
+  metrics->counter("petri.dead_markings").add(r.deadStates.size());
+  metrics->counter("petri.symmetry_hits").add(r.symmetryHits);
+  metrics->gauge("petri.frontier_peak_bytes")
+      .set(static_cast<double>(r.peakFrontierBytes));
+}
+
+}  // namespace detail
+
 namespace {
 
-// The Figure-1 nets (and every net the paper models) have a handful of
-// places with small token counts, so a marking packs into a single 64-bit
-// word at 8 bits per place.  That turns the hot BFS lookup into a probe of
-// a flat open-addressing table keyed on the packed word — no Marking
-// hashing, no per-node allocation, no pointer chasing.
-//
-// Returns nullopt if any place holds >= 256 tokens, in which case the
-// caller falls back to the generic path (restarted from scratch; the
-// compact run's partial work is discarded, which is cheap precisely
-// because such nets blow past the encoding within a few levels of BFS).
-std::optional<std::uint64_t> encodeMarking(const Marking& m) {
-  std::uint64_t key = 0;
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    if (m[i] >= 256) return std::nullopt;
-    key |= static_cast<std::uint64_t>(m[i]) << (8 * i);
-  }
-  return key;
-}
-
-bool reachableCompact(const Net& net, const Marking& initial,
-                      std::size_t maxStates, ReachabilityResult& r) {
-  FlatMap64 index(std::min<std::size_t>(maxStates, std::size_t{1} << 16));
-  const std::optional<std::uint64_t> initKey = encodeMarking(initial);
-  if (!initKey) return false;
-
-  r.states.reserve(std::min<std::size_t>(maxStates, 4096));
-  r.edges.reserve(std::min<std::size_t>(maxStates, 4096));
-  r.states.push_back(initial);
-  r.edges.emplace_back();
-  index.findOrInsert(*initKey, 0);
-
-  std::deque<std::size_t> frontier{0};
-  while (!frontier.empty()) {
-    std::size_t s = frontier.front();
-    frontier.pop_front();
-    // Copy: r.states may reallocate as successors are appended.
-    const Marking m = r.states[s];
-    std::vector<TransitionId> en = net.enabledSet(m);
-    if (en.empty()) r.deadStates.push_back(s);
-    for (TransitionId t : en) {
-      Marking next = net.fire(t, m);
-      const std::optional<std::uint64_t> key = encodeMarking(next);
-      if (!key) return false;  // encoding overflow: redo generically
-      const std::uint32_t found = index.find(*key);
-      if (found != FlatMap64::kNoValue) {
-        r.edges[s].push_back(ReachEdge{t, found});
-        continue;
-      }
-      if (r.states.size() >= maxStates) {
-        r.complete = false;  // cap: drop the new state, record no edge
-        continue;
-      }
-      const std::uint32_t id = static_cast<std::uint32_t>(r.states.size());
-      index.findOrInsert(*key, id);
-      r.states.push_back(std::move(next));
-      r.edges.emplace_back();
-      frontier.push_back(id);
-      r.edges[s].push_back(ReachEdge{t, id});
-    }
-  }
-  return true;
-}
-
+// Fallback for nets the packed engine cannot hold: unsafe markings (2+
+// tokens on a place) or more than 256 places.  Serial; still records
+// parent links so witness extraction works uniformly.
 void reachableGeneric(const Net& net, const Marking& initial,
                       std::size_t maxStates, ReachabilityResult& r) {
   std::unordered_map<Marking, std::size_t, MarkingHash> index;
@@ -87,8 +55,10 @@ void reachableGeneric(const Net& net, const Marking& initial,
 
   r.states.reserve(std::min<std::size_t>(maxStates, 4096));
   r.edges.reserve(std::min<std::size_t>(maxStates, 4096));
+  r.parents.reserve(std::min<std::size_t>(maxStates, 4096));
   r.states.push_back(initial);
   r.edges.emplace_back();
+  r.parents.emplace_back();
   index.emplace(initial, 0);
 
   std::deque<std::size_t> frontier{0};
@@ -115,6 +85,7 @@ void reachableGeneric(const Net& net, const Marking& initial,
       CONFAIL_ASSERT(inserted, "duplicate marking after failed find");
       r.states.push_back(ins->first);
       r.edges.emplace_back();
+      r.parents.push_back(ParentLink{s, t});
       frontier.push_back(id);
       r.edges[s].push_back(ReachEdge{t, id});
     }
@@ -124,22 +95,41 @@ void reachableGeneric(const Net& net, const Marking& initial,
 }  // namespace
 
 ReachabilityResult reachable(const Net& net, const Marking& initial,
-                             std::size_t maxStates) {
+                             const ReachOptions& opt) {
   CONFAIL_CHECK(initial.size() == net.placeCount(), UsageError,
                 "initial marking size mismatch");
-  // Compact path: markings of nets with <= 8 places pack into one 64-bit
-  // word (8 bits per place), keyed into a flat open-addressing table.
-  // State ids must also fit the table's 32-bit value slot.
-  if (net.placeCount() <= 8 &&
-      maxStates < static_cast<std::size_t>(FlatMap64::kNoValue)) {
-    ReachabilityResult r;
-    if (reachableCompact(net, initial, maxStates, r)) return r;
-    // A place exceeded 255 tokens mid-enumeration: discard and redo
-    // generically.
+  // Packed path: 1-bounded markings of nets up to 256 places key directly
+  // into a flat table (1 word <= 64 places, 4 words beyond).  State ids
+  // must also fit the table's 32-bit value slot.
+  if (opt.maxStates < static_cast<std::size_t>(FlatMap64::kNoValue)) {
+    const detail::IdentityCanon canon;
+    if (net.placeCount() <= 64) {
+      ReachabilityResult r;
+      if (detail::packedLevelBfs<1>(net, initial, opt, canon, r)) {
+        detail::publishReachMetrics(opt.metrics, r);
+        return r;
+      }
+      // A place exceeded one token mid-enumeration: discard and redo
+      // generically.
+    } else if (net.placeCount() <= 256) {
+      ReachabilityResult r;
+      if (detail::packedLevelBfs<4>(net, initial, opt, canon, r)) {
+        detail::publishReachMetrics(opt.metrics, r);
+        return r;
+      }
+    }
   }
   ReachabilityResult r;
-  reachableGeneric(net, initial, maxStates, r);
+  reachableGeneric(net, initial, opt.maxStates, r);
+  detail::publishReachMetrics(opt.metrics, r);
   return r;
+}
+
+ReachabilityResult reachable(const Net& net, const Marking& initial,
+                             std::size_t maxStates) {
+  ReachOptions opt;
+  opt.maxStates = maxStates;
+  return reachable(net, initial, opt);
 }
 
 bool holdsPInvariant(const ReachabilityResult& r, const std::vector<int>& weights) {
@@ -170,31 +160,16 @@ std::vector<TransitionId> shortestPathTo(const Net& net,
                                          const ReachabilityResult& r,
                                          std::size_t target) {
   CONFAIL_CHECK(target < r.states.size(), UsageError, "bad target state");
-  // BFS over the recorded edges from state 0, tracking parents.
-  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-  std::vector<std::size_t> parent(r.states.size(), kNone);
-  std::vector<TransitionId> via(r.states.size(), 0);
-  std::deque<std::size_t> q{0};
-  std::vector<bool> seen(r.states.size(), false);
-  seen[0] = true;
-  while (!q.empty()) {
-    std::size_t s = q.front();
-    q.pop_front();
-    if (s == target) break;
-    for (const ReachEdge& e : r.edges[s]) {
-      if (seen[e.target]) continue;
-      seen[e.target] = true;
-      parent[e.target] = s;
-      via[e.target] = e.transition;
-      q.push_back(e.target);
-    }
-  }
-  CONFAIL_CHECK(target == 0 || seen[target], UsageError,
-                "target state unreachable in recorded graph");
+  CONFAIL_CHECK(r.parents.size() == r.states.size(), UsageError,
+                "result carries no parent links");
+  // The enumeration is a BFS, so the recorded discovery tree is a
+  // shortest-path tree: walk parent links back to the root.
   std::vector<TransitionId> path;
-  for (std::size_t s = target; s != 0; s = parent[s]) {
-    path.push_back(via[s]);
-    CONFAIL_ASSERT(parent[s] != kNone, "broken parent chain");
+  for (std::size_t s = target; s != 0;) {
+    const ParentLink& p = r.parents[s];
+    CONFAIL_ASSERT(p.parent != ParentLink::kNone, "broken parent chain");
+    path.push_back(p.transition);
+    s = p.parent;
   }
   std::reverse(path.begin(), path.end());
   (void)net;

@@ -1,0 +1,216 @@
+#include "confail/petri/symmetry.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "confail/support/assert.hpp"
+#include "level_bfs.hpp"
+
+namespace confail::petri {
+
+namespace {
+
+// 20! is the last factorial below 2^64.
+constexpr unsigned kMaxThreads = 20;
+constexpr unsigned kMaxFullMonitors = 5;
+
+std::uint64_t factorial(unsigned n) {
+  std::uint64_t f = 1;
+  for (unsigned i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+// A marking of a thread/lock net, reduced to its content: one local-state
+// code per thread (thread_lock_net.hpp localState).  The E places carry no
+// independent information on invariant-respecting markings — E_m is free
+// iff no code says "in C_m" — so codes are the whole state, and orbit
+// operations are permutations of (Threads) or relabelings within (Full)
+// this vector.
+std::vector<unsigned> extractCodes(const ThreadLockNet& tl, const Marking& m) {
+  std::vector<unsigned> codes(tl.threads);
+  for (unsigned i = 0; i < tl.threads; ++i) codes[i] = tl.localState(m, i);
+  return codes;
+}
+
+Marking rebuildFromCodes(const ThreadLockNet& tl,
+                         const std::vector<unsigned>& codes) {
+  Marking m(tl.net.placeCount(), 0);
+  std::vector<bool> held(tl.monitors, false);
+  for (unsigned i = 0; i < tl.threads; ++i) {
+    const unsigned c = codes[i];
+    if (c == 0) {
+      m[tl.A[i]] = 1;
+      continue;
+    }
+    const unsigned mon = (c - 1) / 3;
+    switch ((c - 1) % 3) {
+      case 0: m[tl.B[i][mon]] = 1; break;
+      case 1: m[tl.C[i][mon]] = 1; held[mon] = true; break;
+      case 2: m[tl.D[i][mon]] = 1; break;
+    }
+  }
+  for (unsigned mon = 0; mon < tl.monitors; ++mon) {
+    if (!held[mon]) m[tl.E[mon]] = 1;
+  }
+  return m;
+}
+
+// Relabel monitors in a code: code 0 (outside) is fixed; 1+3m+k maps to
+// 1+3*perm[m]+k.
+unsigned mapCode(unsigned c, const std::vector<unsigned>& perm) {
+  if (c == 0) return 0;
+  return 1 + 3 * perm[(c - 1) / 3] + (c - 1) % 3;
+}
+
+std::vector<std::vector<unsigned>> monitorPerms(unsigned monitors) {
+  std::vector<unsigned> p(monitors);
+  std::iota(p.begin(), p.end(), 0u);
+  std::vector<std::vector<unsigned>> all;
+  do {
+    all.push_back(p);
+  } while (std::next_permutation(p.begin(), p.end()));
+  return all;
+}
+
+// The least sorted code vector over the allowed relabelings.  For Threads
+// symmetry the only move is sorting; for Full symmetry each monitor
+// permutation is applied first and the least result wins.
+std::vector<unsigned> canonicalCodes(
+    std::vector<unsigned> codes,
+    const std::vector<std::vector<unsigned>>& perms) {
+  if (perms.empty()) {
+    std::sort(codes.begin(), codes.end());
+    return codes;
+  }
+  std::vector<unsigned> best;
+  std::vector<unsigned> cand(codes.size());
+  for (const auto& perm : perms) {
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      cand[i] = mapCode(codes[i], perm);
+    }
+    std::sort(cand.begin(), cand.end());
+    if (best.empty() || cand < best) best = cand;
+  }
+  return best;
+}
+
+// |orbit| = |G| / |stabilizer|.  For G = S_N acting on code sequences the
+// stabilizer of a sequence is the product of the multiplicity factorials.
+// For G = S_N x S_M, a pair (sigma, tau) fixes the marking iff tau maps
+// the code *multiset* to itself (then prod(mult!) choices of sigma exist),
+// so |Stab| = prod(mult!) * #{tau : multiset(tau . codes) == multiset}.
+std::uint64_t orbitOfCodes(const std::vector<unsigned>& sortedCodes,
+                           unsigned threads, unsigned monitors,
+                           const std::vector<std::vector<unsigned>>& perms) {
+  std::uint64_t stab = 1;
+  std::size_t i = 0;
+  while (i < sortedCodes.size()) {
+    std::size_t j = i;
+    while (j < sortedCodes.size() && sortedCodes[j] == sortedCodes[i]) ++j;
+    stab *= factorial(static_cast<unsigned>(j - i));
+    i = j;
+  }
+  if (perms.empty()) return factorial(threads) / stab;
+  std::uint64_t fixing = 0;
+  std::vector<unsigned> cand(sortedCodes.size());
+  for (const auto& perm : perms) {
+    for (std::size_t k = 0; k < sortedCodes.size(); ++k) {
+      cand[k] = mapCode(sortedCodes[k], perm);
+    }
+    std::sort(cand.begin(), cand.end());
+    if (cand == sortedCodes) ++fixing;
+  }
+  CONFAIL_ASSERT(fixing > 0, "identity must fix the multiset");
+  return factorial(threads) * factorial(monitors) / (stab * fixing);
+}
+
+struct SymCanon {
+  const ThreadLockNet* tl;
+  std::vector<std::vector<unsigned>> perms;  ///< empty for Threads-only
+
+  static constexpr bool kOrbits = true;
+
+  bool canonicalize(Marking& m) const {
+    const std::vector<unsigned> canon =
+        canonicalCodes(extractCodes(*tl, m), perms);
+    Marking rebuilt = rebuildFromCodes(*tl, canon);
+    if (rebuilt == m) return false;
+    m = std::move(rebuilt);
+    return true;
+  }
+
+  std::uint64_t orbit(const Marking& m) const {
+    // Codes of a canonical marking are already sorted.
+    return orbitOfCodes(extractCodes(*tl, m), tl->threads, tl->monitors,
+                        perms);
+  }
+};
+
+}  // namespace
+
+const char* symmetryName(Symmetry s) {
+  switch (s) {
+    case Symmetry::None: return "none";
+    case Symmetry::Threads: return "threads";
+    case Symmetry::Full: return "full";
+  }
+  return "?";
+}
+
+ReachabilityResult reachableSymmetric(const ThreadLockNet& tl,
+                                      const SymReachOptions& opt) {
+  ReachOptions ro;
+  ro.maxStates = opt.maxStates;
+  ro.workers = opt.workers;
+  ro.metrics = opt.metrics;
+  if (opt.symmetry == Symmetry::None) {
+    return reachable(tl.net, tl.initial, ro);
+  }
+  CONFAIL_CHECK(tl.threads <= kMaxThreads, UsageError,
+                "orbit sizes overflow uint64 beyond 20 threads");
+  CONFAIL_CHECK(opt.symmetry != Symmetry::Full || tl.monitors <= kMaxFullMonitors,
+                UsageError, "full symmetry enumerates M! monitor relabelings");
+  SymCanon canon{&tl, opt.symmetry == Symmetry::Full
+                          ? monitorPerms(tl.monitors)
+                          : std::vector<std::vector<unsigned>>{}};
+  const std::size_t places = tl.net.placeCount();
+  ReachabilityResult r;
+  bool ok = false;
+  if (places <= 64) {
+    ok = detail::packedLevelBfs<1>(tl.net, tl.initial, ro, canon, r);
+  } else if (places <= 256) {
+    ok = detail::packedLevelBfs<4>(tl.net, tl.initial, ro, canon, r);
+  }
+  // Thread/lock nets are structurally 1-bounded, so within the 256-place
+  // ceiling (e.g. 20 threads x 2 monitors, or 15 x 5) the packed engine
+  // cannot refuse; beyond it symmetric enumeration is simply unsupported.
+  CONFAIL_CHECK(ok, UsageError, "net too large for symmetric enumeration");
+  detail::publishReachMetrics(opt.metrics, r);
+  return r;
+}
+
+Marking canonicalMarking(const ThreadLockNet& tl, const Marking& m,
+                         Symmetry symmetry) {
+  CONFAIL_CHECK(m.size() == tl.net.placeCount(), UsageError,
+                "marking size mismatch");
+  if (symmetry == Symmetry::None) return m;
+  SymCanon canon{&tl, symmetry == Symmetry::Full
+                          ? monitorPerms(tl.monitors)
+                          : std::vector<std::vector<unsigned>>{}};
+  Marking out = m;
+  canon.canonicalize(out);
+  return out;
+}
+
+std::uint64_t orbitSize(const ThreadLockNet& tl, const Marking& m,
+                        Symmetry symmetry) {
+  if (symmetry == Symmetry::None) return 1;
+  SymCanon canon{&tl, symmetry == Symmetry::Full
+                          ? monitorPerms(tl.monitors)
+                          : std::vector<std::vector<unsigned>>{}};
+  Marking c = m;
+  canon.canonicalize(c);
+  return canon.orbit(c);
+}
+
+}  // namespace confail::petri

@@ -6,74 +6,141 @@
 
 namespace confail::petri {
 
+namespace {
+
+// Single-monitor nets keep the historical Figure-1 names ("B0", "E",
+// "T1_0", "T5_0by1"); multi-monitor nets suffix the monitor ("B0_m1",
+// "E_m1", "T1_0_m1").
+std::string named(const char* base, unsigned thread, unsigned monitor,
+                  unsigned monitors) {
+  std::string s = base + std::to_string(thread);
+  if (monitors > 1) s += "_m" + std::to_string(monitor);
+  return s;
+}
+
+}  // namespace
+
 std::vector<int> ThreadLockNet::threadConservationWeights(unsigned i) const {
   CONFAIL_CHECK(i < threads, UsageError, "bad thread index");
   std::vector<int> w(net.placeCount(), 0);
-  w[A[i]] = w[B[i]] = w[C[i]] = w[D[i]] = 1;
+  w[A[i]] = 1;
+  for (unsigned m = 0; m < monitors; ++m) {
+    w[B[i][m]] = w[C[i][m]] = w[D[i][m]] = 1;
+  }
   return w;
 }
 
-std::vector<int> ThreadLockNet::lockInvariantWeights() const {
+std::vector<int> ThreadLockNet::lockInvariantWeights(unsigned m) const {
+  CONFAIL_CHECK(m < monitors, UsageError, "bad monitor index");
   std::vector<int> w(net.placeCount(), 0);
-  w[E] = 1;
-  for (unsigned i = 0; i < threads; ++i) w[C[i]] = 1;
+  w[E[m]] = 1;
+  for (unsigned i = 0; i < threads; ++i) w[C[i][m]] = 1;
   return w;
 }
 
-bool ThreadLockNet::allWaiting(const Marking& m) const {
+bool ThreadLockNet::allWaiting(const Marking& mk) const {
   for (unsigned i = 0; i < threads; ++i) {
-    if (m[D[i]] == 0) return false;
+    bool waiting = false;
+    for (unsigned m = 0; m < monitors && !waiting; ++m) {
+      waiting = mk[D[i][m]] != 0;
+    }
+    if (!waiting) return false;
   }
   return true;
 }
 
-ThreadLockNet buildThreadLockNet(unsigned threads, NotifyModel model) {
+unsigned ThreadLockNet::localState(const Marking& mk, unsigned i) const {
+  CONFAIL_CHECK(i < threads, UsageError, "bad thread index");
+  if (mk[A[i]] != 0) return 0;
+  for (unsigned m = 0; m < monitors; ++m) {
+    if (mk[B[i][m]] != 0) return 1 + 3 * m;
+    if (mk[C[i][m]] != 0) return 2 + 3 * m;
+    if (mk[D[i][m]] != 0) return 3 + 3 * m;
+  }
+  CONFAIL_CHECK(false, UsageError,
+                "marking violates the thread conservation invariant");
+  return 0;
+}
+
+ThreadLockNet buildThreadLockNet(unsigned threads, unsigned monitors,
+                                 NotifyModel model) {
   CONFAIL_CHECK(threads >= 1, UsageError, "need at least one thread");
+  CONFAIL_CHECK(monitors >= 1, UsageError, "need at least one monitor");
   ThreadLockNet n;
   n.threads = threads;
+  n.monitors = monitors;
   n.model = model;
 
+  // Thread-major place blocks: A_i, then (B_im, C_im, D_im) per monitor.
+  n.B.resize(threads);
+  n.C.resize(threads);
+  n.D.resize(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    const std::string s = std::to_string(i);
-    n.A.push_back(n.net.addPlace("A" + s));
-    n.B.push_back(n.net.addPlace("B" + s));
-    n.C.push_back(n.net.addPlace("C" + s));
-    n.D.push_back(n.net.addPlace("D" + s));
+    n.A.push_back(n.net.addPlace("A" + std::to_string(i)));
+    for (unsigned m = 0; m < monitors; ++m) {
+      n.B[i].push_back(n.net.addPlace(named("B", i, m, monitors)));
+      n.C[i].push_back(n.net.addPlace(named("C", i, m, monitors)));
+      n.D[i].push_back(n.net.addPlace(named("D", i, m, monitors)));
+    }
   }
-  n.E = n.net.addPlace("E");
+  for (unsigned m = 0; m < monitors; ++m) {
+    n.E.push_back(
+        n.net.addPlace(monitors > 1 ? "E_m" + std::to_string(m) : "E"));
+  }
 
+  n.T1.resize(threads);
+  n.T2.resize(threads);
+  n.T3.resize(threads);
+  n.T4.resize(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    const std::string s = std::to_string(i);
-    n.T1.push_back(n.net.addTransition("T1_" + s, {{n.A[i], 1}}, {{n.B[i], 1}}));
-    n.T2.push_back(n.net.addTransition("T2_" + s, {{n.B[i], 1}, {n.E, 1}},
-                                       {{n.C[i], 1}}));
-    n.T3.push_back(n.net.addTransition("T3_" + s, {{n.C[i], 1}},
-                                       {{n.D[i], 1}, {n.E, 1}}));
-    n.T4.push_back(n.net.addTransition("T4_" + s, {{n.C[i], 1}},
-                                       {{n.A[i], 1}, {n.E, 1}}));
+    for (unsigned m = 0; m < monitors; ++m) {
+      n.T1[i].push_back(n.net.addTransition(named("T1_", i, m, monitors),
+                                            {{n.A[i], 1}}, {{n.B[i][m], 1}}));
+      n.T2[i].push_back(n.net.addTransition(named("T2_", i, m, monitors),
+                                            {{n.B[i][m], 1}, {n.E[m], 1}},
+                                            {{n.C[i][m], 1}}));
+      n.T3[i].push_back(n.net.addTransition(named("T3_", i, m, monitors),
+                                            {{n.C[i][m], 1}},
+                                            {{n.D[i][m], 1}, {n.E[m], 1}}));
+      n.T4[i].push_back(n.net.addTransition(named("T4_", i, m, monitors),
+                                            {{n.C[i][m], 1}},
+                                            {{n.A[i], 1}, {n.E[m], 1}}));
+    }
   }
 
   if (model == NotifyModel::Free) {
+    n.T5free.resize(threads);
     for (unsigned i = 0; i < threads; ++i) {
-      n.T5free.push_back(n.net.addTransition(
-          "T5_" + std::to_string(i), {{n.D[i], 1}}, {{n.B[i], 1}}));
+      for (unsigned m = 0; m < monitors; ++m) {
+        n.T5free[i].push_back(n.net.addTransition(
+            named("T5_", i, m, monitors), {{n.D[i][m], 1}},
+            {{n.B[i][m], 1}}));
+      }
     }
   } else {
-    n.T5gated.assign(threads, std::vector<TransitionId>(threads, 0));
-    for (unsigned i = 0; i < threads; ++i) {
-      for (unsigned j = 0; j < threads; ++j) {
-        if (i == j) continue;
-        // Waiter i is woken by notifier j, which must be inside the monitor.
-        n.T5gated[i][j] = n.net.addTransition(
-            "T5_" + std::to_string(i) + "by" + std::to_string(j),
-            {{n.D[i], 1}, {n.C[j], 1}}, {{n.B[i], 1}, {n.C[j], 1}});
+    n.T5gated.assign(
+        monitors, std::vector<std::vector<TransitionId>>(
+                      threads, std::vector<TransitionId>(threads, 0)));
+    for (unsigned m = 0; m < monitors; ++m) {
+      for (unsigned i = 0; i < threads; ++i) {
+        for (unsigned j = 0; j < threads; ++j) {
+          if (i == j) continue;
+          // Waiter i on monitor m is woken by notifier j, which must be
+          // inside the same monitor.
+          std::string name =
+              "T5_" + std::to_string(i) + "by" + std::to_string(j);
+          if (monitors > 1) name += "_m" + std::to_string(m);
+          n.T5gated[m][i][j] = n.net.addTransition(
+              name, {{n.D[i][m], 1}, {n.C[j][m], 1}},
+              {{n.B[i][m], 1}, {n.C[j][m], 1}});
+        }
       }
     }
   }
 
   n.initial = n.net.emptyMarking();
   for (unsigned i = 0; i < threads; ++i) n.initial[n.A[i]] = 1;
-  n.initial[n.E] = 1;
+  for (unsigned m = 0; m < monitors; ++m) n.initial[n.E[m]] = 1;
   return n;
 }
 

@@ -3,10 +3,20 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "confail/support/assert.hpp"
+
 namespace confail::petri {
 
 using events::Event;
 using events::EventKind;
+
+namespace {
+
+bool isReplayEvent(EventKind k) {
+  return events::isModelTransition(k) || k == EventKind::SpuriousWake;
+}
+
+}  // namespace
 
 ValidationResult validateTraceAgainstModel(const events::Trace& trace,
                                            events::MonitorId mon,
@@ -17,9 +27,7 @@ ValidationResult validateTraceAgainstModel(const events::Trace& trace,
   // Map trace thread ids to dense net thread indices by first appearance.
   std::unordered_map<events::ThreadId, unsigned> threadIndex;
   for (const Event& e : events) {
-    if (!events::isModelTransition(e.kind) && e.kind != EventKind::SpuriousWake) {
-      continue;
-    }
+    if (!isReplayEvent(e.kind)) continue;
     if (threadIndex.find(e.thread) == threadIndex.end()) {
       if (threadIndex.size() >= maxThreads) {
         result.ok = false;
@@ -41,12 +49,14 @@ ValidationResult validateTraceAgainstModel(const events::Trace& trace,
   for (const Event& e : events) {
     TransitionId t;
     switch (e.kind) {
-      case EventKind::LockRequest: t = tl.T1[threadIndex[e.thread]]; break;
-      case EventKind::LockAcquire: t = tl.T2[threadIndex[e.thread]]; break;
-      case EventKind::WaitBegin: t = tl.T3[threadIndex[e.thread]]; break;
-      case EventKind::LockRelease: t = tl.T4[threadIndex[e.thread]]; break;
+      case EventKind::LockRequest: t = tl.T1[threadIndex[e.thread]][0]; break;
+      case EventKind::LockAcquire: t = tl.T2[threadIndex[e.thread]][0]; break;
+      case EventKind::WaitBegin: t = tl.T3[threadIndex[e.thread]][0]; break;
+      case EventKind::LockRelease: t = tl.T4[threadIndex[e.thread]][0]; break;
       case EventKind::Notified:
-      case EventKind::SpuriousWake: t = tl.T5free[threadIndex[e.thread]]; break;
+      case EventKind::SpuriousWake:
+        t = tl.T5free[threadIndex[e.thread]][0];
+        break;
       default: continue;  // notify calls, accesses etc. are not transitions
     }
     if (!tl.net.enabled(t, m)) {
@@ -65,6 +75,109 @@ ValidationResult validateTraceAgainstModel(const events::Trace& trace,
     ++result.eventsChecked;
   }
   return result;
+}
+
+TraceShape traceShape(const events::Trace& trace) {
+  TraceShape shape;
+  std::unordered_map<events::ThreadId, unsigned> threads;
+  std::unordered_map<events::MonitorId, unsigned> monitors;
+  for (const Event& e : trace.events()) {
+    if (!isReplayEvent(e.kind)) continue;
+    threads.emplace(e.thread, static_cast<unsigned>(threads.size()));
+    monitors.emplace(e.monitor, static_cast<unsigned>(monitors.size()));
+  }
+  shape.threads = static_cast<unsigned>(threads.size());
+  shape.monitors = static_cast<unsigned>(monitors.size());
+  return shape;
+}
+
+ModelReplay replayTraceOnModel(const events::Trace& trace,
+                               const ThreadLockNet& tl) {
+  ModelReplay rep;
+  std::unordered_map<events::ThreadId, unsigned> threadIndex;
+  std::unordered_map<events::MonitorId, unsigned> monitorIndex;
+  Marking m = tl.initial;
+  rep.markings.push_back(m);
+
+  const auto fail = [&](const Event& e, const std::string& why) {
+    std::ostringstream os;
+    os << "event seq=" << e.seq << " (" << events::kindName(e.kind)
+       << " by thread " << e.thread << " on monitor " << e.monitor << ") "
+       << why;
+    rep.ok = false;
+    rep.message = os.str();
+  };
+
+  for (const Event& e : trace.events()) {
+    if (!isReplayEvent(e.kind)) continue;
+    auto ti = threadIndex.emplace(e.thread,
+                                  static_cast<unsigned>(threadIndex.size()));
+    auto mi = monitorIndex.emplace(e.monitor,
+                                   static_cast<unsigned>(monitorIndex.size()));
+    const unsigned i = ti.first->second;
+    const unsigned mon = mi.first->second;
+    if (i >= tl.threads || mon >= tl.monitors) {
+      rep.inScope = false;
+      rep.message = "trace uses more threads/monitors than the net";
+      return rep;
+    }
+    if (e.kind == EventKind::SpuriousWake) rep.sawSpuriousWake = true;
+
+    TransitionId t = 0;
+    switch (e.kind) {
+      case EventKind::LockRequest:
+        // A request while the thread is not in A means it already engages
+        // another monitor — nested synchronized blocks, which the Figure-1
+        // protocol does not model (that is the lock-order-deadlock world).
+        if (m[tl.A[i]] == 0) {
+          rep.inScope = false;
+          std::ostringstream os;
+          os << "thread " << e.thread << " requests monitor " << e.monitor
+             << " while engaging another monitor (nested synchronization is"
+                " outside the Figure-1 protocol)";
+          rep.message = os.str();
+          return rep;
+        }
+        t = tl.T1[i][mon];
+        break;
+      case EventKind::LockAcquire: t = tl.T2[i][mon]; break;
+      case EventKind::WaitBegin: t = tl.T3[i][mon]; break;
+      case EventKind::LockRelease: t = tl.T4[i][mon]; break;
+      case EventKind::Notified:
+      case EventKind::SpuriousWake: {
+        if (tl.model == NotifyModel::Free) {
+          t = tl.T5free[i][mon];
+          break;
+        }
+        // Gated: the waker is whichever thread holds the monitor right
+        // now; the lock invariant makes it unique.
+        unsigned j = tl.threads;
+        for (unsigned k = 0; k < tl.threads; ++k) {
+          if (k != i && m[tl.C[k][mon]] != 0) {
+            j = k;
+            break;
+          }
+        }
+        if (j == tl.threads) {
+          fail(e, "wakes with no other thread inside the monitor (gated T5"
+                  " has no enabled instance)");
+          return rep;
+        }
+        t = tl.T5gated[mon][i][j];
+        break;
+      }
+      default: continue;
+    }
+    if (!tl.net.enabled(t, m)) {
+      fail(e, "fires " + tl.net.transitionName(t) +
+                  " which is not enabled in " + tl.net.renderMarking(m));
+      return rep;
+    }
+    m = tl.net.fire(t, m);
+    rep.markings.push_back(m);
+    ++rep.eventsChecked;
+  }
+  return rep;
 }
 
 }  // namespace confail::petri

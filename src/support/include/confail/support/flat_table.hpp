@@ -1,17 +1,21 @@
-// FlatMap64: a flat open-addressing hash table from 64-bit keys to 32-bit
-// values.
+// FlatMapN<W>: a flat open-addressing hash table from W-word keys to 32-bit
+// values (FlatMap64 is the one-word alias).
 //
-// Both hot state-space engines key on a compact 64-bit encoding of a state
-// (the Petri reachability table encodes a marking of <= 8 places; the
-// explorer's visited set keys on a (depth, fingerprint) mix), so the table
-// avoids the per-node allocation, pointer chasing and bucket indirection of
-// std::unordered_map: storage is a single contiguous slot array probed
-// linearly, and lookups on the BFS/DFS hot path touch one cache line in the
-// common case.  Capacity is a power of two, pre-reservable, and doubles at
-// ~70% load.  No erase (neither engine removes states mid-enumeration).
+// Both hot state-space engines key on a compact fixed-width encoding of a
+// state (the Petri reachability engine packs a 1-bounded marking into one
+// bit per place — one word for <= 64 places, up to four words for the
+// N-thread x M-monitor nets; the explorer's visited set keys on a
+// (depth, fingerprint) mix), so the table avoids the per-node allocation,
+// pointer chasing and bucket indirection of std::unordered_map: storage is
+// a single contiguous slot array probed linearly, and lookups on the
+// BFS/DFS hot path touch one cache line in the common case.  Capacity is a
+// power of two, pre-reservable, and doubles at ~70% load.  No erase
+// (neither engine removes states mid-enumeration).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -19,18 +23,28 @@
 
 namespace confail {
 
-class FlatMap64 {
+template <std::size_t W>
+class FlatMapN {
+  static_assert(W >= 1 && W <= 8, "key width is 1..8 words");
+
  public:
+  /// One word for W == 1 (so call sites pass plain integers), a fixed
+  /// array otherwise.
+  using Key = std::conditional_t<W == 1, std::uint64_t,
+                                 std::array<std::uint64_t, W>>;
+
   /// Sentinel marking an empty slot.  Values passed to findOrInsert must be
   /// distinct from it (state indices are capped well below 2^32-1).
   static constexpr std::uint32_t kNoValue = 0xffffffffu;
 
   /// `expected` is the anticipated number of entries; the table pre-reserves
   /// enough slots that no rehash happens before `expected` insertions.
-  explicit FlatMap64(std::size_t expected = 0) { reserve(expected); }
+  explicit FlatMapN(std::size_t expected = 0) { reserve(expected); }
 
-  /// Value stored under `key`, or kNoValue if absent.
-  std::uint32_t find(std::uint64_t key) const {
+  /// Value stored under `key`, or kNoValue if absent.  Safe to call from
+  /// several threads concurrently as long as no findOrInsert runs at the
+  /// same time (the Petri engine's barrier-phased frontier relies on this).
+  std::uint32_t find(const Key& key) const {
     std::size_t i = static_cast<std::size_t>(hash(key)) & mask_;
     for (;;) {
       const Slot& s = slots_[i];
@@ -42,7 +56,7 @@ class FlatMap64 {
 
   /// Insert (key -> value) if the key is absent.  Returns the resident value
   /// (existing or just-inserted) and whether an insertion happened.
-  std::pair<std::uint32_t, bool> findOrInsert(std::uint64_t key,
+  std::pair<std::uint32_t, bool> findOrInsert(const Key& key,
                                               std::uint32_t value) {
     CONFAIL_ASSERT(value != kNoValue, "kNoValue is reserved");
     std::size_t i = static_cast<std::size_t>(hash(key)) & mask_;
@@ -73,16 +87,28 @@ class FlatMap64 {
 
  private:
   struct Slot {
-    std::uint64_t key = 0;
+    Key key{};
     std::uint32_t value = kNoValue;
   };
 
   /// SplitMix64 finalizer: full-avalanche scrambling so sequential encodings
   /// (markings differ in low bits) spread across the table.
-  static std::uint64_t hash(std::uint64_t k) {
+  static std::uint64_t mix(std::uint64_t k) {
     k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ULL;
     k = (k ^ (k >> 27)) * 0x94d049bb133111ebULL;
     return k ^ (k >> 31);
+  }
+
+  static std::uint64_t hash(const Key& key) {
+    if constexpr (W == 1) {
+      return mix(key);
+    } else {
+      // Chain one finalizer per word; each word fully avalanches before the
+      // next is folded in, so sparse bit-vector keys do not cancel.
+      std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+      for (std::uint64_t w : key) h = mix(h ^ w);
+      return h;
+    }
   }
 
   void grow() { rehash(slots_.size() * 2); }
@@ -103,5 +129,9 @@ class FlatMap64 {
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
 };
+
+/// The historical one-word table (explorer visited keys, packed markings of
+/// small nets).
+using FlatMap64 = FlatMapN<1>;
 
 }  // namespace confail

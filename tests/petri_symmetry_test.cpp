@@ -1,0 +1,223 @@
+// Differential tests for the symmetry-reduced, packed, parallel
+// reachability engine and the explorer ⊆ net cross-check oracle.
+//
+// The ground truth is the plain (Symmetry::None) enumeration: across an
+// N x M x {Free, Gated} grid the reduced quotient must orbit-expand to the
+// exact full state/dead-marking counts and produce identical property
+// verdicts; and the engine must be byte-deterministic across worker
+// counts — that is the whole contract that lets the parallel frontier
+// replace the serial one.
+#include <gtest/gtest.h>
+
+#include "confail/inject/explore_config.hpp"
+#include "confail/petri/cross_check.hpp"
+#include "confail/petri/properties.hpp"
+#include "confail/petri/symmetry.hpp"
+#include "confail/petri/thread_lock_net.hpp"
+#include "confail/sched/virtual_scheduler.hpp"
+
+namespace petri = confail::petri;
+namespace sched = confail::sched;
+namespace inject = confail::inject;
+using petri::buildThreadLockNet;
+using petri::Marking;
+using petri::NotifyModel;
+using petri::Symmetry;
+
+namespace {
+
+petri::ReachabilityResult enumerate(const petri::ThreadLockNet& tl,
+                                    Symmetry sym, std::size_t workers = 1) {
+  petri::SymReachOptions ro;
+  ro.symmetry = sym;
+  ro.workers = workers;
+  return petri::reachableSymmetric(tl, ro);
+}
+
+}  // namespace
+
+TEST(Symmetry, QuotientOrbitExpandsToTheFullSpace) {
+  for (unsigned n = 2; n <= 4; ++n) {
+    for (unsigned m = 1; m <= 2; ++m) {
+      for (NotifyModel model : {NotifyModel::Free, NotifyModel::Gated}) {
+        auto tl = buildThreadLockNet(n, m, model);
+        auto full = enumerate(tl, Symmetry::None);
+        auto reduced = enumerate(tl, Symmetry::Threads);
+        ASSERT_TRUE(full.complete);
+        ASSERT_TRUE(reduced.complete);
+        const char* tag = model == NotifyModel::Free ? "free" : "gated";
+        EXPECT_LE(reduced.stateCount(), full.stateCount());
+        EXPECT_EQ(reduced.fullStateCount(), full.stateCount())
+            << n << "x" << m << " " << tag;
+        EXPECT_EQ(reduced.fullDeadStateCount(), full.deadStates.size())
+            << n << "x" << m << " " << tag;
+      }
+    }
+  }
+}
+
+TEST(Symmetry, FullSymmetryAlsoQuotientsMonitors) {
+  auto tl = buildThreadLockNet(3, 2, NotifyModel::Free);
+  auto full = enumerate(tl, Symmetry::None);
+  auto threads = enumerate(tl, Symmetry::Threads);
+  auto both = enumerate(tl, Symmetry::Full);
+  ASSERT_TRUE(both.complete);
+  EXPECT_LT(both.stateCount(), threads.stateCount());
+  EXPECT_EQ(both.fullStateCount(), full.stateCount());
+  EXPECT_EQ(both.fullDeadStateCount(), full.deadStates.size());
+}
+
+TEST(Symmetry, VerdictsMatchTheFullEnumeration) {
+  for (unsigned n = 2; n <= 4; ++n) {
+    for (NotifyModel model : {NotifyModel::Free, NotifyModel::Gated}) {
+      auto tl = buildThreadLockNet(n, 1, model);
+      auto vFull = petri::verifyModel(tl, enumerate(tl, Symmetry::None));
+      auto vRed = petri::verifyModel(tl, enumerate(tl, Symmetry::Threads));
+      EXPECT_EQ(vFull.mutualExclusion, vRed.mutualExclusion);
+      EXPECT_EQ(vFull.conservation, vRed.conservation);
+      EXPECT_EQ(vFull.oneBounded, vRed.oneBounded);
+      EXPECT_EQ(vFull.deadlockFree, vRed.deadlockFree);
+      EXPECT_EQ(vFull.allWaitingDeadReachable, vRed.allWaitingDeadReachable);
+      EXPECT_EQ(vFull.t5Live, vRed.t5Live);
+      EXPECT_TRUE(vRed.consistentWith(tl));
+      EXPECT_TRUE(vFull.consistentWith(tl));
+    }
+  }
+}
+
+TEST(Symmetry, CanonicalFormIsIdempotentAndOrbitSizesSum) {
+  auto tl = buildThreadLockNet(4, 1, NotifyModel::Gated);
+  auto full = enumerate(tl, Symmetry::None);
+  std::uint64_t orbitSum = 0;
+  for (const Marking& m : full.states) {
+    Marking c1 = petri::canonicalMarking(tl, m, Symmetry::Threads);
+    Marking c2 = petri::canonicalMarking(tl, c1, Symmetry::Threads);
+    EXPECT_EQ(c1, c2);
+  }
+  auto reduced = enumerate(tl, Symmetry::Threads);
+  for (std::uint64_t o : reduced.orbitSizes) orbitSum += o;
+  EXPECT_EQ(orbitSum, full.stateCount());
+  for (std::size_t s = 0; s < reduced.stateCount(); ++s) {
+    EXPECT_EQ(reduced.orbitSizes[s],
+              petri::orbitSize(tl, reduced.states[s], Symmetry::Threads));
+  }
+}
+
+TEST(Symmetry, DeterministicAcrossWorkerCounts) {
+  auto tl = buildThreadLockNet(4, 2, NotifyModel::Gated);
+  auto base = enumerate(tl, Symmetry::Threads, 1);
+  for (std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+    auto r = enumerate(tl, Symmetry::Threads, workers);
+    ASSERT_EQ(r.stateCount(), base.stateCount()) << workers << " workers";
+    EXPECT_EQ(r.states, base.states);
+    EXPECT_EQ(r.edges, base.edges);
+    EXPECT_EQ(r.deadStates, base.deadStates);
+    for (std::size_t s = 0; s < r.stateCount(); ++s) {
+      EXPECT_EQ(r.parents[s].parent, base.parents[s].parent);
+      EXPECT_EQ(r.parents[s].transition, base.parents[s].transition);
+    }
+  }
+  // The unreduced engine is equally deterministic.
+  auto fullBase = enumerate(tl, Symmetry::None, 1);
+  auto full8 = enumerate(tl, Symmetry::None, 8);
+  EXPECT_EQ(full8.states, fullBase.states);
+  EXPECT_EQ(full8.edges, fullBase.edges);
+}
+
+TEST(Symmetry, GatedEightThreadsCompletesExhaustively) {
+  // The headline scaling case: 24057 concrete states collapse to 81
+  // canonical ones, well inside the default cap.
+  auto tl = buildThreadLockNet(8, 1, NotifyModel::Gated);
+  auto r = enumerate(tl, Symmetry::Threads);
+  ASSERT_TRUE(r.complete);
+  EXPECT_EQ(r.stateCount(), 81u);
+  EXPECT_EQ(r.fullStateCount(), 24057u);
+  auto v = petri::verifyModel(tl, r);
+  EXPECT_TRUE(v.allWaitingDeadReachable);
+  EXPECT_TRUE(v.consistentWith(tl));
+}
+
+TEST(CrossCheck, ExplorerTracesStayInsideTheNet) {
+  // fig2 (correct guards) and ff_t5_small (notify-where-notifyAll) both
+  // live inside the 2-thread/1-monitor protocol; every visited marking
+  // must be net-reachable and ff_t5_small's deadlock must be the FF-T5
+  // all-waiting dead marking.
+  for (const char* scenario : {"fig2", "ff_t5_small"}) {
+    petri::ModelCrossChecker checker;
+    sched::ExhaustiveExplorer::Options eo;
+    eo.maxRuns = 300;
+    inject::ExploreConfig cfg;
+    cfg.scenario(scenario).captureRuns().explorer(eo);
+    cfg.explore([&](const inject::RunView& v) {
+      if (v.trace != nullptr) {
+        checker.addRun(*v.trace,
+                       v.result.outcome != sched::Outcome::Completed);
+      }
+      return true;
+    });
+    const petri::CrossCheckReport& rep = checker.report();
+    EXPECT_TRUE(rep.ok) << scenario << ": " << rep.firstViolation;
+    EXPECT_GT(rep.inScopeRuns, 0u) << scenario;
+    EXPECT_GT(rep.markingsChecked, 0u) << scenario;
+  }
+}
+
+TEST(CrossCheck, FailureStatesGetTheGatedDeadnessCheck) {
+  petri::ModelCrossChecker checker;
+  sched::ExhaustiveExplorer::Options eo;
+  eo.maxRuns = 300;
+  inject::ExploreConfig cfg;
+  cfg.scenario("ff_t5_small").captureRuns().explorer(eo);
+  cfg.explore([&](const inject::RunView& v) {
+    if (v.trace != nullptr) {
+      checker.addRun(*v.trace,
+                     v.result.outcome != sched::Outcome::Completed);
+    }
+    return true;
+  });
+  const petri::CrossCheckReport& rep = checker.report();
+  EXPECT_TRUE(rep.ok) << rep.firstViolation;
+  EXPECT_GT(rep.failureStatesChecked, 0u);
+}
+
+TEST(CrossCheck, NestedMonitorsAreOutOfScopeNotViolations) {
+  // lock_order nests two monitors — outside the Figure-1 protocol, so the
+  // checker must count it out of scope instead of flagging it.
+  petri::ModelCrossChecker checker;
+  sched::ExhaustiveExplorer::Options eo;
+  eo.maxRuns = 100;
+  inject::ExploreConfig cfg;
+  cfg.scenario("lock_order").captureRuns().explorer(eo);
+  cfg.explore([&](const inject::RunView& v) {
+    if (v.trace != nullptr) {
+      checker.addRun(*v.trace,
+                     v.result.outcome != sched::Outcome::Completed);
+    }
+    return true;
+  });
+  const petri::CrossCheckReport& rep = checker.report();
+  EXPECT_TRUE(rep.ok) << rep.firstViolation;
+  EXPECT_GT(rep.outOfScopeRuns, 0u);
+  EXPECT_EQ(rep.violations, 0u);
+}
+
+TEST(CrossCheck, ReplayRejectsIllegalSequences) {
+  // A hand-corrupted trace (double acquire) is a violation, not a crash.
+  namespace ev = confail::events;
+  ev::Trace trace;
+  auto push = [&trace](ev::ThreadId t, ev::EventKind k) {
+    ev::Event e;
+    e.thread = t;
+    e.monitor = 0;
+    e.kind = k;
+    trace.record(e);
+  };
+  push(0, ev::EventKind::LockRequest);
+  push(0, ev::EventKind::LockAcquire);
+  push(1, ev::EventKind::LockRequest);
+  push(1, ev::EventKind::LockAcquire);
+  petri::ModelCrossChecker checker;
+  checker.addRun(trace, false);
+  EXPECT_FALSE(checker.report().ok);
+  EXPECT_EQ(checker.report().violations, 1u);
+}

@@ -335,24 +335,24 @@ TEST(Invariants, TInvariantRecognizesTheCriticalSectionCycle) {
   // marking; so does the waiting pass T1, T2, T3, T5, T2, T4 (T2 twice).
   auto tl = buildThreadLockNet(1, NotifyModel::Free);
   std::vector<long long> plainCycle(tl.net.transitionCount(), 0);
-  plainCycle[tl.T1[0]] = 1;
-  plainCycle[tl.T2[0]] = 1;
-  plainCycle[tl.T4[0]] = 1;
+  plainCycle[tl.T1[0][0]] = 1;
+  plainCycle[tl.T2[0][0]] = 1;
+  plainCycle[tl.T4[0][0]] = 1;
   EXPECT_TRUE(petri::isTInvariant(tl.net, plainCycle));
 
   std::vector<long long> waitingPass(tl.net.transitionCount(), 0);
-  waitingPass[tl.T1[0]] = 1;
-  waitingPass[tl.T2[0]] = 2;  // acquire + re-acquire after the wait
-  waitingPass[tl.T3[0]] = 1;
-  waitingPass[tl.T5free[0]] = 1;
-  waitingPass[tl.T4[0]] = 1;
+  waitingPass[tl.T1[0][0]] = 1;
+  waitingPass[tl.T2[0][0]] = 2;  // acquire + re-acquire after the wait
+  waitingPass[tl.T3[0][0]] = 1;
+  waitingPass[tl.T5free[0][0]] = 1;
+  waitingPass[tl.T4[0][0]] = 1;
   EXPECT_TRUE(petri::isTInvariant(tl.net, waitingPass));
 
   // A non-cycle (wait without wake) is rejected.
   std::vector<long long> broken(tl.net.transitionCount(), 0);
-  broken[tl.T1[0]] = 1;
-  broken[tl.T2[0]] = 1;
-  broken[tl.T3[0]] = 1;
+  broken[tl.T1[0][0]] = 1;
+  broken[tl.T2[0][0]] = 1;
+  broken[tl.T3[0][0]] = 1;
   EXPECT_FALSE(petri::isTInvariant(tl.net, broken));
 }
 
@@ -371,8 +371,8 @@ TEST(Invariants, TInvariantFiringSequenceActuallyCycles) {
   // observe the initial marking restored.
   auto tl = buildThreadLockNet(1, NotifyModel::Free);
   Marking m = tl.initial;
-  for (auto t : {tl.T1[0], tl.T2[0], tl.T3[0], tl.T5free[0], tl.T2[0],
-                 tl.T4[0]}) {
+  for (auto t : {tl.T1[0][0], tl.T2[0][0], tl.T3[0][0], tl.T5free[0][0],
+                 tl.T2[0][0], tl.T4[0][0]}) {
     ASSERT_TRUE(tl.net.enabled(t, m)) << tl.net.transitionName(t);
     m = tl.net.fire(t, m);
   }
@@ -417,11 +417,11 @@ TEST(ModelCrossCheck, ExhaustiveExplorationVisitsEveryReachableNetState) {
             unsigned i = index[e.thread];
             petri::TransitionId t = 0;
             switch (e.kind) {
-              case ev::EventKind::LockRequest: t = tl.T1[i]; break;
-              case ev::EventKind::LockAcquire: t = tl.T2[i]; break;
-              case ev::EventKind::WaitBegin: t = tl.T3[i]; break;
-              case ev::EventKind::LockRelease: t = tl.T4[i]; break;
-              default: t = tl.T5free[i]; break;
+              case ev::EventKind::LockRequest: t = tl.T1[i][0]; break;
+              case ev::EventKind::LockAcquire: t = tl.T2[i][0]; break;
+              case ev::EventKind::WaitBegin: t = tl.T3[i][0]; break;
+              case ev::EventKind::LockRelease: t = tl.T4[i][0]; break;
+              default: t = tl.T5free[i][0]; break;
             }
             m = tl.net.fire(t, m);
             visited.insert(m);
@@ -455,9 +455,9 @@ TEST(ModelCrossCheck, ExhaustiveExplorationVisitsEveryReachableNetState) {
   auto r = petri::reachable(tl.net, tl.initial);
   MarkingSet expected;
   for (const auto& m : r.states) {
-    if (m[tl.D[0]] != 0 || m[tl.D[1]] != 0) continue;  // nobody waits here
-    if (m[tl.B[0]] != 0 && m[tl.B[1]] != 0) continue;
-    if (m[tl.B[0]] != 0 && m[tl.C[1]] != 0) continue;
+    if (m[tl.D[0][0]] != 0 || m[tl.D[1][0]] != 0) continue;  // nobody waits here
+    if (m[tl.B[0][0]] != 0 && m[tl.B[1][0]] != 0) continue;
+    if (m[tl.B[0][0]] != 0 && m[tl.C[1][0]] != 0) continue;
     // ^ Two model-only markings: the substrate acquires atomically when the
     //   lock is free (T1 immediately followed by T2 in the trace), so
     //   (a) two threads are never simultaneously observable in B, and
@@ -473,4 +473,158 @@ TEST(ModelCrossCheck, ExhaustiveExplorationVisitsEveryReachableNetState) {
     EXPECT_TRUE(std::find(r.states.begin(), r.states.end(), m) !=
                 r.states.end());
   }
+}
+
+// ---------------------------------------------------------------------------
+// N x M nets, packed markings, hashing, parent links (this PR's additions).
+// ---------------------------------------------------------------------------
+
+#include "confail/petri/packed_marking.hpp"
+#include "confail/support/flat_table.hpp"
+
+TEST(ThreadLockNetNM, MultiMonitorConstruction) {
+  auto tl = buildThreadLockNet(3, 2, NotifyModel::Gated);
+  EXPECT_EQ(tl.threads, 3u);
+  EXPECT_EQ(tl.monitors, 2u);
+  // 3 * (A + 2*(B,C,D)) + 2 E places.
+  EXPECT_EQ(tl.net.placeCount(), 3u * 7u + 2u);
+  // Multi-monitor names carry the _m suffix; single-monitor names do not.
+  EXPECT_NE(tl.net.describe().find("T1_0_m1"), std::string::npos);
+  auto single = buildThreadLockNet(2, NotifyModel::Free);
+  EXPECT_EQ(single.net.describe().find("_m0"), std::string::npos);
+}
+
+TEST(ThreadLockNetNM, InvariantBasisIsThreadsPlusMonitors) {
+  // One conservation law per thread plus one lock invariant per monitor.
+  for (unsigned n = 1; n <= 3; ++n) {
+    for (unsigned mth = 1; mth <= 3; ++mth) {
+      auto tl = buildThreadLockNet(n, mth, NotifyModel::Free);
+      auto basis = petri::computePInvariants(tl.net);
+      EXPECT_EQ(basis.size(), n + mth) << n << "x" << mth;
+      for (unsigned m = 0; m < mth; ++m) {
+        auto wi = tl.lockInvariantWeights(m);
+        std::vector<long long> w(wi.begin(), wi.end());
+        EXPECT_TRUE(petri::isPInvariant(tl.net, w));
+      }
+    }
+  }
+}
+
+TEST(ThreadLockNetNM, MonitorsAreIndependentUntilAThreadCouplesThem) {
+  // 2 threads x 2 monitors, free: each thread engages one monitor at a
+  // time, so the reachable count is NOT the square of the 1-monitor count
+  // (a thread in monitor 0 cannot also be in monitor 1).
+  auto one = petri::reachable(buildThreadLockNet(2, 1, NotifyModel::Free).net,
+                              buildThreadLockNet(2, 1, NotifyModel::Free)
+                                  .initial);
+  auto two = petri::reachable(buildThreadLockNet(2, 2, NotifyModel::Free).net,
+                              buildThreadLockNet(2, 2, NotifyModel::Free)
+                                  .initial);
+  ASSERT_TRUE(one.complete);
+  ASSERT_TRUE(two.complete);
+  EXPECT_GT(two.stateCount(), one.stateCount());
+  EXPECT_LT(two.stateCount(), one.stateCount() * one.stateCount());
+}
+
+TEST(PackedMarking, RoundTripsEveryReachableMarking) {
+  auto tl = buildThreadLockNet(3, 2, NotifyModel::Gated);
+  auto r = petri::reachable(tl.net, tl.initial);
+  ASSERT_TRUE(r.complete);
+  for (const Marking& m : r.states) {
+    auto packed = petri::PackedMarking<1>::encode(m);
+    ASSERT_TRUE(packed.has_value());
+    EXPECT_EQ(packed->decode(m.size()), m);
+  }
+}
+
+TEST(PackedMarking, RejectsMultiTokenPlaces) {
+  Marking m{2, 0, 1};
+  EXPECT_FALSE(petri::PackedMarking<1>::encode(m).has_value());
+}
+
+TEST(PackedMarking, WordCountMatchesPlaceCount) {
+  EXPECT_EQ(petri::packedWords(1), 1u);
+  EXPECT_EQ(petri::packedWords(64), 1u);
+  EXPECT_EQ(petri::packedWords(65), 2u);
+  EXPECT_EQ(petri::packedWords(256), 4u);
+}
+
+TEST(FlatTable, MultiWordKeysInsertAndFind) {
+  confail::FlatMapN<4> map(4);
+  std::array<std::uint64_t, 4> a{1, 2, 3, 4};
+  std::array<std::uint64_t, 4> b{1, 2, 3, 5};
+  EXPECT_EQ(map.find(a), confail::FlatMapN<4>::kNoValue);
+  EXPECT_TRUE(map.findOrInsert(a, 7).second);
+  EXPECT_FALSE(map.findOrInsert(a, 9).second);  // already present, keeps 7
+  EXPECT_EQ(map.find(a), 7u);
+  EXPECT_EQ(map.find(b), confail::FlatMapN<4>::kNoValue);
+  // Grow path: push well past the initial capacity.
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    map.findOrInsert({i, i * 3, i ^ 0xff, ~i}, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(map.find(a), 7u);
+  EXPECT_EQ(map.find({123, 369, 123 ^ 0xff, ~std::uint64_t{123}}), 123u);
+}
+
+TEST(MarkingHash, NoCollisionsAcrossReachableSet) {
+  // splitmix64 avalanche: every reachable marking of a mid-size net gets a
+  // distinct hash.  Not guaranteed in general, but a collision here (2748
+  // states into 64 bits) would flag a broken mixer with near certainty.
+  auto tl = buildThreadLockNet(5, NotifyModel::Free);
+  auto r = petri::reachable(tl.net, tl.initial);
+  ASSERT_TRUE(r.complete);
+  petri::MarkingHash h;
+  std::set<std::size_t> hashes;
+  for (const Marking& m : r.states) hashes.insert(h(m));
+  EXPECT_EQ(hashes.size(), r.stateCount());
+}
+
+TEST(Reachability, ParentLinksReconstructEveryState) {
+  auto tl = buildThreadLockNet(3, NotifyModel::Gated);
+  auto r = petri::reachable(tl.net, tl.initial);
+  ASSERT_TRUE(r.complete);
+  ASSERT_EQ(r.parents.size(), r.stateCount());
+  for (std::size_t s = 1; s < r.stateCount(); ++s) {
+    auto path = petri::shortestPathTo(tl.net, r, s);
+    Marking m = tl.initial;
+    for (auto t : path) {
+      ASSERT_TRUE(tl.net.enabled(t, m));
+      m = tl.net.fire(t, m);
+    }
+    EXPECT_EQ(m, r.states[s]);
+  }
+  EXPECT_TRUE(petri::shortestPathTo(tl.net, r, 0).empty());
+}
+
+TEST(Reachability, FreeStateCountClosedForm) {
+  // Free N x 1: each thread is in {A, B, D} freely plus at most one thread
+  // in C: 3^N + N * 3^(N-1) states.
+  for (unsigned n = 1; n <= 6; ++n) {
+    auto tl = buildThreadLockNet(n, NotifyModel::Free);
+    auto r = petri::reachable(tl.net, tl.initial);
+    ASSERT_TRUE(r.complete);
+    std::size_t pow3 = 1;
+    for (unsigned k = 1; k < n; ++k) pow3 *= 3;
+    EXPECT_EQ(r.stateCount(), pow3 * 3 + n * pow3) << n << " threads";
+  }
+}
+
+TEST(Reachability, PackedAndGenericEnginesAgree) {
+  // Force the generic fallback with a net that is not 1-bounded and check
+  // the packed path on one that is.
+  Net n;
+  auto p0 = n.addPlace("p0");
+  auto p1 = n.addPlace("p1");
+  n.addTransition("t", {{p0, 1}}, {{p1, 2}});
+  auto r = petri::reachable(n, Marking{1, 0});
+  EXPECT_EQ(r.stateCount(), 2u);  // {1,0} and {0,2} — generic engine
+  EXPECT_EQ(r.parents.size(), 2u);
+
+  auto tl = buildThreadLockNet(4, NotifyModel::Gated);
+  petri::ReachOptions opts;
+  auto packed = petri::reachable(tl.net, tl.initial, opts);
+  auto legacy = petri::reachable(tl.net, tl.initial);
+  EXPECT_EQ(packed.stateCount(), legacy.stateCount());
+  EXPECT_EQ(packed.edgeCount(), legacy.edgeCount());
+  EXPECT_EQ(packed.deadStates, legacy.deadStates);
 }

@@ -68,6 +68,9 @@ int cmdResults(const char* prog, int argc, char** argv);
 /// confail drain — ask the daemon to finish in-flight jobs and exit.
 int cmdDrain(const char* prog, int argc, char** argv);
 
+/// confail petri — N x M thread/lock net analysis + explorer cross-check.
+int cmdPetri(const char* prog, int argc, char** argv);
+
 // ---- shared flag parsing ---------------------------------------------------
 
 /// The value of a flag: advances `i`; nullptr when the argument is missing.

@@ -20,6 +20,8 @@ int usage() {
                "matrix\n"
                "  fuzz       generate seeded programs; run differential "
                "oracles\n"
+               "  petri      check the N x M thread/lock Petri model; "
+               "cross-check the explorer against it\n"
                "  obs-check  validate emitted metrics/trace files\n"
                "  serve      run the campaign daemon over a spool directory\n"
                "  worker     run one campaign shard (serve's subprocess)\n"
@@ -52,6 +54,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(verb, "fuzz") == 0) {
     return confail::cli::cmdFuzz("confail fuzz", rest, restv);
+  }
+  if (std::strcmp(verb, "petri") == 0) {
+    return confail::cli::cmdPetri("confail petri", rest, restv);
   }
   if (std::strcmp(verb, "obs-check") == 0) {
     return confail::cli::cmdObsCheck("confail obs-check", rest, restv);

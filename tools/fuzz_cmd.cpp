@@ -137,6 +137,7 @@ int cmdFuzz(const char* prog, int argc, char** argv) {
         opts.oracle.checkClean |= one.checkClean;
         opts.oracle.checkInjection |= one.checkInjection;
         opts.oracle.checkStreaming |= one.checkStreaming;
+        opts.oracle.checkModel |= one.checkModel;
       }
     } else if (arg == "--no-shrink") {
       opts.shrinkFailures = false;
